@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  Besides the pytest-benchmark timing, each
+writes its reproduced artefact to ``benchmarks/results/<exp_id>.txt`` and
+echoes it to the terminal (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a reproduced table/figure and echo it."""
+
+    def _save(exp_id: str, title: str, body: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = f"# {exp_id}: {title}\n\n{body}\n"
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
+        print(f"\n===== {exp_id}: {title} =====")
+        print(body)
+
+    return _save

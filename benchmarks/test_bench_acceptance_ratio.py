@@ -1,0 +1,64 @@
+"""E3 — Section 4 headline result: acceptance ratio of FP-TS vs FFD vs WFD
+with measured overheads integrated into the analysis.
+
+The paper (work in progress) states the outcome without printing the plot:
+"semi-partitioned scheduling indeed outperforms partitioned scheduling in
+the presence of realistic run-time overheads".  This bench regenerates the
+full curve set on the paper's platform (4 cores, Core-i7-calibrated
+overheads) and asserts the claimed ordering.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import AcceptanceConfig, run_acceptance
+from repro.overhead import OverheadModel
+
+UTILIZATIONS = [0.60, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00]
+
+
+def _sweep():
+    config = AcceptanceConfig(
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=60,
+        utilizations=UTILIZATIONS,
+        overheads=OverheadModel.paper_core_i7(tasks_per_core=3),
+        algorithms=("FP-TS", "FFD", "WFD"),
+    )
+    return run_acceptance(config)
+
+
+def test_acceptance_ratio_curves(benchmark, save_result):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [result.as_table(), ""]
+    for name in ("FP-TS", "FFD", "WFD"):
+        lines.append(
+            f"{name:>6}: mean acceptance {result.weighted_acceptance(name):.3f}, "
+            f"<50% at U/m = {result.breakdown_utilization(name)}"
+        )
+    save_result(
+        "E3_acceptance",
+        "acceptance ratio vs normalized utilization (paper Section 4)",
+        "\n".join(lines),
+    )
+
+    # --- the paper's claims, as shape assertions -------------------------
+    fpts = result.ratios["FP-TS"]
+    ffd = result.ratios["FFD"]
+    wfd = result.ratios["WFD"]
+    # 1. FP-TS dominates both partitioned baselines everywhere.
+    for i in range(len(UTILIZATIONS)):
+        assert fpts[i] >= ffd[i] - 1e-9
+        assert fpts[i] >= wfd[i] - 1e-9
+    # 2. The gap is material in the high-utilization region.
+    high = UTILIZATIONS.index(0.90)
+    assert result.weighted_acceptance("FP-TS") > result.weighted_acceptance(
+        "FFD"
+    )
+    assert fpts[high] > ffd[high]
+    # 3. Everyone accepts everything at modest load.
+    low = UTILIZATIONS.index(0.60)
+    assert fpts[low] == ffd[low] == 1.0
+    # 4. FFD >= WFD at high load (first-fit packs, worst-fit strands).
+    assert ffd[high] >= wfd[high] - 1e-9

@@ -1,0 +1,113 @@
+"""E12 (extension) — blocking-protocol ablation: IPCP vs NPCS.
+
+Random partitioned workloads receive per-core shared resources whose
+critical sections grow as a fraction of each task's WCET; acceptance is
+re-tested with blocking-aware RTA under the immediate priority ceiling
+protocol and under non-preemptive sections.  Expected shape: acceptance
+degrades monotonically with section length, and IPCP dominates NPCS
+(ceilings localise the blocking).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.blocking import (
+    core_schedulable_with_resources,
+    npcs_model,
+)
+from repro.model.generator import TaskSetGenerator
+from repro.model.resources import CriticalSection, ResourceModel
+from repro.model.time import MS
+from repro.partition.heuristics import partition_first_fit_decreasing
+
+FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+def _inject_sections(assignment, fraction: float, rng) -> ResourceModel:
+    """Give each core two resource groups (fast tasks share one, slow
+    tasks the other); every resident task gets a section of ``fraction`` x
+    WCET at a random offset.  Split groups keep ceilings below the top
+    priority, so IPCP can beat NPCS."""
+    model = ResourceModel()
+    if fraction == 0.0:
+        return model
+    for core in assignment.cores:
+        ordered = core.sorted_entries()
+        half = len(ordered) // 2 or 1
+        for position, entry in enumerate(ordered):
+            group = "fast" if position < half else "slow"
+            resource = f"r{core.core}-{group}"
+            duration = max(1, int(entry.task.wcet * fraction))
+            if duration >= entry.task.wcet:
+                duration = entry.task.wcet - 1
+            if duration < 1:
+                continue
+            start = rng.randint(0, entry.task.wcet - duration - 1) if (
+                entry.task.wcet - duration - 1 > 0
+            ) else 0
+            model.add(
+                entry.task.name,
+                CriticalSection(resource, start=start, duration=duration),
+            )
+    return model
+
+
+def _accepted(assignment, model) -> bool:
+    for core in assignment.cores:
+        if not core_schedulable_with_resources(
+            core.entries, model
+        ).schedulable:
+            return False
+    return True
+
+
+def _run():
+    rng = random.Random(55)
+    generator = TaskSetGenerator(
+        n_tasks=12, seed=55, period_min=10 * MS, period_max=200 * MS
+    )
+    counts = {f: {"ipcp": 0, "npcs": 0} for f in FRACTIONS}
+    tested = 0
+    for _ in range(50):
+        taskset = generator.generate(0.8 * 4)
+        assignment = partition_first_fit_decreasing(taskset, 4)
+        if assignment is None:
+            continue
+        tested += 1
+        for fraction in FRACTIONS:
+            model = _inject_sections(assignment, fraction, rng)
+            if _accepted(assignment, model):
+                counts[fraction]["ipcp"] += 1
+            if _accepted(assignment, npcs_model(model)):
+                counts[fraction]["npcs"] += 1
+    return tested, counts
+
+
+def test_blocking_protocols(benchmark, save_result):
+    tested, counts = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert tested > 0
+    lines = [f"{'CS fraction':>12} {'IPCP':>8} {'NPCS':>8}"]
+    for fraction in FRACTIONS:
+        lines.append(
+            f"{fraction:>12.2f} "
+            f"{counts[fraction]['ipcp'] / tested:>8.3f} "
+            f"{counts[fraction]['npcs'] / tested:>8.3f}"
+        )
+    save_result(
+        "E12_blocking",
+        "acceptance vs critical-section length (IPCP vs NPCS)",
+        "\n".join(lines),
+    )
+    # Shape: no sections => everything accepted; monotone degradation;
+    # IPCP >= NPCS at every point.
+    assert counts[0.0]["ipcp"] == counts[0.0]["npcs"] == tested
+    previous_ipcp = previous_npcs = tested + 1
+    for fraction in FRACTIONS:
+        ipcp = counts[fraction]["ipcp"]
+        npcs = counts[fraction]["npcs"]
+        assert ipcp >= npcs
+        assert ipcp <= previous_ipcp and npcs <= previous_npcs
+        previous_ipcp, previous_npcs = ipcp, npcs
+    # Long sections must hurt NPCS visibly.
+    assert counts[0.4]["npcs"] < tested

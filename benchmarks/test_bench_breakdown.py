@@ -1,0 +1,41 @@
+"""E10 (extension) — breakdown utilization distributions.
+
+Finer-grained than acceptance ratio: every random workload is scaled up to
+each algorithm's critical point, yielding the distribution of breakdown
+utilizations.  Expected shape: P-EDF near 1.0/core, FP-TS between FFD and
+P-EDF, WFD the weakest — with paired workloads so the comparison is exact.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.breakdown import run_breakdown
+
+ALGORITHMS = ("FP-TS", "C=D", "FFD", "WFD", "P-EDF")
+
+
+def _run():
+    return run_breakdown(
+        algorithms=ALGORITHMS,
+        n_cores=4,
+        n_tasks=12,
+        sets=20,
+        seed=31,
+    )
+
+
+def test_breakdown_utilization(benchmark, save_result):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(
+        "E10_breakdown",
+        "breakdown utilization per algorithm (normalized per core)",
+        result.as_table(),
+    )
+
+    # Paired-dominance relations.
+    assert result.mean("FP-TS") >= result.mean("FFD") - 1e-9
+    assert result.mean("C=D") >= result.mean("P-EDF") - 1e-9
+    assert result.mean("P-EDF") >= result.mean("FFD") - 1e-9
+    assert result.mean("FFD") >= result.mean("WFD") - 1e-9
+    # Sanity of absolute levels.
+    assert 0.85 <= result.mean("P-EDF") / 4 <= 1.0
+    assert result.mean("FFD") / 4 >= 0.7

@@ -1,0 +1,75 @@
+"""E4 — Section 3 cache-overhead finding.
+
+The paper measures that "in general the cache-related overhead due to task
+migrations and local context switches is in the same order of magnitude",
+because both re-fetch the working set from the shared L3; only a working
+set much smaller than the private cache favours local resumption, and a
+machine without a shared level penalises migration heavily.
+
+The bench regenerates the local-vs-migration delay series over working-set
+size for the shared-L3 model and the private-only ablation.
+"""
+
+from __future__ import annotations
+
+from repro.cache import CachePenaltyModel
+
+WSS_POINTS = [
+    4 * 1024,
+    16 * 1024,
+    64 * 1024,
+    256 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    16 * 1024 * 1024,
+]
+
+
+def _series():
+    shared = CachePenaltyModel()
+    private = CachePenaltyModel.private_only()
+    rows = []
+    for wss in WSS_POINTS:
+        rows.append(
+            (
+                wss,
+                shared.preemption_delay(wss),
+                shared.migration_delay(wss),
+                private.migration_delay(wss),
+            )
+        )
+    return rows
+
+
+def test_cache_related_overhead(benchmark, save_result):
+    rows = benchmark(_series)
+
+    lines = [
+        f"{'WSS(KiB)':>9} {'local(µs)':>10} {'migrate(µs)':>12} "
+        f"{'ratio':>6} {'no-L3 migrate(µs)':>18}"
+    ]
+    for wss, local, migrate, no_l3 in rows:
+        ratio = migrate / local if local else float("inf")
+        lines.append(
+            f"{wss // 1024:>9} {local / 1000:>10.1f} {migrate / 1000:>12.1f} "
+            f"{ratio:>6.2f} {no_l3 / 1000:>18.1f}"
+        )
+    save_result(
+        "E4_cache",
+        "cache-related delay: local context switch vs migration",
+        "\n".join(lines),
+    )
+
+    # Shape assertions — the paper's findings:
+    for wss, local, migrate, no_l3 in rows:
+        # (1) shared L3 => same order of magnitude.
+        assert migrate <= 10 * max(local, 1)
+        # (2) migration never cheaper than a local switch.
+        assert migrate >= local
+        # (3) without a shared level, migration is strictly worse whenever
+        #     the set fits in L3 (otherwise both fall back to memory).
+        if wss <= CachePenaltyModel().hierarchy.shared_bytes:
+            assert no_l3 > migrate
+    # (4) small working sets benefit from local resumption.
+    small = rows[0]
+    assert small[1] < small[2]

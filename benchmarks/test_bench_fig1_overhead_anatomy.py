@@ -1,0 +1,80 @@
+"""E1 — Figure 1: the anatomy of scheduler overheads.
+
+Reproduces the paper's Figure 1 timeline: a high-priority task released
+while a low-priority task executes; the release path (b..e = rls + sch +
+cnt1) and the completion path (f..i = sch + cnt2) appear as explicit
+kernel-execution segments on the core.  The benchmark times one simulated
+20 ms scenario.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import KernelSim
+from repro.model import MS, Task, TaskSet
+from repro.overhead import OverheadModel
+from repro.partition import partition_first_fit_decreasing
+from repro.trace import render_overhead_anatomy
+
+
+def _scenario():
+    taskset = TaskSet(
+        [
+            Task("tau1", wcet=1 * MS, period=20 * MS),
+            Task("tau2", wcet=10 * MS, period=40 * MS),
+        ]
+    ).assign_rate_monotonic()
+    assignment = partition_first_fit_decreasing(taskset, n_cores=1)
+    assert assignment is not None
+    return assignment
+
+
+def _simulate(assignment, model):
+    sim = KernelSim(
+        assignment,
+        model,
+        duration=20 * MS,
+        record_trace=True,
+        release_offsets={"tau1": 2 * MS, "tau2": 0},
+    )
+    return sim.run()
+
+
+def test_figure1_overhead_anatomy(benchmark, save_result):
+    assignment = _scenario()
+    model = OverheadModel.paper_core_i7(tasks_per_core=4)
+    result = benchmark(lambda: _simulate(_scenario(), model))
+    result = _simulate(assignment, model)
+
+    segments = sorted(
+        (start, end, label, kind)
+        for core, start, end, label, kind in result.trace
+        if core == 0
+    )
+    b = 2 * MS
+    e = next(
+        s for s, _e, label, kind in segments
+        if kind == "exec" and label.startswith("tau1")
+    )
+    f = next(
+        en for _s, en, label, kind in segments
+        if kind == "exec" and label.startswith("tau1")
+    )
+    i = next(
+        en for s, en, label, kind in segments
+        if kind == "overhead" and label == "cnt2:tau1" and s >= f
+    )
+
+    expected_be = model.rls + model.sch(True) + model.cnt1
+    expected_fi = model.sch(False) + model.cnt2_finish
+    assert e - b == expected_be
+    assert i - f == expected_fi
+
+    body = (
+        render_overhead_anatomy(result.trace, core=0)
+        + "\n\n"
+        + f"b..e (rls + sch + cnt1) = {(e - b) / 1000:.1f} us "
+        + f"(model: {expected_be / 1000:.1f} us)\n"
+        + f"f..i (sch + cnt2)       = {(i - f) / 1000:.1f} us "
+        + f"(model: {expected_fi / 1000:.1f} us)"
+    )
+    save_result("E1_figure1", "overhead anatomy around a preemption", body)

@@ -1,0 +1,63 @@
+"""E5 — Section 4 claim: "the extra overhead caused by task splitting in
+semi-partitioned scheduling is very low, and its effect on the system
+schedulability is very small".
+
+The bench repeats the acceptance sweep with the overhead model scaled by
+0 / 1 / 10 / 100 and reports the loss in mean acceptance versus the
+zero-overhead ideal.  Expected shape: at factor 1 (the paper's measured
+magnitude) the loss is marginal; only greatly inflated overheads move the
+curves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import AcceptanceConfig, run_overhead_sensitivity
+from repro.overhead import OverheadModel
+
+FACTORS = (0.0, 1.0, 10.0, 100.0)
+
+
+def _run():
+    config = AcceptanceConfig(
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=40,
+        utilizations=[0.80, 0.85, 0.90, 0.95],
+        algorithms=("FP-TS", "FFD"),
+    )
+    return run_overhead_sensitivity(
+        config,
+        factors=FACTORS,
+        base_model=OverheadModel.paper_core_i7(tasks_per_core=3),
+    )
+
+
+def test_overhead_sensitivity(benchmark, save_result):
+    sensitivity = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = []
+    for name in ("FP-TS", "FFD"):
+        lines.append(sensitivity.as_table(name))
+        lines.append("")
+    save_result(
+        "E5_sensitivity",
+        "acceptance loss vs overhead magnitude (x0 / x1 / x10 / x100)",
+        "\n".join(lines),
+    )
+
+    for name in ("FP-TS", "FFD"):
+        means = [
+            sensitivity.results[f].weighted_acceptance(name) for f in FACTORS
+        ]
+        # Monotone degradation with overhead magnitude.
+        assert means[0] >= means[1] >= means[2] >= means[3]
+        # The paper's claim: at the measured magnitude the loss is small.
+        assert means[0] - means[1] <= 0.05, (
+            f"{name}: paper-magnitude overheads cost "
+            f"{means[0] - means[1]:.3f} acceptance"
+        )
+    # Grossly inflated overheads must visibly hurt (the sweep is not inert).
+    fpts_means = [
+        sensitivity.results[f].weighted_acceptance("FP-TS") for f in FACTORS
+    ]
+    assert fpts_means[0] - fpts_means[-1] > 0.02

@@ -1,0 +1,61 @@
+"""E8 (extension) — scheduling-paradigm comparison.
+
+The paper's introduction motivates semi-partitioning by the weaknesses of
+both alternatives: global scheduling ("recent studies showed that the
+partitioned approach is superior") and pure partitioning (the bin-packing
+waste).  This bench puts the four paradigms side by side with their
+standard acceptance tests:
+
+* FP-TS — semi-partitioned fixed priority (exact RTA + splitting),
+* C=D — semi-partitioned EDF (C=D splitting, Burns et al. 2012),
+* FFD — partitioned RM (exact RTA),
+* P-EDF — partitioned EDF (exact demand-bound),
+* G-EDF — global EDF (GFB density bound),
+* G-RM — global fixed priority (RM-US utilization bound).
+
+Expected shape: C=D >= P-EDF >= FP-TS >= FFD >> G-EDF > G-RM at high
+utilization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import AcceptanceConfig, run_acceptance
+from repro.overhead import OverheadModel
+
+UTILIZATIONS = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+ALGORITHMS = ("FP-TS", "C=D", "FFD", "P-EDF", "G-EDF", "G-RM")
+
+
+def _sweep():
+    config = AcceptanceConfig(
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=40,
+        utilizations=UTILIZATIONS,
+        overheads=OverheadModel.paper_core_i7(tasks_per_core=3),
+        algorithms=ALGORITHMS,
+    )
+    return run_acceptance(config)
+
+
+def test_policy_comparison(benchmark, save_result):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    save_result(
+        "E8_policies",
+        "acceptance by scheduling paradigm (extension)",
+        result.as_table(),
+    )
+
+    means = {name: result.weighted_acceptance(name) for name in ALGORITHMS}
+    # EDF-side tests are the most permissive of the analysed policies;
+    # C=D dominates plain partitioned EDF by construction.
+    assert means["C=D"] >= means["P-EDF"] >= means["FFD"]
+    assert means["FP-TS"] >= means["FFD"]
+    # Global utilization bounds trail everything partitioned (the
+    # motivation quoted by the paper's introduction).
+    assert means["FFD"] > means["G-EDF"] > means["G-RM"]
+    # The global bounds collapse while partitioned approaches still accept
+    # everything.
+    mid = UTILIZATIONS.index(0.7)
+    assert result.ratios["FFD"][mid] == 1.0
+    assert result.ratios["G-EDF"][mid] < 0.5

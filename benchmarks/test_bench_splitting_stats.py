@@ -1,0 +1,46 @@
+"""E7 — splitting and migration statistics (ablation).
+
+Quantifies the paper's "major concern": how much splitting does FP-TS
+actually perform, and what migration rate does it induce?  Expected shape:
+essentially no splitting below U/m ~ 0.8 (the overhead concern is moot
+exactly where partitioned scheduling works anyway), rising as utilization
+approaches 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.splitting import splitting_statistics, splitting_table
+
+UTILIZATIONS = (0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
+
+
+def _run():
+    return splitting_statistics(
+        utilizations=UTILIZATIONS,
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=40,
+    )
+
+
+def test_splitting_statistics(benchmark, save_result):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(
+        "E7_splitting",
+        "FP-TS split structure vs utilization",
+        splitting_table(rows),
+    )
+
+    by_u = {row.normalized_utilization: row for row in rows}
+    # No splitting needed at low utilization.
+    assert by_u[0.6].mean_split_tasks < 0.2
+    # Splitting ramps up towards full utilization.
+    assert by_u[0.95].mean_split_tasks > by_u[0.7].mean_split_tasks
+    # Splits stay shallow: ~2 subtasks per split task on average.
+    for row in rows:
+        if row.split_tasks_total:
+            assert row.mean_subtasks_per_split < 3.5
+    # Migration rates stay modest (tens to hundreds per second, with
+    # microsecond-scale costs => negligible load, the paper's conclusion).
+    for row in rows:
+        assert row.mean_migrations_per_second < 2000

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Reproduce Section 4 of the paper: overhead-aware acceptance ratios.
+
+Sweeps normalized utilization on a 4-core platform, comparing the paper's
+three algorithms (FP-TS semi-partitioned vs FFD/WFD partitioned) with the
+measured overheads integrated into the analysis, and prints an ASCII plot
+plus the table.  A second pass shows the overhead-sensitivity ablation
+("the effect of the task-splitting overhead on schedulability is very
+small").
+
+Run:  python examples/acceptance_study.py           (quick, ~10 s)
+      python examples/acceptance_study.py --full    (paper-scale, slower)
+"""
+
+import sys
+
+from repro.experiments import (
+    AcceptanceConfig,
+    run_acceptance,
+    run_overhead_sensitivity,
+)
+from repro.experiments.plot import acceptance_plot
+from repro.overhead import OverheadModel
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    sets = 200 if full else 40
+    config = AcceptanceConfig(
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=sets,
+        overheads=OverheadModel.paper_core_i7(tasks_per_core=3),
+        algorithms=("FP-TS", "FFD", "WFD"),
+    )
+    print(
+        f"acceptance sweep: m={config.n_cores}, n={config.n_tasks}, "
+        f"{sets} sets/point, paper-calibrated overheads\n"
+    )
+    result = run_acceptance(config)
+    print(result.as_table())
+    print()
+    print(acceptance_plot(result))
+    print()
+    for name in config.algorithms:
+        mean = result.weighted_acceptance(name)
+        collapse = result.breakdown_utilization(name)
+        print(
+            f"{name:>6}: mean acceptance {mean:.3f}, "
+            f"drops below 50% at U/m = {collapse}"
+        )
+
+    print("\n--- overhead sensitivity (E5) ---")
+    sens_config = AcceptanceConfig(
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=max(10, sets // 2),
+        utilizations=[0.80, 0.85, 0.90, 0.95],
+        algorithms=("FP-TS", "FFD"),
+    )
+    sensitivity = run_overhead_sensitivity(
+        sens_config, factors=(0.0, 1.0, 10.0, 100.0)
+    )
+    for name in ("FP-TS", "FFD"):
+        print()
+        print(sensitivity.as_table(name))
+    print(
+        "\nAt the paper's measured magnitude (factor 1.0) the loss versus\n"
+        "zero overhead is small — the paper's conclusion.  Only overheads\n"
+        "tens of times larger visibly move the curves."
+    )
+
+
+if __name__ == "__main__":
+    main()

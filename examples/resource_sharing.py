@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Shared-resource study: priority-ceiling locking on a partitioned system
+(extension — the paper's system has no resource sharing).
+
+Builds a control workload whose tasks share an I/O bus lock and a state
+mutex, analyses it with blocking-aware RTA (immediate priority ceiling
+protocol), compares against the cruder non-preemptive-sections bound, and
+validates by simulation: the lock holder defers even the highest-priority
+task exactly as the blocking term predicts.
+
+Run:  python examples/resource_sharing.py
+"""
+
+from repro.analysis.blocking import (
+    core_schedulable_with_resources,
+    npcs_model,
+)
+from repro.kernel import KernelSim
+from repro.model import (
+    MS,
+    SEC,
+    US,
+    CriticalSection,
+    ResourceModel,
+    Task,
+    TaskSet,
+)
+from repro.overhead import OverheadModel
+from repro.partition import partition_first_fit_decreasing
+
+
+def main() -> None:
+    taskset = TaskSet(
+        [
+            Task("servo", wcet=900 * US, period=5 * MS),
+            Task("sensor", wcet=1500 * US, period=10 * MS),
+            Task("control", wcet=4 * MS, period=20 * MS),
+            Task("logger", wcet=9 * MS, period=50 * MS),
+        ]
+    ).assign_rate_monotonic()
+    assignment = partition_first_fit_decreasing(taskset, n_cores=1)
+    assert assignment is not None
+
+    resources = ResourceModel()
+    # The bus lock: used briefly by servo, longer by the logger.
+    resources.add("servo", CriticalSection("bus", start=100 * US, duration=200 * US))
+    resources.add("logger", CriticalSection("bus", start=1 * MS, duration=800 * US))
+    # The state mutex: sensor vs control.
+    resources.add("sensor", CriticalSection("state", start=0, duration=300 * US))
+    resources.add("control", CriticalSection("state", start=2 * MS, duration=600 * US))
+    # The flash journal: a *long* section shared only by the two slowest
+    # tasks — its ceiling is control's priority, so under IPCP it can
+    # never delay servo or sensor.  NPCS charges it to everyone.
+    resources.add("control", CriticalSection("flash", start=3 * MS, duration=500 * US))
+    resources.add("logger", CriticalSection("flash", start=3 * MS, duration=3 * MS))
+
+    print("Workload:")
+    print(taskset.describe())
+    print("\nresources:", ", ".join(resources.resources()))
+
+    print("\nBlocking-aware RTA (immediate priority ceiling protocol):")
+    analysis = core_schedulable_with_resources(
+        assignment.cores[0].entries, resources
+    )
+    for result in analysis.results:
+        print(
+            f"  {result.entry.name:<8} R = {result.response / MS:7.3f} ms"
+            f"  (D = {result.entry.deadline / MS:7.3f} ms)"
+        )
+    print(f"schedulable: {analysis.schedulable}")
+
+    print("\nSame workload under non-preemptive sections (NPCS bound):")
+    npcs = core_schedulable_with_resources(
+        assignment.cores[0].entries, npcs_model(resources)
+    )
+    for result in npcs.results:
+        print(
+            f"  {result.entry.name:<8} R = {result.response / MS:7.3f} ms"
+        )
+    print(
+        "\nIPCP blocks servo only through the 'bus' ceiling (0.8 ms from "
+        "the logger);\nNPCS would charge every task the longest section "
+        "of anything below it."
+    )
+
+    # Simulate with the lock held at the worst moment.
+    sim = KernelSim(
+        assignment,
+        OverheadModel.paper_core_i7(4),
+        duration=1 * SEC,
+        record_trace=True,
+        resources=resources,
+        release_offsets={"servo": 1200 * US},  # arrive mid-logger-CS
+    )
+    result = sim.run()
+    print(
+        f"\n1 s simulation with overheads + locking: "
+        f"misses={result.miss_count}, "
+        f"servo max response = "
+        f"{result.task_stats['servo'].max_response / US:.0f} µs"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Blocking-aware response-time analysis (IPCP / NPCS, extension).
+
+Classic uniprocessor theory (Sha, Rajkumar & Lehoczky 1990; Baker 1991):
+under the immediate priority ceiling protocol a job is blocked **at most
+once**, by **one** critical section of a lower-priority task whose
+resource ceiling is at or above the job's priority:
+
+    B_i = max { duration(cs) : cs belongs to a lower-priority task,
+                               ceiling(cs.resource) <= priority_i }
+
+(priorities numeric, smaller = higher).  NPCS is the special case where
+every ceiling is the highest priority, i.e. every lower-priority section
+blocks.  The response-time recurrence becomes
+
+    R = C_i + B_i + sum over hp(i) of ceil((R + J_j) / T_j) * C_j
+
+Resources are per-core (partitioned resource access); split tasks must
+not use resources (enforced by :func:`core_schedulable_with_resources`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.rta import (
+    CoreAnalysis,
+    EntryResult,
+    order_entries,
+    response_time,
+)
+from repro.model.assignment import Entry, EntryKind
+from repro.model.resources import ResourceModel
+
+
+def blocking_term(
+    entry_name: str,
+    priority_index: int,
+    ordered_names: Sequence[str],
+    model: ResourceModel,
+    ceilings: Dict[str, int],
+) -> int:
+    """IPCP blocking bound for the entry at ``priority_index``.
+
+    ``ordered_names`` lists the core's task names, highest priority first;
+    ``ceilings`` maps resource -> ceiling index in that same order.
+    """
+    worst = 0
+    for lower_index in range(priority_index + 1, len(ordered_names)):
+        lower_name = ordered_names[lower_index]
+        for section in model.sections_of(lower_name):
+            ceiling = ceilings.get(section.resource)
+            if ceiling is not None and ceiling <= priority_index:
+                worst = max(worst, section.duration)
+    return worst
+
+
+def core_schedulable_with_resources(
+    entries: Iterable[Entry],
+    model: ResourceModel,
+) -> CoreAnalysis:
+    """Exact RTA with IPCP blocking terms on one core.
+
+    Raises ValueError if a split-task entry uses resources (unsupported).
+    """
+    ordered = order_entries(entries)
+    names = [entry.task.name for entry in ordered]
+    for entry in ordered:
+        if entry.kind != EntryKind.NORMAL and model.sections_of(
+            entry.task.name
+        ):
+            raise ValueError(
+                f"split task {entry.task.name} declares critical sections; "
+                "resource sharing by split tasks is unsupported"
+            )
+    priorities = {name: index for index, name in enumerate(names)}
+    ceilings = model.ceilings(priorities)
+    results: List[EntryResult] = []
+    for index, entry in enumerate(ordered):
+        blocking = blocking_term(
+            entry.task.name, index, names, model, ceilings
+        )
+        higher = [
+            (e.budget, e.period, e.jitter) for e in ordered[:index]
+        ]
+        response = response_time(
+            entry.budget + blocking, higher, entry.deadline
+        )
+        results.append(EntryResult(entry=entry, response=response))
+    return CoreAnalysis(results=results)
+
+
+def assignment_schedulable_with_resources(
+    assignment, model: ResourceModel
+) -> bool:
+    """Blocking-aware RTA across all cores of an assignment."""
+    for core in assignment.cores:
+        analysis = core_schedulable_with_resources(core.entries, model)
+        if not analysis.schedulable:
+            return False
+    return True
+
+
+def npcs_model(model: ResourceModel) -> ResourceModel:
+    """Rewrite every section to guard one global resource — ceilings all
+    become the top priority, turning IPCP into non-preemptive sections."""
+    npcs = ResourceModel()
+    for task_name, sections in model.sections.items():
+        for section in sections:
+            npcs.add(
+                task_name,
+                type(section)(
+                    resource="__npcs__",
+                    start=section.start,
+                    duration=section.duration,
+                ),
+            )
+    return npcs

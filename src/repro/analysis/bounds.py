@@ -1,0 +1,82 @@
+"""Classic utilization-based schedulability bounds for rate-monotonic
+scheduling.
+
+These are the polynomial-time tests used by the SPA1/SPA2 semi-partitioned
+algorithms (Guan et al., RTAS 2010 — the paper's reference [4]) and by the
+utilization-bound baselines:
+
+* **Liu & Layland (1973)**: a set of ``n`` implicit-deadline tasks is RM
+  schedulable on one processor if ``U <= n (2^{1/n} - 1)``; the bound tends
+  to ``ln 2 ~= 0.693`` as ``n`` grows.
+* **Hyperbolic bound (Bini & Buttazzo, 2003)**: schedulable if
+  ``prod (u_i + 1) <= 2`` — strictly dominates Liu & Layland.
+* **SPA light-task threshold**: SPA1 achieves the Liu & Layland bound for
+  task sets where every task satisfies ``u <= Theta / (1 + Theta)`` with
+  ``Theta = Theta(n)``; heavier tasks need SPA2's pre-assignment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def liu_layland_bound(n: int) -> float:
+    """``Theta(n) = n (2^{1/n} - 1)``, the RM utilization bound for n tasks.
+
+    >>> round(liu_layland_bound(1), 6)
+    1.0
+    >>> round(liu_layland_bound(2), 6)
+    0.828427
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def liu_layland_schedulable(utilizations: Sequence[float]) -> bool:
+    """Sufficient RM test: total utilization within Theta(n)."""
+    n = len(utilizations)
+    if n == 0:
+        return True
+    return sum(utilizations) <= liu_layland_bound(n) + 1e-12
+
+
+def hyperbolic_schedulable(utilizations: Iterable[float]) -> bool:
+    """Sufficient RM test: ``prod (u_i + 1) <= 2`` (Bini & Buttazzo).
+
+    >>> hyperbolic_schedulable([0.5, 0.3])
+    True
+    >>> hyperbolic_schedulable([0.9, 0.9])
+    False
+    """
+    product = 1.0
+    for u in utilizations:
+        product *= u + 1.0
+        if product > 2.0 + 1e-12:
+            return False
+    return True
+
+
+def spa_light_threshold(n: int) -> float:
+    """Maximum 'light task' utilization for SPA1: Theta(n)/(1 + Theta(n)).
+
+    Tasks above this threshold are *heavy*; SPA1's utilization-bound proof
+    requires all tasks light, SPA2 pre-assigns heavy tasks to avoid
+    splitting them.
+    """
+    theta = liu_layland_bound(n)
+    return theta / (1.0 + theta)
+
+
+def worst_case_partitioned_utilization(m: int) -> float:
+    """The folk bound the paper's introduction cites: in the worst case only
+    about half the platform can be used by pure partitioning.
+
+    With ``m`` processors and tasks of utilization ``0.5 + eps``, only one
+    task fits per processor, so the achievable worst-case utilization is
+    ``(m + 1) / 2`` task-loads, i.e. a ratio tending to 1/2.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return (m + 1) / (2.0 * m)

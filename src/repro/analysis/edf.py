@@ -1,0 +1,131 @@
+"""EDF schedulability analysis (uniprocessor).
+
+Extension beyond the paper (DESIGN.md §7): the dynamic-priority side of the
+comparison.  For one processor:
+
+* implicit deadlines — EDF is optimal: schedulable iff ``U <= 1``
+  (Liu & Layland);
+* constrained deadlines — processor-demand analysis: schedulable iff
+  ``U <= 1`` and for every absolute deadline ``t`` in the testing set,
+  ``dbf(t) <= t``, where the demand bound function is
+
+      dbf(t) = sum over tasks of  max(0, floor((t - D_i) / T_i) + 1) * C_i
+
+  The testing set is bounded by Baruah's busy-period argument; we use the
+  classic La/Lb bound and enumerate deadlines up to it (exact test).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.model.task import Task
+
+#: A task for demand analysis: (wcet, period, deadline).
+DemandTask = Tuple[int, int, int]
+
+
+def _as_triples(tasks: Iterable) -> List[DemandTask]:
+    triples = []
+    for task in tasks:
+        if isinstance(task, tuple):
+            triples.append(task)
+        else:
+            triples.append((task.wcet, task.period, task.deadline))
+    return triples
+
+
+def demand_bound(tasks: Iterable, t: int) -> int:
+    """Total execution demand of jobs with release and deadline in [0, t].
+
+    >>> demand_bound([(2, 5, 5)], 5)
+    2
+    >>> demand_bound([(2, 5, 5)], 4)
+    0
+    >>> demand_bound([(2, 5, 5)], 10)
+    4
+    """
+    total = 0
+    for wcet, period, deadline in _as_triples(tasks):
+        if t >= deadline:
+            total += ((t - deadline) // period + 1) * wcet
+    return total
+
+
+def edf_test_limit(tasks: Sequence[DemandTask]) -> int:
+    """Upper bound on deadlines that must be checked (busy-period bound)."""
+    triples = _as_triples(tasks)
+    utilization = sum(c / t for c, t, _d in triples)
+    if utilization > 1.0:
+        return 0
+    hyper_like = max((t for _c, t, _d in triples), default=0)
+    # La: max over tasks of (T_i - D_i) * U_i / (1 - U), plus the largest
+    # deadline; guard the denominator for U == 1.
+    if utilization < 1.0:
+        la = sum(
+            max(0, (t - d)) * (c / t) for c, t, d in triples
+        ) / (1.0 - utilization)
+    else:
+        la = float("inf")
+    lb = _busy_period(triples)
+    candidates = [value for value in (la, lb) if value != float("inf")]
+    limit = int(math.ceil(min(candidates))) if candidates else lb
+    return max(limit, hyper_like)
+
+
+def _busy_period(triples: Sequence[DemandTask]) -> int:
+    """Length of the synchronous busy period (fixed point of the workload)."""
+    total_wcet = sum(c for c, _t, _d in triples)
+    if total_wcet == 0:
+        return 0
+    length = total_wcet
+    while True:
+        demand = sum(
+            -(-length // t) * c for c, t, _d in triples
+        )  # ceil(length/T) * C
+        if demand == length:
+            return length
+        if demand > 2**63:  # pragma: no cover - overload guard
+            return length
+        length = demand
+
+
+def edf_schedulable(tasks: Iterable) -> bool:
+    """Exact uniprocessor EDF test (processor demand analysis).
+
+    Accepts ``Task`` objects or ``(wcet, period, deadline)`` triples.
+
+    >>> edf_schedulable([(5, 10, 10), (5, 10, 10)])
+    True
+    >>> edf_schedulable([(6, 10, 10), (5, 10, 10)])
+    False
+    >>> edf_schedulable([(3, 10, 5), (3, 10, 5)])
+    False
+    """
+    triples = _as_triples(tasks)
+    if not triples:
+        return True
+    utilization = sum(c / t for c, t, _d in triples)
+    if utilization > 1.0 + 1e-12:
+        return False
+    if all(d == t for _c, t, d in triples):
+        return True  # implicit deadlines: U <= 1 is exact
+    limit = edf_test_limit(triples)
+    # Enumerate absolute deadlines up to the limit.
+    checkpoints = set()
+    for wcet, period, deadline in triples:
+        point = deadline
+        while point <= limit:
+            checkpoints.add(point)
+            point += period
+    for t in sorted(checkpoints):
+        if demand_bound(triples, t) > t:
+            return False
+    return True
+
+
+def edf_utilization_schedulable(tasks: Iterable) -> bool:
+    """Implicit-deadline shortcut: schedulable iff U <= 1."""
+    triples = _as_triples(tasks)
+    return sum(c / t for c, t, _d in triples) <= 1.0 + 1e-12

@@ -1,0 +1,63 @@
+"""Global multiprocessor schedulability tests (extension, DESIGN.md §7).
+
+The paper's introduction contrasts partitioning against "the global
+approach, [where] each task can execute on any available processor at run
+time" and cites the finding that partitioning is superior for hard
+real-time systems.  These classic sufficient tests for global scheduling
+let the evaluation harness show that comparison:
+
+* **GFB** (Goossens, Funk & Baruah 2003) for global EDF on ``m``
+  processors: schedulable if ``U <= m - (m - 1) * U_max``;
+* **RM-US[m/(3m-2)]** (Andersson, Baruah & Jonsson 2001) for global
+  fixed-priority: tasks heavier than ``m / (3m - 2)`` get top priority,
+  the rest rate-monotonic; schedulable if ``U <= m^2 / (3m - 2)``.
+
+Both are *sufficient only* and notoriously pessimistic — which is exactly
+the point the comparison makes.
+"""
+
+from __future__ import annotations
+
+from repro.model.taskset import TaskSet
+
+
+def global_edf_gfb_schedulable(taskset: TaskSet, m: int) -> bool:
+    """GFB density test for global EDF (implicit deadlines).
+
+    >>> from repro.model.task import Task
+    >>> ts = TaskSet([Task("a", wcet=1, period=2)])
+    >>> global_edf_gfb_schedulable(ts, 2)
+    True
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if len(taskset) == 0:
+        return True
+    u_max = taskset.max_utilization
+    return taskset.total_utilization <= m - (m - 1) * u_max + 1e-12
+
+
+def global_rm_us_schedulable(taskset: TaskSet, m: int) -> bool:
+    """RM-US[m/(3m-2)] utilization test for global fixed-priority.
+
+    >>> from repro.model.task import Task
+    >>> ts = TaskSet([Task("a", wcet=1, period=4), Task("b", wcet=1, period=4)])
+    >>> global_rm_us_schedulable(ts, 2)
+    True
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if len(taskset) == 0:
+        return True
+    bound = m * m / (3 * m - 2)
+    return taskset.total_utilization <= bound + 1e-12
+
+
+def global_edf_bound(m: int, u_max: float) -> float:
+    """The GFB capacity for a given largest task utilization."""
+    return m - (m - 1) * u_max
+
+
+def global_rm_us_bound(m: int) -> float:
+    """The RM-US capacity ``m^2 / (3m - 2)`` (tends to m/3)."""
+    return m * m / (3 * m - 2)

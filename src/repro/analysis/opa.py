@@ -1,0 +1,91 @@
+"""Audsley's Optimal Priority Assignment (OPA).
+
+Extension (DESIGN.md §7).  For uniprocessor preemptive fixed-priority
+scheduling, rate- and deadline-monotonic orderings are optimal only for
+synchronous task sets without release jitter.  With jitter — which split
+subtasks carry — **Audsley's algorithm** (1991) is optimal: it assigns the
+*lowest* priority to any entry that is schedulable there (its verdict at
+the bottom does not depend on the relative order of the others), recurses
+on the rest, and fails only if no entry can take the lowest slot, in which
+case *no* priority ordering works.
+
+The implementation operates on the same :class:`~repro.model.assignment.Entry`
+objects as the rest of the analysis.  Body subtasks keep their fixed
+top-of-core position (their budgets were frozen under that assumption);
+OPA permutes only the NORMAL/TAIL entries below them.
+
+``opa_admission`` plugs into the partitioning heuristics as a drop-in,
+strictly-more-permissive replacement for ``rta_admission``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.rta import response_time
+from repro.model.assignment import Entry, EntryKind
+
+
+def _schedulable_at_bottom(
+    entry: Entry, others: Sequence[Entry]
+) -> bool:
+    """Is ``entry`` schedulable at the lowest priority among ``others``?"""
+    higher = [(e.budget, e.period, e.jitter) for e in others]
+    return response_time(entry.budget, higher, entry.deadline) is not None
+
+
+def opa_order(entries: Sequence[Entry]) -> Optional[List[Entry]]:
+    """Find a feasible priority order (highest first), or ``None``.
+
+    Body subtasks are pinned above everything in their creation order;
+    the remaining entries are ordered by Audsley's algorithm.  Returns the
+    full ordered list (bodies first) on success.
+    """
+    bodies = sorted(
+        (e for e in entries if e.kind == EntryKind.BODY),
+        key=lambda e: (e.body_rank, e.task.name),
+    )
+    flexible = [e for e in entries if e.kind != EntryKind.BODY]
+
+    # Bodies themselves must be verified in their fixed positions.
+    for index, body in enumerate(bodies):
+        higher = [(e.budget, e.period, e.jitter) for e in bodies[:index]]
+        if response_time(body.budget, higher, body.deadline) is None:
+            return None
+
+    assigned_bottom: List[Entry] = []  # lowest priority first
+    remaining = list(flexible)
+    while remaining:
+        placed = False
+        for candidate in remaining:
+            others = bodies + [e for e in remaining if e is not candidate]
+            if _schedulable_at_bottom(candidate, others):
+                assigned_bottom.append(candidate)
+                remaining.remove(candidate)
+                placed = True
+                break
+        if not placed:
+            return None
+    ordered = bodies + list(reversed(assigned_bottom))
+    return ordered
+
+
+def opa_schedulable(entries: Sequence[Entry]) -> bool:
+    """True iff *some* fixed-priority order schedules the core."""
+    return opa_order(entries) is not None
+
+
+def opa_admission(entries: Sequence[Entry]) -> bool:
+    """Partitioning admission test backed by OPA (dominates RTA-with-RM)."""
+    return opa_schedulable(entries)
+
+
+def apply_opa(entries: Sequence[Entry]) -> bool:
+    """Run OPA and, on success, write the found order into the entries'
+    ``local_priority`` fields (0 = highest).  Returns success."""
+    ordered = opa_order(entries)
+    if ordered is None:
+        return False
+    for local_priority, entry in enumerate(ordered):
+        entry.local_priority = local_priority
+    return True

@@ -1,0 +1,87 @@
+"""QPA — Quick Processor-demand Analysis (Zhang & Burns, 2009).
+
+A faster *exact* uniprocessor EDF test for constrained-deadline sporadic
+tasks, equivalent to enumerating every deadline with the demand-bound
+function but typically checking only a handful of points:
+
+1. start at the largest absolute deadline below the busy-period bound
+   ``L``;
+2. iterate ``t <- dbf(t)`` when ``dbf(t) < t``, or ``t <- max deadline
+   strictly below t`` when ``dbf(t) == t``;
+3. stop: schedulable when ``t`` drops below the smallest deadline
+   (equivalently ``dbf(t) <= d_min``), unschedulable the moment
+   ``dbf(t) > t``.
+
+The intuition: the sequence of candidate instants decreases strictly and
+jumps over regions that cannot contain a violation.
+
+Used both as a faster engine and as a cross-check: the property tests
+assert QPA and the enumeration test of :mod:`repro.analysis.edf` return
+identical verdicts on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.edf import (
+    _as_triples,
+    demand_bound,
+    edf_test_limit,
+)
+
+DemandTask = Tuple[int, int, int]
+
+
+def _max_deadline_below(triples: List[DemandTask], t: int) -> Optional[int]:
+    """Largest absolute deadline strictly below ``t`` across all tasks."""
+    best: Optional[int] = None
+    for _c, period, deadline in triples:
+        if deadline >= t:
+            candidate = None
+        else:
+            # Largest deadline + k*period strictly below t.
+            k = (t - 1 - deadline) // period
+            candidate = deadline + k * period
+        if candidate is not None and (best is None or candidate > best):
+            best = candidate
+    return best
+
+
+def qpa_schedulable(tasks: Iterable) -> bool:
+    """Exact EDF test via QPA.
+
+    Accepts ``Task`` objects or ``(wcet, period, deadline)`` triples.
+
+    >>> qpa_schedulable([(5, 10, 10), (5, 10, 10)])
+    True
+    >>> qpa_schedulable([(3, 10, 5), (3, 10, 5)])
+    False
+    """
+    triples = _as_triples(tasks)
+    if not triples:
+        return True
+    utilization = sum(c / t for c, t, _d in triples)
+    if utilization > 1.0 + 1e-12:
+        return False
+    if all(d == t for _c, t, d in triples):
+        return True
+    limit = edf_test_limit(triples)
+    d_min = min(d for _c, _t, d in triples)
+    # Start from the largest deadline <= limit.
+    t = _max_deadline_below(triples, limit + 1)
+    if t is None:
+        return True
+    while t is not None and t > d_min:
+        demand = demand_bound(triples, t)
+        if demand > t:
+            return False
+        if demand < t:
+            t = demand
+            # t may now fall between deadlines; snap down to a deadline.
+            t = _max_deadline_below(triples, t + 1)
+        else:  # demand == t
+            t = _max_deadline_below(triples, t)
+    if t is None:
+        return True
+    return demand_bound(triples, t) <= t

@@ -1,0 +1,144 @@
+"""Per-task sensitivity analysis (extension).
+
+Answers the engineer's questions about an accepted core assignment:
+
+* **slack** — how much later could each entry finish and still meet its
+  deadline (direct from RTA);
+* **WCET margin** — by how much could *one* task's WCET grow, everything
+  else fixed, before the core becomes unschedulable (binary search over
+  the exact analysis) — the classic sensitivity-analysis question
+  (Bini, Di Natale & Buttazzo style, computed numerically);
+* **bottleneck** — the task with the smallest relative margin, i.e. the
+  first thing to break under growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.rta import core_schedulable
+from repro.model.assignment import Entry
+
+
+def _with_budget(entry: Entry, budget: int) -> Entry:
+    clone = Entry(
+        kind=entry.kind,
+        task=entry.task,
+        core=entry.core,
+        budget=entry.task.wcet if entry.subtask is None else budget,
+        subtask=entry.subtask,
+        deadline=entry.deadline,
+        jitter=entry.jitter,
+        local_priority=entry.local_priority,
+        body_rank=entry.body_rank,
+    )
+    # NORMAL entries must keep budget == task.wcet; emulate growth via a
+    # task copy instead.
+    if entry.subtask is None:
+        clone = Entry(
+            kind=entry.kind,
+            task=entry.task.with_wcet(budget),
+            core=entry.core,
+            budget=budget,
+            deadline=entry.deadline,
+            jitter=entry.jitter,
+            local_priority=entry.local_priority,
+            body_rank=entry.body_rank,
+        )
+    return clone
+
+
+def wcet_margin(
+    entries: Sequence[Entry],
+    target_name: str,
+    precision: int = 1000,
+) -> Optional[int]:
+    """Largest additional WCET (ns) the entry named ``target_name`` can
+    absorb with the core still schedulable; None if already unschedulable.
+    """
+    entries = list(entries)
+    target_index = next(
+        (i for i, e in enumerate(entries) if e.name == target_name), None
+    )
+    if target_index is None:
+        raise KeyError(f"no entry named {target_name!r}")
+    if not core_schedulable(entries).schedulable:
+        return None
+    base = entries[target_index].budget
+    ceiling_limit = entries[target_index].deadline  # budget can't pass D
+
+    def ok(extra: int) -> bool:
+        budget = base + extra
+        if budget > ceiling_limit:
+            return False
+        trial = list(entries)
+        trial[target_index] = _with_budget(entries[target_index], budget)
+        return core_schedulable(trial).schedulable
+
+    low, high = 0, ceiling_limit - base
+    if high <= 0:
+        return 0
+    if ok(high):
+        return high
+    while high - low > precision:
+        mid = (low + high) // 2
+        if ok(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+@dataclass
+class SensitivityReport:
+    """Slack and WCET margins for every entry of one core."""
+
+    slack: Dict[str, int]
+    margin: Dict[str, int]
+    budgets: Dict[str, int]
+
+    @property
+    def bottleneck(self) -> Optional[str]:
+        """Entry with the smallest margin relative to its budget."""
+        best_name, best_ratio = None, None
+        for name, margin in self.margin.items():
+            budget = self.budgets.get(name, 1)
+            ratio = margin / budget if budget else float("inf")
+            if best_ratio is None or ratio < best_ratio:
+                best_name, best_ratio = name, ratio
+        return best_name
+
+    def as_table(self) -> str:
+        lines = [
+            f"{'entry':>16} {'budget':>12} {'slack':>12} "
+            f"{'wcet margin':>12} {'growth':>8}"
+        ]
+        for name in self.slack:
+            budget = self.budgets[name]
+            growth = self.margin[name] / budget if budget else 0.0
+            lines.append(
+                f"{name:>16} {budget:>12} {self.slack[name]:>12} "
+                f"{self.margin[name]:>12} {growth:>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def sensitivity_report(
+    entries: Sequence[Entry], precision: int = 1000
+) -> Optional[SensitivityReport]:
+    """Full per-entry sensitivity of one schedulable core (else None)."""
+    analysis = core_schedulable(entries)
+    if not analysis.schedulable:
+        return None
+    slack = {
+        result.entry.name: result.slack for result in analysis.results
+    }
+    margin = {}
+    budgets = {}
+    for entry in entries:
+        budgets[entry.name] = entry.budget
+        margin[entry.name] = wcet_margin(
+            entries, entry.name, precision=precision
+        )
+    return SensitivityReport(slack=slack, margin=margin, budgets=budgets)

@@ -1,0 +1,15 @@
+"""Cache-related preemption and migration delay model.
+
+Section 3 of the paper measures "cache-related overhead" and finds that on a
+shared-L3 machine (Intel Core-i7), the delay after a *migration* and after a
+*local context switch* is "in the same order of magnitude", because in both
+cases the preempted/migrated task's working set has been displaced from the
+private caches (L1/L2) but survives in the shared L3.  Only tasks with very
+small working sets benefit from resuming on the same core.
+
+This package provides the parametric model reproducing that behaviour.
+"""
+
+from repro.cache.model import CacheHierarchy, CachePenaltyModel
+
+__all__ = ["CacheHierarchy", "CachePenaltyModel"]

@@ -1,0 +1,315 @@
+"""Command-line interface.
+
+Exposes the library's main workflows to non-Python users::
+
+    repro list-algorithms
+    repro analyze  --tasks workload.json --cores 4 --algorithm FP-TS \
+                   --overheads paper
+    repro simulate --tasks workload.json --cores 4 --algorithm FP-TS \
+                   --duration-ms 2000 --overheads paper [--gantt]
+    repro sweep    --cores 4 --n-tasks 12 --sets 50 --overheads paper \
+                   --algorithms FP-TS,FFD,WFD
+    repro measure  [--rounds 2000]
+    repro generate --n-tasks 12 --utilization 3.2 --seed 7 --out workload.json
+
+Task files are JSON (see :mod:`repro.model.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.rta import core_schedulable
+from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
+from repro.experiments.algorithms import ALGORITHMS, build_assignment
+from repro.kernel.sim import KernelSim
+from repro.model.generator import TaskSetGenerator
+from repro.model.io import load_taskset, save_taskset
+from repro.model.time import MS
+from repro.overhead.measure import measure_queue_operations
+from repro.overhead.model import OverheadModel
+from repro.trace.gantt import render_gantt
+
+
+def _overhead_model(spec: str, tasks_per_core: int) -> OverheadModel:
+    if spec == "zero":
+        return OverheadModel.zero()
+    if spec == "paper":
+        return OverheadModel.paper_core_i7(tasks_per_core)
+    if spec.startswith("paper*"):
+        return OverheadModel.paper_core_i7(tasks_per_core).scaled(
+            float(spec.split("*", 1)[1])
+        )
+    raise SystemExit(
+        f"unknown overhead spec {spec!r}; use zero | paper | paper*<factor>"
+    )
+
+
+def _cmd_list_algorithms(_args) -> int:
+    width = max(len(name) for name in ALGORITHMS)
+    for name, spec in sorted(ALGORITHMS.items()):
+        print(f"{name:<{width}}  [{spec.kind:>16}]  {spec.description}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    generator = TaskSetGenerator(n_tasks=args.n_tasks, seed=args.seed)
+    taskset = generator.generate(args.utilization)
+    save_taskset(taskset, args.out)
+    print(f"wrote {len(taskset)} tasks (U={taskset.total_utilization:.3f}) "
+          f"to {args.out}")
+    return 0
+
+
+def _prepare(args):
+    taskset = load_taskset(args.tasks).assign_rate_monotonic()
+    tasks_per_core = max(1, len(taskset) // args.cores)
+    model = _overhead_model(args.overheads, tasks_per_core)
+    assignment = build_assignment(args.algorithm, taskset, args.cores, model)
+    return taskset, model, assignment
+
+
+def _cmd_analyze(args) -> int:
+    taskset, _model, assignment = _prepare(args)
+    print(taskset.describe())
+    print()
+    if assignment is None:
+        print(f"{args.algorithm}: REJECTED (not schedulable on "
+              f"{args.cores} cores under the overhead-aware analysis)")
+        return 1
+    print(f"{args.algorithm}: accepted")
+    if getattr(args, "save_assignment", None):
+        from repro.model.io import save_assignment
+
+        save_assignment(assignment, args.save_assignment)
+        print(f"assignment saved to {args.save_assignment}")
+    print(assignment.describe())
+    print("\nworst-case response times:")
+    for core in assignment.cores:
+        analysis = core_schedulable(core.entries)
+        for result in analysis.results:
+            entry = result.entry
+            response = "FAIL" if result.response is None else (
+                f"{result.response / MS:9.3f} ms"
+            )
+            print(
+                f"  core{core.core} {entry.name:<16} R={response}  "
+                f"D={entry.deadline / MS:9.3f} ms"
+            )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if getattr(args, "assignment", None):
+        from repro.model.io import load_assignment
+
+        taskset = load_taskset(args.tasks).assign_rate_monotonic()
+        assignment = load_assignment(args.assignment)
+        model = _overhead_model(
+            args.overheads, max(1, len(taskset) // args.cores)
+        )
+    else:
+        taskset, model, assignment = _prepare(args)
+    if assignment is None:
+        print(f"{args.algorithm}: REJECTED; nothing to simulate")
+        return 1
+    sim = KernelSim(
+        assignment,
+        model,
+        duration=args.duration_ms * MS,
+        record_trace=args.gantt,
+        execution_times={task.name: task.wcet for task in taskset},
+    )
+    result = sim.run()
+    print(
+        f"simulated {args.duration_ms} ms on {args.cores} cores: "
+        f"releases={result.releases} misses={result.miss_count} "
+        f"preemptions={result.preemptions} migrations={result.migrations}"
+    )
+    print(f"scheduler overhead: {100 * result.total_overhead_ratio:.3f}% "
+          f"of the platform")
+    for name in sorted(result.task_stats):
+        stats = result.task_stats[name]
+        print(
+            f"  {name:<16} jobs={stats.jobs_completed:<6} "
+            f"maxR={stats.max_response / MS:9.3f} ms "
+            f"meanR={stats.mean_response / MS:9.3f} ms"
+        )
+    if args.gantt:
+        window = min(args.duration_ms * MS, 50 * MS)
+        print()
+        print(render_gantt(result.trace, args.cores, width=100, end=window))
+    return 0 if result.no_misses else 2
+
+
+def _cmd_sweep(args) -> int:
+    algorithms = tuple(args.algorithms.split(","))
+    model = _overhead_model(
+        args.overheads, max(1, args.n_tasks // args.cores)
+    )
+    config = AcceptanceConfig(
+        n_cores=args.cores,
+        n_tasks=args.n_tasks,
+        sets_per_point=args.sets,
+        overheads=model,
+        algorithms=algorithms,
+        seed=args.seed,
+    )
+    result = run_acceptance(config)
+    print(result.as_table())
+    return 0
+
+
+def _cmd_breakdown(args) -> int:
+    from repro.experiments.breakdown import run_breakdown
+
+    algorithms = tuple(args.algorithms.split(","))
+    model = _overhead_model(
+        args.overheads, max(1, args.n_tasks // args.cores)
+    )
+    result = run_breakdown(
+        algorithms=algorithms,
+        n_cores=args.cores,
+        n_tasks=args.n_tasks,
+        sets=args.sets,
+        seed=args.seed,
+        model=model,
+    )
+    print(result.as_table())
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import run_campaign
+    from repro.overhead.model import OverheadModel as _OM
+
+    algorithms = tuple(args.algorithms.split(","))
+    core_counts = tuple(int(c) for c in args.core_counts.split(","))
+    task_counts = tuple(int(c) for c in args.task_counts.split(","))
+    result = run_campaign(
+        core_counts=core_counts,
+        task_counts=task_counts,
+        algorithms=algorithms,
+        overhead_specs=(
+            ("zero", _OM.zero()),
+            ("paper", _OM.paper_core_i7(4)),
+        ),
+        sets_per_point=args.sets,
+    )
+    print(result.pivot(row_key="algorithm", column_key="n_cores"))
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\n{len(result.records)} records written to {args.csv}")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    print(f"{'N':>4} {'ready max(us)':>14} {'ready mean(us)':>15} "
+          f"{'sleep max(us)':>14} {'sleep mean(us)':>15}")
+    for n in (4, 16, 64):
+        m = measure_queue_operations(n, rounds=args.rounds)
+        print(
+            f"{n:>4} {m.ready_max_ns / 1000:>14.2f} "
+            f"{m.ready_mean_ns / 1000:>15.2f} "
+            f"{m.sleep_max_ns / 1000:>14.2f} "
+            f"{m.sleep_mean_ns / 1000:>15.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semi-partitioned multi-core scheduling toolkit "
+        "(reproduction of Zhang, Guan & Yi, PPES 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "list-algorithms", help="list registered scheduling algorithms"
+    ).set_defaults(fn=_cmd_list_algorithms)
+
+    gen = sub.add_parser("generate", help="generate a random task set")
+    gen.add_argument("--n-tasks", type=int, default=12)
+    gen.add_argument("--utilization", type=float, required=True)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(fn=_cmd_generate)
+
+    def common(p):
+        p.add_argument("--tasks", required=True, help="task-set JSON file")
+        p.add_argument("--cores", type=int, default=4)
+        p.add_argument("--algorithm", default="FP-TS")
+        p.add_argument(
+            "--overheads",
+            default="paper",
+            help="zero | paper | paper*<factor>",
+        )
+
+    analyze = sub.add_parser("analyze", help="run schedulability analysis")
+    common(analyze)
+    analyze.add_argument(
+        "--save-assignment",
+        help="write the accepted assignment to this JSON file",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    simulate = sub.add_parser("simulate", help="simulate an assignment")
+    common(simulate)
+    simulate.add_argument("--duration-ms", type=int, default=1000)
+    simulate.add_argument("--gantt", action="store_true")
+    simulate.add_argument(
+        "--assignment",
+        help="simulate a saved assignment JSON instead of re-partitioning",
+    )
+    simulate.set_defaults(fn=_cmd_simulate)
+
+    sweep = sub.add_parser("sweep", help="acceptance-ratio sweep")
+    sweep.add_argument("--cores", type=int, default=4)
+    sweep.add_argument("--n-tasks", type=int, default=12)
+    sweep.add_argument("--sets", type=int, default=50)
+    sweep.add_argument("--seed", type=int, default=2011)
+    sweep.add_argument("--overheads", default="paper")
+    sweep.add_argument("--algorithms", default="FP-TS,FFD,WFD")
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    measure = sub.add_parser(
+        "measure", help="measure queue-operation costs (paper Section 3)"
+    )
+    measure.add_argument("--rounds", type=int, default=2000)
+    measure.set_defaults(fn=_cmd_measure)
+
+    breakdown = sub.add_parser(
+        "breakdown", help="breakdown-utilization distributions"
+    )
+    breakdown.add_argument("--cores", type=int, default=4)
+    breakdown.add_argument("--n-tasks", type=int, default=12)
+    breakdown.add_argument("--sets", type=int, default=20)
+    breakdown.add_argument("--seed", type=int, default=31)
+    breakdown.add_argument("--overheads", default="zero")
+    breakdown.add_argument("--algorithms", default="FP-TS,FFD,WFD")
+    breakdown.set_defaults(fn=_cmd_breakdown)
+
+    campaign = sub.add_parser(
+        "campaign", help="factorial acceptance campaign with CSV output"
+    )
+    campaign.add_argument("--core-counts", default="2,4")
+    campaign.add_argument("--task-counts", default="8,16")
+    campaign.add_argument("--algorithms", default="FP-TS,FFD,WFD")
+    campaign.add_argument("--sets", type=int, default=15)
+    campaign.add_argument("--csv", help="write long-format CSV here")
+    campaign.set_defaults(fn=_cmd_campaign)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

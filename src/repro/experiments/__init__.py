@@ -1,0 +1,55 @@
+"""Evaluation harness reproducing Section 4 of the paper.
+
+* :mod:`repro.experiments.algorithms` — the algorithm registry (FP-TS, FFD,
+  WFD, and the extensions) with uniform overhead-aware acceptance tests;
+* :mod:`repro.experiments.acceptance` — acceptance-ratio sweeps over
+  normalized utilization (the paper's headline comparison, E3);
+* :mod:`repro.experiments.sensitivity` — overhead-magnitude ablation (E5);
+* :mod:`repro.experiments.validate` — simulation-backed soundness check of
+  accepted task sets (E6);
+* :mod:`repro.experiments.splitting` — split/migration statistics (E7).
+"""
+
+from repro.experiments.algorithms import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    accept,
+    build_assignment,
+)
+from repro.experiments.acceptance import (
+    AcceptanceConfig,
+    AcceptanceResult,
+    run_acceptance,
+)
+from repro.experiments.sensitivity import run_overhead_sensitivity
+from repro.experiments.validate import ValidationReport, validate_by_simulation
+from repro.experiments.splitting import SplittingStats, splitting_statistics
+from repro.experiments.breakdown import (
+    BreakdownResult,
+    critical_scaling_factor,
+    run_breakdown,
+)
+from repro.experiments.campaign import CampaignResult, run_campaign
+from repro.experiments.plot import acceptance_plot, ascii_plot
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "accept",
+    "build_assignment",
+    "AcceptanceConfig",
+    "AcceptanceResult",
+    "run_acceptance",
+    "run_overhead_sensitivity",
+    "ValidationReport",
+    "validate_by_simulation",
+    "SplittingStats",
+    "splitting_statistics",
+    "BreakdownResult",
+    "critical_scaling_factor",
+    "run_breakdown",
+    "CampaignResult",
+    "run_campaign",
+    "acceptance_plot",
+    "ascii_plot",
+]

@@ -1,0 +1,119 @@
+"""Acceptance-ratio experiment (the paper's Section 4 comparison, E3).
+
+For each normalized utilization level ``u`` the harness generates
+``sets_per_point`` random task sets with total utilization ``u * m``, runs
+every registered algorithm's overhead-aware acceptance test, and reports
+the fraction accepted — the *acceptance ratio* curves that Section 4
+summarises as "semi-partitioned scheduling indeed outperforms partitioned
+scheduling in the presence of realistic run-time overheads".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.algorithms import accept
+from repro.model.generator import TaskSetGenerator
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+
+
+def default_utilization_grid() -> List[float]:
+    """Normalized utilization points 0.600, 0.625, ..., 1.000."""
+    return [round(0.600 + 0.025 * i, 3) for i in range(17)]
+
+
+@dataclass
+class AcceptanceConfig:
+    """Parameters of one acceptance-ratio sweep."""
+
+    n_cores: int = 4
+    n_tasks: int = 12
+    sets_per_point: int = 100
+    utilizations: Sequence[float] = field(
+        default_factory=default_utilization_grid
+    )
+    seed: int = 2011
+    overheads: OverheadModel = field(default_factory=OverheadModel.zero)
+    algorithms: Sequence[str] = ("FP-TS", "FFD", "WFD")
+    period_min: int = 10 * MS
+    period_max: int = 1000 * MS
+
+
+@dataclass
+class AcceptanceResult:
+    """Acceptance ratios: ``ratios[algorithm][i]`` for ``utilizations[i]``."""
+
+    config: AcceptanceConfig
+    utilizations: List[float]
+    ratios: Dict[str, List[float]]
+
+    def ratio_at(self, algorithm: str, utilization: float) -> float:
+        index = self.utilizations.index(utilization)
+        return self.ratios[algorithm][index]
+
+    def weighted_acceptance(self, algorithm: str) -> float:
+        """Mean acceptance over the sweep (area under the curve)."""
+        values = self.ratios[algorithm]
+        return sum(values) / len(values) if values else 0.0
+
+    def weighted_schedulability(self, algorithm: str) -> float:
+        """Bastoni-style weighted schedulability: acceptance weighted by
+        utilization, emphasising the high-load region where algorithms
+        actually differ:  W = sum(u_i * S(u_i)) / sum(u_i)."""
+        ratios = self.ratios[algorithm]
+        weight_total = sum(self.utilizations)
+        if weight_total == 0:
+            return 0.0
+        return (
+            sum(u * s for u, s in zip(self.utilizations, ratios))
+            / weight_total
+        )
+
+    def breakdown_utilization(
+        self, algorithm: str, threshold: float = 0.5
+    ) -> Optional[float]:
+        """First normalized utilization where acceptance drops below
+        ``threshold`` — the 'collapse point' of the algorithm."""
+        for u, ratio in zip(self.utilizations, self.ratios[algorithm]):
+            if ratio < threshold:
+                return u
+        return None
+
+    def as_table(self) -> str:
+        algorithms = list(self.ratios)
+        header = f"{'U/m':>6} " + " ".join(f"{a:>8}" for a in algorithms)
+        lines = [header]
+        for i, u in enumerate(self.utilizations):
+            row = f"{u:>6.3f} " + " ".join(
+                f"{self.ratios[a][i]:>8.3f}" for a in algorithms
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_acceptance(config: AcceptanceConfig) -> AcceptanceResult:
+    """Execute the sweep.  Deterministic for a fixed config/seed."""
+    ratios: Dict[str, List[float]] = {name: [] for name in config.algorithms}
+    for point_index, normalized in enumerate(config.utilizations):
+        total = normalized * config.n_cores
+        generator = TaskSetGenerator(
+            n_tasks=config.n_tasks,
+            seed=config.seed + 7919 * point_index,
+            period_min=config.period_min,
+            period_max=config.period_max,
+        )
+        tasksets = generator.generate_many(total, config.sets_per_point)
+        for name in config.algorithms:
+            accepted = sum(
+                1
+                for ts in tasksets
+                if accept(name, ts, config.n_cores, config.overheads)
+            )
+            ratios[name].append(accepted / len(tasksets))
+    return AcceptanceResult(
+        config=config,
+        utilizations=list(config.utilizations),
+        ratios=ratios,
+    )

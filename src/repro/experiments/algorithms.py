@@ -1,0 +1,239 @@
+"""Algorithm registry with uniform overhead-aware acceptance semantics.
+
+Every algorithm is exposed as: *given a (raw) rate-monotonic task set, a
+core count and an overhead model, does the overhead-aware schedulability
+analysis accept the set, and what assignment does it produce?*
+
+Overheads enter exactly as Section 4 of the paper describes — folded into
+the analysis:
+
+* every task's WCET is inflated by the per-job charge
+  (:func:`repro.overhead.accounting.per_job_overhead`);
+* FP-TS additionally reserves the per-migration charge for every subtask
+  boundary it creates (``FptsConfig.split_cost``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.analysis.global_bounds import (
+    global_edf_gfb_schedulable,
+    global_rm_us_schedulable,
+)
+from repro.model.assignment import Assignment
+from repro.model.taskset import TaskSet
+from repro.overhead.accounting import inflate_taskset
+from repro.overhead.model import OverheadModel
+from repro.partition.edf import partition_edf_first_fit
+from repro.partition.heuristics import (
+    partition_best_fit_decreasing,
+    partition_first_fit_decreasing,
+    partition_next_fit_decreasing,
+    partition_worst_fit_decreasing,
+)
+from repro.semipart.cd_split import CdSplitConfig, cd_split_partition
+from repro.semipart.fpts import FptsConfig, fpts_partition
+from repro.semipart.pdms import PdmsConfig, pdms_hpts_partition
+from repro.semipart.spa import spa1_partition, spa2_partition
+
+PartitionFn = Callable[[TaskSet, int, OverheadModel], Optional[Assignment]]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered scheduling algorithm."""
+
+    name: str
+    kind: str  # "partitioned" | "semi-partitioned"
+    fn: PartitionFn
+    description: str
+
+
+def _with_inflation(
+    partition: Callable[[TaskSet, int], Optional[Assignment]],
+) -> PartitionFn:
+    def run(
+        taskset: TaskSet, n_cores: int, model: OverheadModel
+    ) -> Optional[Assignment]:
+        inflated = inflate_taskset(taskset, model)
+        return partition(inflated, n_cores)
+
+    return run
+
+
+def _global_edf(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
+    """GFB acceptance; returns a placeholder assignment (global scheduling
+    produces no partition — simulate with :class:`repro.kernel.GlobalSim`)."""
+    if global_edf_gfb_schedulable(taskset, n_cores):
+        return Assignment(n_cores)
+    return None
+
+
+def _global_rm(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
+    """RM-US acceptance; placeholder assignment as for ``_global_edf``."""
+    if global_rm_us_schedulable(taskset, n_cores):
+        return Assignment(n_cores)
+    return None
+
+
+def _fpts(
+    taskset: TaskSet, n_cores: int, model: OverheadModel
+) -> Optional[Assignment]:
+    inflated = inflate_taskset(taskset, model)
+    max_wss = max((task.wss for task in taskset), default=0)
+    return fpts_partition(
+        inflated, n_cores, FptsConfig.from_model(model, cpmd_wss=max_wss)
+    )
+
+
+def _cd_split(
+    taskset: TaskSet, n_cores: int, model: OverheadModel
+) -> Optional[Assignment]:
+    inflated = inflate_taskset(taskset, model)
+    max_wss = max((task.wss for task in taskset), default=0)
+    return cd_split_partition(
+        inflated, n_cores, CdSplitConfig.from_model(model, cpmd_wss=max_wss)
+    )
+
+
+def _pdms(
+    taskset: TaskSet, n_cores: int, model: OverheadModel
+) -> Optional[Assignment]:
+    from repro.overhead.accounting import (
+        migration_in_overhead,
+        migration_out_overhead,
+    )
+
+    inflated = inflate_taskset(taskset, model)
+    max_wss = max((task.wss for task in taskset), default=0)
+    config = PdmsConfig(
+        split_cost=migration_in_overhead(model, max_wss),
+        split_cost_out=migration_out_overhead(model),
+    )
+    return pdms_hpts_partition(inflated, n_cores, config)
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    "FP-TS": AlgorithmSpec(
+        name="FP-TS",
+        kind="semi-partitioned",
+        fn=_fpts,
+        description=(
+            "Fixed-priority semi-partitioned scheduling with RTA-based "
+            "task splitting (the algorithm the paper implements)"
+        ),
+    ),
+    "FFD": AlgorithmSpec(
+        name="FFD",
+        kind="partitioned",
+        fn=_with_inflation(partition_first_fit_decreasing),
+        description="First-fit decreasing partitioned RM (paper baseline)",
+    ),
+    "WFD": AlgorithmSpec(
+        name="WFD",
+        kind="partitioned",
+        fn=_with_inflation(partition_worst_fit_decreasing),
+        description="Worst-fit decreasing partitioned RM (paper baseline)",
+    ),
+    "BFD": AlgorithmSpec(
+        name="BFD",
+        kind="partitioned",
+        fn=_with_inflation(partition_best_fit_decreasing),
+        description="Best-fit decreasing partitioned RM (extension)",
+    ),
+    "NFD": AlgorithmSpec(
+        name="NFD",
+        kind="partitioned",
+        fn=_with_inflation(partition_next_fit_decreasing),
+        description="Next-fit decreasing partitioned RM (extension)",
+    ),
+    "SPA1": AlgorithmSpec(
+        name="SPA1",
+        kind="semi-partitioned",
+        fn=_with_inflation(spa1_partition),
+        description=(
+            "Utilization-bound semi-partitioning, light tasks only "
+            "(Guan et al. RTAS'10, reconstruction)"
+        ),
+    ),
+    "SPA2": AlgorithmSpec(
+        name="SPA2",
+        kind="semi-partitioned",
+        fn=_with_inflation(spa2_partition),
+        description=(
+            "Utilization-bound semi-partitioning with heavy-task "
+            "pre-assignment (Guan et al. RTAS'10, reconstruction)"
+        ),
+    ),
+    "PDMS": AlgorithmSpec(
+        name="PDMS",
+        kind="semi-partitioned",
+        fn=_pdms,
+        description=(
+            "Highest-priority task splitting (PDMS_HPTS, Lakshmanan et "
+            "al. 2009, extension)"
+        ),
+    ),
+    "C=D": AlgorithmSpec(
+        name="C=D",
+        kind="semi-partitioned",
+        fn=_cd_split,
+        description=(
+            "Semi-partitioned EDF with C=D task splitting "
+            "(Burns et al. 2012, extension)"
+        ),
+    ),
+    "P-EDF": AlgorithmSpec(
+        name="P-EDF",
+        kind="partitioned",
+        fn=_with_inflation(partition_edf_first_fit),
+        description=(
+            "Partitioned EDF, first-fit decreasing, exact demand-bound "
+            "admission (extension)"
+        ),
+    ),
+    "G-EDF": AlgorithmSpec(
+        name="G-EDF",
+        kind="global",
+        fn=_with_inflation(_global_edf),
+        description="Global EDF, GFB density test (extension baseline)",
+    ),
+    "G-RM": AlgorithmSpec(
+        name="G-RM",
+        kind="global",
+        fn=_with_inflation(_global_rm),
+        description=(
+            "Global fixed-priority, RM-US[m/(3m-2)] utilization test "
+            "(extension baseline)"
+        ),
+    ),
+}
+
+
+def build_assignment(
+    algorithm: str,
+    taskset: TaskSet,
+    n_cores: int,
+    model: OverheadModel = OverheadModel.zero(),
+) -> Optional[Assignment]:
+    """Run ``algorithm`` and return its assignment (None = rejected)."""
+    try:
+        spec = ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}"
+        ) from None
+    return spec.fn(taskset, n_cores, model)
+
+
+def accept(
+    algorithm: str,
+    taskset: TaskSet,
+    n_cores: int,
+    model: OverheadModel = OverheadModel.zero(),
+) -> bool:
+    """True iff the overhead-aware analysis accepts the task set."""
+    return build_assignment(algorithm, taskset, n_cores, model) is not None

@@ -1,0 +1,144 @@
+"""Factorial experiment campaigns (extension).
+
+Runs the acceptance experiment over a grid of platform/workload
+configurations — core counts x task counts x algorithms x overhead models
+— and collects long-format records suitable for external analysis (CSV)
+plus quick pivot summaries.  This is the harness a paper's full evaluation
+section would drive.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
+from repro.overhead.model import OverheadModel
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One (configuration, utilization, algorithm) acceptance measurement."""
+
+    n_cores: int
+    n_tasks: int
+    overheads: str
+    algorithm: str
+    utilization: float
+    acceptance: float
+
+
+@dataclass
+class CampaignResult:
+    records: List[CampaignRecord] = field(default_factory=list)
+
+    def filtered(self, **criteria) -> List[CampaignRecord]:
+        out = self.records
+        for key, value in criteria.items():
+            out = [r for r in out if getattr(r, key) == value]
+        return out
+
+    def mean_acceptance(self, **criteria) -> float:
+        rows = self.filtered(**criteria)
+        if not rows:
+            return 0.0
+        return sum(r.acceptance for r in rows) / len(rows)
+
+    def pivot(
+        self, row_key: str = "algorithm", column_key: str = "n_cores"
+    ) -> str:
+        """Text pivot table of mean acceptance."""
+        rows = sorted({getattr(r, row_key) for r in self.records}, key=str)
+        columns = sorted(
+            {getattr(r, column_key) for r in self.records}, key=str
+        )
+        header = row_key + "/" + column_key
+        lines = [
+            f"{header:>16} " + " ".join(f"{str(c):>8}" for c in columns)
+        ]
+        for row in rows:
+            cells = []
+            for column in columns:
+                value = self.mean_acceptance(
+                    **{row_key: row, column_key: column}
+                )
+                cells.append(f"{value:>8.3f}")
+            lines.append(f"{str(row):>16} " + " ".join(cells))
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            [
+                "n_cores",
+                "n_tasks",
+                "overheads",
+                "algorithm",
+                "utilization",
+                "acceptance",
+            ]
+        )
+        for r in self.records:
+            writer.writerow(
+                [
+                    r.n_cores,
+                    r.n_tasks,
+                    r.overheads,
+                    r.algorithm,
+                    f"{r.utilization:.4f}",
+                    f"{r.acceptance:.4f}",
+                ]
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+
+def run_campaign(
+    core_counts: Sequence[int] = (2, 4, 8),
+    task_counts: Sequence[int] = (8, 16),
+    algorithms: Sequence[str] = ("FP-TS", "FFD", "WFD"),
+    overhead_specs: Sequence[Tuple[str, OverheadModel]] = (
+        ("zero", OverheadModel.zero()),
+    ),
+    utilizations: Sequence[float] = (0.7, 0.8, 0.9, 0.95),
+    sets_per_point: int = 25,
+    seed: int = 404,
+) -> CampaignResult:
+    """Run the full factorial grid; deterministic for fixed arguments."""
+    result = CampaignResult()
+    for n_cores in core_counts:
+        for n_tasks in task_counts:
+            if n_tasks < n_cores:
+                continue
+            for overhead_name, model in overhead_specs:
+                config = AcceptanceConfig(
+                    n_cores=n_cores,
+                    n_tasks=n_tasks,
+                    sets_per_point=sets_per_point,
+                    utilizations=list(utilizations),
+                    overheads=model,
+                    algorithms=tuple(algorithms),
+                    seed=seed + 31 * n_cores + 7 * n_tasks,
+                )
+                sweep = run_acceptance(config)
+                for algorithm in algorithms:
+                    for u, acceptance in zip(
+                        sweep.utilizations, sweep.ratios[algorithm]
+                    ):
+                        result.records.append(
+                            CampaignRecord(
+                                n_cores=n_cores,
+                                n_tasks=n_tasks,
+                                overheads=overhead_name,
+                                algorithm=algorithm,
+                                utilization=u,
+                                acceptance=acceptance,
+                            )
+                        )
+    return result

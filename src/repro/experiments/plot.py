@@ -1,0 +1,99 @@
+"""ASCII line plots for experiment results.
+
+Matplotlib-free rendering of acceptance curves and generic (x, y) series —
+the environment this reproduction targets is offline/terminal-only, so the
+harness renders its own figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: Optional[float] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more named series on a character grid.
+
+    Each series gets a marker (its name's first character, upper-cased;
+    collisions fall back to digits); overlapping points show ``*``.
+
+    >>> text = ascii_plot({"up": [0, 1], "down": [1, 0]}, [0, 1], width=8,
+    ...                   height=4)
+    >>> "U" in text and "D" in text
+    True
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("every series must match x_values in length")
+    if y_max is None:
+        y_max = max(
+            (max(values) for values in series.values() if values),
+            default=1.0,
+        )
+        y_max = max(y_max, y_min + 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    used = set()
+    fallback = iter("0123456789")
+    for name in series:
+        marker = name[0].upper()
+        if marker in used:
+            marker = next(fallback)
+        used.add(marker)
+        markers[name] = marker
+
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_max - y_min, 1e-12)
+
+    for name, values in series.items():
+        marker = markers[name]
+        for x, y in zip(x_values, values):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "*"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:8.2f} |"
+        elif row_index == height - 1:
+            label = f"{y_min:8.2f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f" {x_lo:<12g}{x_label:^{max(0, width - 26)}}{x_hi:>12g}"
+    )
+    legend = "   ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(" " * 9 + f" [{legend}]  (* = overlap)   y: {y_label}")
+    return "\n".join(lines)
+
+
+def acceptance_plot(result, width: int = 64, height: int = 14) -> str:
+    """Plot an :class:`~repro.experiments.acceptance.AcceptanceResult`."""
+    return ascii_plot(
+        {name: ratios for name, ratios in result.ratios.items()},
+        result.utilizations,
+        width=width,
+        height=height,
+        y_min=0.0,
+        y_max=1.0,
+        x_label="normalized utilization U/m",
+        y_label="acceptance ratio",
+    )

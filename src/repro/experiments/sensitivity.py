@@ -1,0 +1,64 @@
+"""Overhead-magnitude sensitivity ablation (E5).
+
+The paper's conclusion is that "the extra overhead caused by task splitting
+in semi-partitioned scheduling is very low, and its effect on the system
+schedulability is very small".  This experiment quantifies that: the same
+acceptance sweep is repeated with the overhead model scaled by a range of
+factors (0 = pure theory, 1 = paper-calibrated, 10/100 = inflated), showing
+how far overheads must grow before the curves move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.acceptance import (
+    AcceptanceConfig,
+    AcceptanceResult,
+    run_acceptance,
+)
+from repro.overhead.model import OverheadModel
+
+
+@dataclass
+class SensitivityResult:
+    """Acceptance results per overhead scale factor."""
+
+    factors: List[float]
+    results: Dict[float, AcceptanceResult]
+
+    def delta_vs_zero(self, algorithm: str, factor: float) -> float:
+        """Drop in mean acceptance caused by overheads at ``factor``."""
+        base = self.results[0.0].weighted_acceptance(algorithm)
+        scaled = self.results[factor].weighted_acceptance(algorithm)
+        return base - scaled
+
+    def as_table(self, algorithm: str) -> str:
+        lines = [f"overhead sensitivity of {algorithm}"]
+        lines.append(f"{'factor':>8} {'mean-acceptance':>16} {'delta':>8}")
+        base = self.results[self.factors[0]].weighted_acceptance(algorithm)
+        for factor in self.factors:
+            mean = self.results[factor].weighted_acceptance(algorithm)
+            lines.append(f"{factor:>8.1f} {mean:>16.4f} {base - mean:>8.4f}")
+        return "\n".join(lines)
+
+
+def run_overhead_sensitivity(
+    base_config: AcceptanceConfig,
+    factors: Sequence[float] = (0.0, 1.0, 10.0, 100.0),
+    base_model: OverheadModel = None,
+) -> SensitivityResult:
+    """Repeat the acceptance sweep with scaled overhead models."""
+    if base_model is None:
+        base_model = OverheadModel.paper_core_i7(
+            tasks_per_core=max(1, base_config.n_tasks // base_config.n_cores)
+        )
+    results: Dict[float, AcceptanceResult] = {}
+    for factor in factors:
+        model = (
+            OverheadModel.zero() if factor == 0.0 else base_model.scaled(factor)
+        )
+        config = replace(base_config, overheads=model)
+        results[factor] = run_acceptance(config)
+    return SensitivityResult(factors=list(factors), results=results)

@@ -1,0 +1,109 @@
+"""Splitting and migration statistics (E7, ablation).
+
+The paper's "major concern about semi-partitioned scheduling" is the extra
+context-switch overhead caused by task splitting.  This experiment measures
+how much splitting FP-TS actually performs as utilization grows: the number
+of split tasks per accepted set, subtasks per split, and the migration rate
+the splits induce at run time (migrations per second, analytically
+``sum over split tasks of (k_i - 1) / T_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.algorithms import build_assignment
+from repro.model.generator import TaskSetGenerator
+from repro.model.time import MS, SEC
+from repro.overhead.model import OverheadModel
+
+
+@dataclass
+class SplittingStats:
+    """Aggregates for one normalized-utilization point."""
+
+    normalized_utilization: float
+    sets_accepted: int = 0
+    sets_total: int = 0
+    split_tasks_total: int = 0
+    subtasks_total: int = 0
+    migrations_per_second_total: float = 0.0
+
+    @property
+    def acceptance(self) -> float:
+        return self.sets_accepted / self.sets_total if self.sets_total else 0.0
+
+    @property
+    def mean_split_tasks(self) -> float:
+        if not self.sets_accepted:
+            return 0.0
+        return self.split_tasks_total / self.sets_accepted
+
+    @property
+    def mean_subtasks_per_split(self) -> float:
+        if not self.split_tasks_total:
+            return 0.0
+        return self.subtasks_total / self.split_tasks_total
+
+    @property
+    def mean_migrations_per_second(self) -> float:
+        if not self.sets_accepted:
+            return 0.0
+        return self.migrations_per_second_total / self.sets_accepted
+
+
+def splitting_statistics(
+    utilizations: Sequence[float] = (0.6, 0.7, 0.8, 0.9, 0.95, 1.0),
+    algorithm: str = "FP-TS",
+    n_cores: int = 4,
+    n_tasks: int = 12,
+    sets_per_point: int = 50,
+    seed: int = 11,
+    model: OverheadModel = OverheadModel.zero(),
+    period_min: int = 10 * MS,
+    period_max: int = 1000 * MS,
+) -> List[SplittingStats]:
+    """Measure split structure produced by ``algorithm`` across utilizations."""
+    rows: List[SplittingStats] = []
+    for point_index, normalized in enumerate(utilizations):
+        stats = SplittingStats(normalized_utilization=normalized)
+        generator = TaskSetGenerator(
+            n_tasks=n_tasks,
+            seed=seed + 104729 * point_index,
+            period_min=period_min,
+            period_max=period_max,
+        )
+        for _ in range(sets_per_point):
+            taskset = generator.generate(normalized * n_cores)
+            stats.sets_total += 1
+            assignment = build_assignment(algorithm, taskset, n_cores, model)
+            if assignment is None:
+                continue
+            stats.sets_accepted += 1
+            stats.split_tasks_total += assignment.n_split_tasks
+            migrations_per_second = 0.0
+            for split in assignment.split_tasks.values():
+                stats.subtasks_total += len(split.subtasks)
+                migrations_per_second += (
+                    split.migration_count_per_job * SEC / split.task.period
+                )
+            stats.migrations_per_second_total += migrations_per_second
+        rows.append(stats)
+    return rows
+
+
+def splitting_table(rows: List[SplittingStats]) -> str:
+    header = (
+        f"{'U/m':>6} {'accept':>7} {'splits/set':>11} "
+        f"{'subtasks/split':>15} {'migr/s':>9}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.normalized_utilization:>6.3f} {row.acceptance:>7.3f} "
+            f"{row.mean_split_tasks:>11.3f} "
+            f"{row.mean_subtasks_per_split:>15.3f} "
+            f"{row.mean_migrations_per_second:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Discrete-event simulator of the paper's semi-partitioned kernel scheduler.
+
+This package is the substitution substrate for the paper's Linux 2.6.32
+patch (see DESIGN.md): it reproduces the scheduler architecture of Section 2
+
+* one binomial-heap **ready queue** and one red-black-tree **sleep queue**
+  per core;
+* **normal tasks** pinned to a core, **split tasks** migrating when their
+  per-core budget runs out, returning to the sleep queue of the core that
+  hosts their first subtask;
+* the four overhead sources of Section 3 (``rls``, ``sch``, ``cnt1``,
+  ``cnt2``) injected as non-preemptible kernel execution segments, plus
+  cache-related preemption/migration delay charged when a job resumes.
+
+The simulator consumes the same :class:`~repro.model.assignment.Assignment`
+objects the analysis produces, so an analysis verdict can be validated by
+simulation directly (experiment E6).
+"""
+
+from repro.kernel.events import EventQueue, Event
+from repro.kernel.runtime import Job, RTTask, build_runtime_tasks
+from repro.kernel.sim import KernelSim, SimulationResult, DeadlineMiss
+from repro.kernel.global_sim import GlobalSim, GlobalSimResult
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "Job",
+    "RTTask",
+    "build_runtime_tasks",
+    "KernelSim",
+    "SimulationResult",
+    "DeadlineMiss",
+    "GlobalSim",
+    "GlobalSimResult",
+]

@@ -1,0 +1,223 @@
+"""Idealised global multiprocessor scheduler (extension, DESIGN.md §7).
+
+The paper's introduction contrasts partitioning with "the global approach
+[where] each task can execute on any available processor at run time".
+This simulator provides that baseline: a single system-wide ready queue,
+``m`` identical cores, full migration at zero cost, and either global
+rate-monotonic (``g-rm``) or global EDF (``g-edf``) priorities.
+
+It is deliberately *idealised* (no kernel overheads): the comparison of
+interest is algorithmic — e.g. Dhall's effect, where global RM misses
+deadlines at low utilization that partitioned/semi-partitioned scheduling
+handles trivially — while the overhead-aware machinery lives in
+:class:`~repro.kernel.sim.KernelSim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.events import EventQueue
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.structures.binomial_heap import BinomialHeap
+
+
+@dataclass
+class _GlobalJob:
+    task: Task
+    release: int
+    abs_deadline: int
+    seq: int
+    remaining: int
+    last_core: Optional[int] = None
+    handle: object = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return f"{self.task.name}/{self.seq}"
+
+
+@dataclass
+class GlobalSimResult:
+    duration: int
+    policy: str
+    misses: int
+    releases: int
+    completions: int
+    preemptions: int
+    migrations: int
+    max_response: Dict[str, int]
+
+    @property
+    def no_misses(self) -> bool:
+        return self.misses == 0
+
+
+class GlobalSim:
+    """Simulate global FP ("g-rm") or global EDF ("g-edf") scheduling.
+
+    >>> from repro.model.task import Task
+    >>> from repro.model.taskset import TaskSet
+    >>> ts = TaskSet([Task("a", wcet=4, period=10),
+    ...               Task("b", wcet=4, period=10)]).assign_rate_monotonic()
+    >>> GlobalSim(ts, n_cores=2, policy="g-rm", duration=100).run().misses
+    0
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        n_cores: int,
+        policy: str,
+        duration: int,
+    ) -> None:
+        if policy not in ("g-rm", "g-edf"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if n_cores <= 0:
+            raise ValueError("need at least one core")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if policy == "g-rm":
+            for task in taskset:
+                if task.priority is None:
+                    raise ValueError(
+                        f"task {task.name} has no priority; g-rm needs RM "
+                        "priorities"
+                    )
+        self.taskset = taskset
+        self.n_cores = n_cores
+        self.policy = policy
+        self.duration = duration
+        self.queue = EventQueue()
+        self.ready = BinomialHeap()
+        self.running: List[Optional[_GlobalJob]] = [None] * n_cores
+        self.dispatched_at = [0] * n_cores
+        self.completion_events = [None] * n_cores
+        self.current: Dict[str, Optional[_GlobalJob]] = {
+            task.name: None for task in taskset
+        }
+        self.misses = 0
+        self.releases = 0
+        self.completions = 0
+        self.preemptions = 0
+        self.migrations = 0
+        self.max_response: Dict[str, int] = {t.name: 0 for t in taskset}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> GlobalSimResult:
+        for task in self.taskset:
+            self.queue.schedule(
+                0, lambda t, task=task: self._on_release(task, t), priority=10
+            )
+        self.queue.run_until(self.duration)
+        return GlobalSimResult(
+            duration=self.duration,
+            policy=self.policy,
+            misses=self.misses,
+            releases=self.releases,
+            completions=self.completions,
+            preemptions=self.preemptions,
+            migrations=self.migrations,
+            max_response=self.max_response,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _key(self, job: _GlobalJob) -> tuple:
+        if self.policy == "g-edf":
+            return (job.abs_deadline, job.seq)
+        return (job.task.priority, job.seq)
+
+    def _on_release(self, task: Task, t: int) -> None:
+        next_release = t + task.period
+        if next_release < self.duration:
+            self.queue.schedule(
+                next_release,
+                lambda t2, task=task: self._on_release(task, t2),
+                priority=10,
+            )
+        previous = self.current[task.name]
+        if previous is not None and previous.remaining > 0:
+            self.misses += 1  # overrun: drop the new job
+            return
+        self._seq += 1
+        job = _GlobalJob(
+            task=task,
+            release=t,
+            abs_deadline=t + task.deadline,
+            seq=self._seq,
+            remaining=task.wcet,
+        )
+        self.current[task.name] = job
+        self.releases += 1
+        job.handle = self.ready.insert(self._key(job), job)
+        self._schedule(t)
+
+    def _schedule(self, t: int) -> None:
+        """Fill idle cores; preempt the globally lowest-priority runner."""
+        while self.ready:
+            idle = next(
+                (i for i in range(self.n_cores) if self.running[i] is None),
+                None,
+            )
+            if idle is not None:
+                _key, job = self.ready.extract_min()
+                job.handle = None
+                self._dispatch(idle, job, t)
+                continue
+            # All cores busy: compare queue head with the worst runner.
+            head_key, _head = self.ready.find_min()
+            worst_core = max(
+                range(self.n_cores),
+                key=lambda i: self._key(self.running[i]),
+            )
+            if head_key < self._key(self.running[worst_core]):
+                victim = self._suspend(worst_core, t)
+                victim.handle = self.ready.insert(self._key(victim), victim)
+                self.preemptions += 1
+                _key, job = self.ready.extract_min()
+                job.handle = None
+                self._dispatch(worst_core, job, t)
+            else:
+                break
+
+    def _dispatch(self, core: int, job: _GlobalJob, t: int) -> None:
+        if job.last_core is not None and job.last_core != core:
+            self.migrations += 1
+        job.last_core = core
+        self.running[core] = job
+        self.dispatched_at[core] = t
+        event = self.queue.schedule(
+            t + job.remaining,
+            lambda t2, core=core: self._on_complete(core, t2),
+        )
+        self.completion_events[core] = event
+
+    def _suspend(self, core: int, t: int) -> _GlobalJob:
+        job = self.running[core]
+        assert job is not None
+        executed = t - self.dispatched_at[core]
+        job.remaining -= executed
+        if self.completion_events[core] is not None:
+            self.completion_events[core].cancel()
+            self.completion_events[core] = None
+        self.running[core] = None
+        return job
+
+    def _on_complete(self, core: int, t: int) -> None:
+        job = self.running[core]
+        assert job is not None
+        job.remaining = 0
+        self.running[core] = None
+        self.completion_events[core] = None
+        self.completions += 1
+        response = t - job.release
+        if response > self.max_response[job.task.name]:
+            self.max_response[job.task.name] = response
+        if t > job.abs_deadline:
+            self.misses += 1
+        self._schedule(t)

@@ -1,0 +1,217 @@
+"""Runtime task structures (the simulator's ``task_struct``).
+
+The paper stores "the timing parameters of each task ... in the data
+structure ``task_struct``" and, for split tasks, "the time budget in the
+split task's ``task_struct``".  :class:`RTTask` is our equivalent: the
+static per-task execution plan derived from an
+:class:`~repro.model.assignment.Assignment` — the ordered ``(core, budget)``
+stages a job walks through, the local priority the task holds on each core
+it visits, and the home core whose sleep queue the task returns to.
+
+:class:`Job` is one activation of an :class:`RTTask`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.task import Task
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One execution stage of a job: ``budget`` ns of work on ``core``.
+
+    ``deadline_offset`` is the stage's local absolute-deadline offset from
+    the job's release (= entry jitter + entry relative deadline).  Fixed-
+    priority scheduling ignores it; the EDF policy keys the ready queue by
+    ``release + deadline_offset`` — which is what C=D splitting relies on
+    (a body chunk with deadline equal to its budget is served first).
+    """
+
+    core: int
+    budget: int
+    deadline_offset: int = 0
+
+
+@dataclass
+class RTTask:
+    """Static runtime description of one task (normal or split)."""
+
+    task: Task
+    stages: List[Stage]
+    local_priority: Dict[int, int]  # core -> local priority of our entry
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"task {self.task.name}: no stages")
+        total = sum(stage.budget for stage in self.stages)
+        if total != self.task.wcet:
+            raise ValueError(
+                f"task {self.task.name}: stage budgets sum to {total}, "
+                f"expected {self.task.wcet}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    @property
+    def is_split(self) -> bool:
+        return len(self.stages) > 1
+
+    @property
+    def home_core(self) -> int:
+        """Core hosting the first subtask — where the task sleeps (paper §2)."""
+        return self.stages[0].core
+
+    def priority_on(self, core: int) -> int:
+        return self.local_priority[core]
+
+
+@dataclass
+class Job:
+    """One activation (job) of a runtime task.
+
+    ``work_left`` is the job's remaining *actual* execution demand; stage
+    budgets only cap how much of it may run on each core.  A job whose
+    actual execution time is below the sum of the leading budgets simply
+    completes inside a body stage without visiting the remaining cores —
+    the paper's ``cnt_swth`` case (3): "the current task is a split task,
+    and it has finished its execution".  ``penalty_left`` is cache-reload
+    delay that occupies the CPU but consumes neither budget nor work.
+    """
+
+    rt: RTTask
+    release: int
+    abs_deadline: int
+    seq: int
+    work: int  # actual execution demand of this job (<= sum of budgets)
+    stage_index: int = 0
+    work_left: int = 0
+    stage_budget_left: int = 0
+    penalty_left: int = 0
+    preempt_count: int = 0
+    migrate_count: int = 0
+    finish_time: Optional[int] = None
+    ready_handle: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        total_budget = sum(stage.budget for stage in self.rt.stages)
+        if not 0 < self.work <= total_budget:
+            raise ValueError(
+                f"job of {self.rt.name}: work {self.work} outside "
+                f"(0, {total_budget}]"
+            )
+        self.work_left = self.work
+        self.stage_budget_left = self.rt.stages[0].budget
+
+    @property
+    def name(self) -> str:
+        return f"{self.rt.name}/{self.seq}"
+
+    @property
+    def current_stage(self) -> Stage:
+        return self.rt.stages[self.stage_index]
+
+    @property
+    def current_core(self) -> int:
+        return self.current_stage.core
+
+    @property
+    def is_last_stage(self) -> bool:
+        return self.stage_index == len(self.rt.stages) - 1
+
+    @property
+    def remaining(self) -> int:
+        """CPU time until this dispatch's chunk ends (penalty + work/budget)."""
+        return self.penalty_left + min(self.stage_budget_left, self.work_left)
+
+    def account(self, executed: int) -> None:
+        """Consume ``executed`` ns of CPU: penalty first, then budget+work."""
+        if executed < 0 or executed > self.remaining:
+            raise ValueError(
+                f"job {self.name}: accounting {executed} of {self.remaining}"
+            )
+        from_penalty = min(self.penalty_left, executed)
+        self.penalty_left -= from_penalty
+        progress = executed - from_penalty
+        self.stage_budget_left -= progress
+        self.work_left -= progress
+
+    @property
+    def chunk_done(self) -> bool:
+        return self.remaining == 0
+
+    @property
+    def work_done(self) -> bool:
+        return self.work_left == 0
+
+    def advance_stage(self) -> Stage:
+        """Move to the next stage; returns it.  Caller handles migration."""
+        if self.is_last_stage:
+            raise RuntimeError(f"job {self.name} has no further stage")
+        self.stage_index += 1
+        stage = self.rt.stages[self.stage_index]
+        self.stage_budget_left = stage.budget
+        return stage
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+
+def build_runtime_tasks(assignment: Assignment) -> List[RTTask]:
+    """Derive the runtime task table from an assignment.
+
+    Uses the *raw* entry budgets: the analysis-side inflation (overhead
+    accounting) never reaches the simulator, which injects overheads as
+    explicit kernel execution instead.
+    """
+    by_task: Dict[str, List[Entry]] = {}
+    for entry in assignment.entries():
+        by_task.setdefault(entry.task.name, []).append(entry)
+
+    runtime: List[RTTask] = []
+    for name, entries in by_task.items():
+        if len(entries) == 1 and entries[0].kind == EntryKind.NORMAL:
+            entry = entries[0]
+            runtime.append(
+                RTTask(
+                    task=entry.task,
+                    stages=[
+                        Stage(
+                            core=entry.core,
+                            budget=entry.budget,
+                            deadline_offset=entry.deadline,
+                        )
+                    ],
+                    local_priority={entry.core: entry.local_priority},
+                )
+            )
+            continue
+        # Split task: order by subtask index.
+        entries = sorted(
+            entries,
+            key=lambda e: e.subtask.index if e.subtask else 0,
+        )
+        stages = [
+            Stage(
+                core=e.core,
+                budget=e.budget,
+                deadline_offset=e.jitter + e.deadline,
+            )
+            for e in entries
+        ]
+        priorities = {e.core: e.local_priority for e in entries}
+        runtime.append(
+            RTTask(
+                task=entries[0].task,
+                stages=stages,
+                local_priority=priorities,
+            )
+        )
+    runtime.sort(key=lambda rt: rt.name)
+    return runtime

@@ -1,0 +1,852 @@
+"""The kernel scheduler simulator.
+
+Reproduces, as a discrete-event simulation, the scheduler the paper patched
+into Linux 2.6.32:
+
+* per-core binomial-heap ready queues and red-black-tree sleep queues;
+* preemptive fixed-local-priority dispatch;
+* split tasks that migrate when their per-core budget is exhausted and
+  return to the sleep queue of the core hosting their first subtask;
+* the Figure-1 overhead anatomy: kernel work (``rls``, ``sch``, ``cnt1``,
+  ``cnt2``) executes *on the core*, non-preemptibly, stealing time from the
+  application exactly as the paper measures it;
+* cache-related delay charged when a preempted job resumes locally
+  (``preemption_delay``) or a migrated job resumes remotely
+  (``migration_delay``).
+
+Overhead charging follows the paper's decomposition:
+
+* release path (Figure 1, b..e): ``rls`` + ``sch`` (with re-queue on
+  preemption) + ``cnt1``;
+* completion path (f..i): ``sch`` + ``cnt2`` (sleep-queue insert; the next
+  task's context load is part of ``cnt2``, so the subsequent dispatch is
+  free);
+* budget exhaustion: ``sch`` + ``cnt2`` (remote ready-queue insert; local
+  redispatch free), then the destination core runs a charged scheduling
+  pass when the migrated subtask arrives.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.kernel.events import Event, EventQueue
+from repro.kernel.runtime import Job, RTTask, build_runtime_tasks
+from repro.model.assignment import Assignment
+from repro.model.resources import ResourceModel
+from repro.overhead.model import OverheadModel
+from repro.structures.binomial_heap import BinomialHeap
+from repro.structures.rbtree import RedBlackTree
+
+#: Same-instant event ordering (lower runs first):
+#: work-chunk completions (0) precede release timers (10), so a job
+#: finishing exactly at the next release is not misclassified as an
+#: overrun; kernel-op ends (20) come last, so every release arriving at
+#: the same instant joins the current kernel episode *before* the final
+#: scheduling decision — a tick handler that wakes all expired timers and
+#: then calls schedule() once, like the real kernel.
+_COMPLETION_PRIORITY = 0
+_RELEASE_PRIORITY = 10
+_OP_PRIORITY = 20
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """One detected deadline violation."""
+
+    task: str
+    job_seq: int
+    release: int
+    abs_deadline: int
+    detected_at: int
+    kind: str  # "late" (finished after deadline), "overrun" (release while
+    # previous job unfinished), "incomplete" (unfinished at horizon)
+
+
+@dataclass
+class TaskStats:
+    """Per-task aggregate response-time statistics.
+
+    ``responses`` holds every completed job's response time when the
+    simulation was created with ``record_responses=True`` (for percentile
+    reporting); otherwise it stays empty and only the aggregates are kept.
+    """
+
+    jobs_released: int = 0
+    jobs_completed: int = 0
+    max_response: int = 0
+    total_response: int = 0
+    preemptions: int = 0
+    migrations: int = 0
+    responses: List[int] = field(default_factory=list)
+
+    @property
+    def mean_response(self) -> float:
+        if self.jobs_completed == 0:
+            return 0.0
+        return self.total_response / self.jobs_completed
+
+    def response_percentile(self, q: float) -> int:
+        """q-th percentile of recorded responses (requires recording)."""
+        if not self.responses:
+            raise ValueError(
+                "no recorded responses; run KernelSim with "
+                "record_responses=True"
+            )
+        ordered = sorted(self.responses)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1)))
+        return ordered[index]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run of :class:`KernelSim` produced."""
+
+    duration: int
+    misses: List[DeadlineMiss]
+    task_stats: Dict[str, TaskStats]
+    busy_ns: List[int]
+    overhead_ns: List[int]
+    cache_delay_ns: int
+    context_switches: int
+    preemptions: int
+    migrations: int
+    releases: int
+    trace: List[tuple]  # (core, start, end, label, kind)
+    events: List[tuple]  # (time, type, task, core)
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.misses)
+
+    @property
+    def no_misses(self) -> bool:
+        return not self.misses
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.busy_ns)
+
+    def utilization_of(self, core: int) -> float:
+        return self.busy_ns[core] / self.duration if self.duration else 0.0
+
+    def overhead_ratio(self, core: int) -> float:
+        return self.overhead_ns[core] / self.duration if self.duration else 0.0
+
+    @property
+    def total_overhead_ratio(self) -> float:
+        if not self.duration:
+            return 0.0
+        return sum(self.overhead_ns) / (self.duration * self.n_cores)
+
+
+class _Op:
+    """A unit of kernel execution on one core."""
+
+    __slots__ = ("kind", "duration", "effect", "label")
+
+    def __init__(
+        self,
+        kind: str,
+        duration: int,
+        effect: Callable[[int], None],
+        label: str,
+    ) -> None:
+        self.kind = kind
+        self.duration = duration
+        self.effect = effect
+        self.label = label
+
+
+class _Core:
+    """Mutable per-core scheduler state."""
+
+    __slots__ = (
+        "index",
+        "ready",
+        "sleep",
+        "running",
+        "dispatched_at",
+        "completion_event",
+        "in_kernel",
+        "op_queue",
+        "needs_sched",
+        "free_dispatch",
+        "busy_ns",
+        "overhead_ns",
+        "seq",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.ready = BinomialHeap()
+        self.sleep = RedBlackTree()
+        self.running: Optional[Job] = None
+        self.dispatched_at = 0
+        self.completion_event: Optional[Event] = None
+        self.in_kernel = False
+        self.op_queue: Deque[_Op] = deque()
+        self.needs_sched = False
+        self.free_dispatch = False
+        self.busy_ns = 0
+        self.overhead_ns = 0
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
+class KernelSim:
+    """Simulate an assignment for a fixed horizon under an overhead model.
+
+    Parameters
+    ----------
+    assignment:
+        Output of a (semi-)partitioning algorithm.  Entry budgets are taken
+        as the *actual* execution demand (worst-case jobs).
+    overheads:
+        The :class:`~repro.overhead.model.OverheadModel` to inject.
+    duration:
+        Simulation horizon in nanoseconds.
+    record_trace:
+        Keep per-segment execution/overhead trace (memory-heavy; enable for
+        Gantt rendering and the Figure-1 bench).
+    release_offsets:
+        Optional per-task first-release offsets (default: synchronous at 0,
+        the critical instant).
+    execution_times:
+        Optional per-task *actual* execution demand per job.  Defaults to
+        the full budget (worst-case jobs).  Use this to simulate an
+        overhead-aware assignment (whose entry budgets include analysis
+        inflation) with the raw workload: a job that finishes early inside
+        a body stage completes there without migrating further.
+    policy:
+        Per-core scheduling policy: ``"fp"`` (fixed local priorities, the
+        paper's scheduler) or ``"edf"`` (earliest local deadline first;
+        split tasks run with per-stage deadlines, supporting the C=D
+        splitting scheme).
+    sporadic_jitter:
+        If positive, releases are *sporadic*: each inter-arrival is the
+        period plus a uniform random delay in ``[0, sporadic_jitter]`` ns.
+        The period stays the minimum inter-arrival, so a schedulable
+        periodic set remains schedulable.
+    execution_variation:
+        If positive (< 1), each job's actual demand is its base demand
+        scaled by a uniform factor in ``[1 - execution_variation, 1]`` —
+        average-case workloads under a worst-case analysis.
+    seed:
+        Seed for the sporadic/variation randomness (deterministic runs).
+    tick_ns:
+        If positive, the kernel is *tick-driven*: release processing is
+        deferred to the next multiple of ``tick_ns`` (the paper's Linux
+    	used high-resolution timers = tick 0; classic kernels used 1-4 ms
+        ticks).  Deadlines stay anchored at the nominal arrival, so the
+        tick delay eats into each job's slack — analyse with
+        ``core_schedulable(..., tick_ns=...)``.
+    resources:
+        Optional :class:`~repro.model.resources.ResourceModel`: jobs lock
+        resources at their declared work offsets and run at the resource's
+        ceiling priority while holding it (immediate priority ceiling
+        protocol).  FP policy only; split tasks must not use resources.
+        Analyse with
+        :func:`repro.analysis.blocking.core_schedulable_with_resources`.
+    """
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        overheads: OverheadModel,
+        duration: int,
+        record_trace: bool = False,
+        release_offsets: Optional[Dict[str, int]] = None,
+        execution_times: Optional[Dict[str, int]] = None,
+        policy: str = "fp",
+        sporadic_jitter: int = 0,
+        execution_variation: float = 0.0,
+        seed: int = 0,
+        record_responses: bool = False,
+        tick_ns: int = 0,
+        resources: Optional["ResourceModel"] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.assignment = assignment
+        self.model = overheads
+        self.duration = duration
+        self.record_trace = record_trace
+        self.queue = EventQueue()
+        self.cores = [_Core(i) for i in range(assignment.n_cores)]
+        self.rt_tasks = build_runtime_tasks(assignment)
+        self.offsets = release_offsets or {}
+        self.execution_times = execution_times or {}
+        if policy not in ("fp", "edf"):
+            raise ValueError(f"unknown policy {policy!r}; use 'fp' or 'edf'")
+        self.policy = policy
+        if sporadic_jitter < 0:
+            raise ValueError("sporadic_jitter must be non-negative")
+        if not 0.0 <= execution_variation < 1.0:
+            raise ValueError("execution_variation must be in [0, 1)")
+        self.sporadic_jitter = sporadic_jitter
+        self.execution_variation = execution_variation
+        self.record_responses = record_responses
+        if tick_ns < 0:
+            raise ValueError("tick_ns must be non-negative")
+        self.tick_ns = tick_ns
+        self.resources = resources
+        self._core_ceilings: List[Dict[str, int]] = [
+            {} for _ in range(assignment.n_cores)
+        ]
+        if resources is not None and not resources.is_empty:
+            if policy != "fp":
+                raise ValueError(
+                    "resource sharing is only supported under the FP policy"
+                )
+            resources.validate_against(
+                [rt.task for rt in self.rt_tasks]
+            )
+            for rt in self.rt_tasks:
+                if rt.is_split and resources.sections_of(rt.name):
+                    raise ValueError(
+                        f"split task {rt.name} declares critical sections; "
+                        "unsupported"
+                    )
+            # Per-core ceilings over local priorities.
+            for core_assignment in assignment.cores:
+                ceilings = self._core_ceilings[core_assignment.core]
+                for entry in core_assignment.entries:
+                    for section in resources.sections_of(entry.task.name):
+                        current = ceilings.get(section.resource)
+                        if current is None or entry.local_priority < current:
+                            ceilings[section.resource] = entry.local_priority
+        import random as _random
+
+        self._rng = _random.Random(seed)
+        # Results accumulators
+        self.misses: List[DeadlineMiss] = []
+        self.task_stats: Dict[str, TaskStats] = {
+            rt.name: TaskStats() for rt in self.rt_tasks
+        }
+        self.trace: List[tuple] = []
+        self.events_log: List[tuple] = []
+        self.cache_delay_ns = 0
+        self.context_switches = 0
+        self.preemptions = 0
+        self.migrations = 0
+        self.releases = 0
+        self.profile: Dict[str, Tuple[int, int]] = {}
+        self._current_jobs: Dict[str, Optional[Job]] = {
+            rt.name: None for rt in self.rt_tasks
+        }
+        self._sleep_nodes: Dict[str, object] = {}
+        self._job_seq = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return the results."""
+        if self._finished:
+            raise RuntimeError("KernelSim instances are single-use")
+        for rt in self.rt_tasks:
+            offset = self.offsets.get(rt.name, 0)
+            self._schedule_release(rt, offset)
+        self.queue.run_until(self.duration)
+        self._finalize()
+        self._finished = True
+        return SimulationResult(
+            duration=self.duration,
+            misses=self.misses,
+            task_stats=self.task_stats,
+            busy_ns=[core.busy_ns for core in self.cores],
+            overhead_ns=[core.overhead_ns for core in self.cores],
+            cache_delay_ns=self.cache_delay_ns,
+            context_switches=self.context_switches,
+            preemptions=self.preemptions,
+            migrations=self.migrations,
+            releases=self.releases,
+            trace=self.trace,
+            events=self.events_log,
+        )
+
+    # ------------------------------------------------------------------
+    # Release handling (timer path)
+    # ------------------------------------------------------------------
+
+    def _work_of(self, rt: RTTask) -> int:
+        total_budget = sum(stage.budget for stage in rt.stages)
+        requested = self.execution_times.get(rt.name, total_budget)
+        if self.execution_variation > 0.0:
+            factor = self._rng.uniform(1.0 - self.execution_variation, 1.0)
+            requested = int(round(requested * factor))
+        return max(1, min(requested, total_budget))
+
+    def _schedule_release(self, rt: RTTask, nominal: int) -> None:
+        """Arm the release timer: at the nominal arrival, or — in a
+        tick-driven kernel — at the next tick boundary after it."""
+        fire = nominal
+        if self.tick_ns > 0:
+            fire = -(-nominal // self.tick_ns) * self.tick_ns
+        if fire < self.duration:
+            self.queue.schedule(
+                fire,
+                lambda t, rt=rt, nominal=nominal: self._on_release(
+                    rt, t, nominal
+                ),
+                priority=_RELEASE_PRIORITY,
+            )
+
+    def _on_release(self, rt: RTTask, t: int, nominal: Optional[int] = None) -> None:
+        if nominal is None:
+            nominal = t
+        # Schedule the next release first (periodic, or sporadic with a
+        # random extra delay beyond the minimum inter-arrival).
+        next_release = nominal + rt.task.period
+        if self.sporadic_jitter > 0:
+            next_release += self._rng.randint(0, self.sporadic_jitter)
+        self._schedule_release(rt, next_release)
+        previous = self._current_jobs[rt.name]
+        if previous is not None and not previous.completed:
+            # Overrun: previous job still active at the next release.
+            self.misses.append(
+                DeadlineMiss(
+                    task=rt.name,
+                    job_seq=previous.seq,
+                    release=previous.release,
+                    abs_deadline=previous.abs_deadline,
+                    detected_at=t,
+                    kind="overrun",
+                )
+            )
+            self._log_event(t, "overrun", rt.name, rt.home_core)
+            return  # the new release is skipped (job dropped)
+        self._job_seq += 1
+        job = Job(
+            rt=rt,
+            release=nominal,
+            abs_deadline=nominal + rt.task.deadline,
+            seq=self._job_seq,
+            work=self._work_of(rt),
+        )
+        self._current_jobs[rt.name] = job
+        self.releases += 1
+        self.task_stats[rt.name].jobs_released += 1
+        self._log_event(t, "release", rt.name, rt.home_core)
+        # Sleep-queue bookkeeping: the timer removes the task from the home
+        # core's sleep queue before release() inserts it into the ready queue.
+        home = self.cores[rt.home_core]
+        node = self._sleep_nodes.pop(rt.name, None)
+        if node is not None:
+            home.sleep.remove(node)
+        core = self.cores[job.current_core]
+        self._kernel_enqueue(
+            core,
+            _Op(
+                kind="release",
+                duration=self.model.rls,
+                effect=lambda t2, job=job, core=core: self._do_release(
+                    core, job, t2
+                ),
+                label=f"rls:{job.rt.name}",
+            ),
+            t,
+        )
+
+    def _do_release(self, core: _Core, job: Job, t: int) -> None:
+        self._ready_insert(core, job)
+        core.needs_sched = True
+
+    # ------------------------------------------------------------------
+    # Kernel-execution machinery
+    # ------------------------------------------------------------------
+
+    def _kernel_enqueue(self, core: _Core, op: _Op, t: int) -> None:
+        core.op_queue.append(op)
+        if not core.in_kernel:
+            self._suspend_running(core, t)
+            core.in_kernel = True
+            self._start_next_op(core, t)
+
+    def _suspend_running(self, core: _Core, t: int) -> None:
+        """Stop the running job's progress (kernel takes the CPU)."""
+        job = core.running
+        if job is None or core.completion_event is None:
+            return
+        executed = t - core.dispatched_at
+        core.completion_event.cancel()
+        core.completion_event = None
+        if executed > 0:
+            job.account(executed)
+            core.busy_ns += executed
+            self._record(core.index, core.dispatched_at, t, job.name, "exec")
+        if job.chunk_done:
+            # The chunk finished exactly at this instant: process the end of
+            # chunk before whatever interrupted us.
+            core.running = None
+            self._enqueue_chunk_end(core, job, t, front=True)
+
+    def _start_next_op(self, core: _Core, t: int) -> None:
+        op = core.op_queue.popleft()
+        if op.kind == "sched":
+            op.duration = self._sched_duration(core)
+        end = t + op.duration
+        if op.duration > 0:
+            core.overhead_ns += op.duration
+            self._record(core.index, t, end, op.label, "overhead")
+        self.queue.schedule(
+            end,
+            lambda t2, core=core, op=op: self._finish_op(core, op, t2),
+            priority=_OP_PRIORITY,
+        )
+
+    def _finish_op(self, core: _Core, op: _Op, t: int) -> None:
+        start = _time.perf_counter_ns()
+        op.effect(t)
+        elapsed = _time.perf_counter_ns() - start
+        bucket = {
+            "release": "release",
+            "migrate_in": "release",
+            "sched": "sch",
+            "cnt_in": "cnt_swth",
+            "finish": "cnt_swth",
+            "migrate_out": "cnt_swth",
+        }.get(op.kind, op.kind)
+        count, total = self.profile.get(bucket, (0, 0))
+        self.profile[bucket] = (count + 1, total + elapsed)
+        if core.op_queue:
+            self._start_next_op(core, t)
+        elif core.needs_sched:
+            core.needs_sched = False
+            sched_op = _Op(
+                kind="sched",
+                duration=0,  # computed in _start_next_op
+                effect=lambda t2, core=core: self._do_sched(core, t2),
+                label="sch",
+            )
+            core.op_queue.append(sched_op)
+            self._start_next_op(core, t)
+        else:
+            self._exit_kernel(core, t)
+
+    def _exit_kernel(self, core: _Core, t: int) -> None:
+        core.in_kernel = False
+        job = core.running
+        if job is None:
+            return
+        core.dispatched_at = t
+        end = t + self._chunk_length(job)
+        core.completion_event = self.queue.schedule(
+            end, lambda t2, core=core: self._on_chunk_done(core, t2)
+        )
+
+    # ------------------------------------------------------------------
+    # Critical sections (immediate priority ceiling protocol)
+    # ------------------------------------------------------------------
+
+    def _sections_of(self, rt: RTTask):
+        if self.resources is None:
+            return ()
+        return self.resources.sections_of(rt.name)
+
+    def _work_to_boundary(self, job: Job) -> Optional[int]:
+        """Work units until the job's next critical-section edge."""
+        sections = self._sections_of(job.rt)
+        if not sections:
+            return None
+        executed = job.work - job.work_left
+        for section in sections:
+            if executed < section.start:
+                return section.start - executed
+            if executed < section.end:
+                return section.end - executed
+        return None
+
+    def _chunk_length(self, job: Job) -> int:
+        """CPU time until the next simulation-relevant point of this job:
+        chunk end (budget/work) or a critical-section edge."""
+        base = min(job.stage_budget_left, job.work_left)
+        boundary = self._work_to_boundary(job)
+        if boundary is not None:
+            base = min(base, boundary)
+        return job.penalty_left + base
+
+    def _active_ceiling(self, core: _Core, job: Job) -> Optional[int]:
+        """Ceiling priority of the resource the job currently holds."""
+        sections = self._sections_of(job.rt)
+        if not sections:
+            return None
+        executed = job.work - job.work_left
+        for section in sections:
+            if section.start <= executed < section.end:
+                return self._core_ceilings[core.index].get(section.resource)
+        return None
+
+    def _at_section_end(self, job: Job) -> bool:
+        executed = job.work - job.work_left
+        return any(
+            executed == section.end for section in self._sections_of(job.rt)
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling decisions
+    # ------------------------------------------------------------------
+
+    def _would_preempt(self, core: _Core) -> bool:
+        if core.running is None or not core.ready:
+            return False
+        min_key, _job = core.ready.find_min()
+        running_key = self._key_of(core, core.running)
+        ceiling = self._active_ceiling(core, core.running)
+        if ceiling is not None:
+            # IPCP: the lock holder runs at the resource ceiling.
+            running_key = (min(running_key[0], ceiling), running_key[1])
+        return min_key < running_key
+
+    def _sched_duration(self, core: _Core) -> int:
+        if core.free_dispatch:
+            return 0
+        return self.model.sch(preemption=self._would_preempt(core))
+
+    def _do_sched(self, core: _Core, t: int) -> None:
+        free = core.free_dispatch
+        core.free_dispatch = False
+        if core.running is not None:
+            if self._would_preempt(core):
+                victim = core.running
+                core.running = None
+                penalty = self.model.cache.preemption_delay(
+                    victim.rt.task.wss
+                )
+                victim.penalty_left += penalty
+                self.cache_delay_ns += penalty
+                victim.preempt_count += 1
+                self.task_stats[victim.rt.name].preemptions += 1
+                self.preemptions += 1
+                self._ready_insert(core, victim)
+                self._log_event(t, "preempt", victim.rt.name, core.index)
+            else:
+                return  # current job resumes at kernel exit
+        if not core.ready:
+            return
+        _key, job = core.ready.extract_min()
+        job.ready_handle = None
+        cnt_op = _Op(
+            kind="cnt_in",
+            duration=0 if free else self.model.cnt1,
+            effect=lambda t2, core=core, job=job: self._do_dispatch(
+                core, job, t2
+            ),
+            label=f"cnt1:{job.rt.name}",
+        )
+        core.op_queue.append(cnt_op)
+
+    def _do_dispatch(self, core: _Core, job: Job, t: int) -> None:
+        core.running = job
+        self.context_switches += 1
+        self._log_event(t, "dispatch", job.rt.name, core.index)
+
+    # ------------------------------------------------------------------
+    # Chunk completion: job finish or budget exhaustion
+    # ------------------------------------------------------------------
+
+    def _on_chunk_done(self, core: _Core, t: int) -> None:
+        job = core.running
+        assert job is not None, "completion event with no running job"
+        executed = t - core.dispatched_at
+        if executed > 0:
+            job.account(executed)
+            core.busy_ns += executed
+            self._record(core.index, core.dispatched_at, t, job.name, "exec")
+        core.completion_event = None
+        if not job.chunk_done:
+            # A critical-section edge, not the chunk's end.
+            self._on_section_edge(core, job, t)
+            return
+        core.running = None
+        core.in_kernel = True
+        self._enqueue_chunk_end(core, job, t, front=False)
+        if core.op_queue:
+            self._start_next_op(core, t)
+
+    def _on_section_edge(self, core: _Core, job: Job, t: int) -> None:
+        """The running job crossed a critical-section boundary."""
+        if self._at_section_end(job) and core.ready:
+            # Unlock: the kernel runs a scheduling pass — a deferred
+            # higher-priority job may now preempt.
+            core.in_kernel = True
+            core.needs_sched = True
+            sched_op = _Op(
+                kind="sched",
+                duration=0,  # computed in _start_next_op
+                effect=lambda t2, core=core: self._do_sched(core, t2),
+                label="sch",
+            )
+            core.needs_sched = False
+            core.op_queue.append(sched_op)
+            self._start_next_op(core, t)
+            return
+        # Lock acquisition (or unlock with empty queue): keep running.
+        core.dispatched_at = t
+        end = t + self._chunk_length(job)
+        core.completion_event = self.queue.schedule(
+            end, lambda t2, core=core: self._on_chunk_done(core, t2)
+        )
+
+    def _enqueue_chunk_end(
+        self, core: _Core, job: Job, t: int, front: bool
+    ) -> None:
+        if job.work_done:
+            # The job's response ends *now* (point f in Figure 1); the
+            # sch + cnt2 that follow are bookkeeping charged to the core.
+            # Mark completion immediately so a release at this very instant
+            # sees the predecessor as done.  Note the condition: a split job
+            # that finishes its actual work inside a *body* stage completes
+            # here too (the paper's cnt_swth case 3).
+            job.finish_time = t
+            op = _Op(
+                kind="finish",
+                duration=self.model.sch(False) + self.model.cnt2_finish,
+                effect=lambda t2, core=core, job=job, done=t: self._do_finish(
+                    core, job, t2, completed_at=done
+                ),
+                label=f"cnt2:{job.rt.name}",
+            )
+        else:
+            op = _Op(
+                kind="migrate_out",
+                duration=self.model.sch(False) + self.model.cnt2_migrate,
+                effect=lambda t2, core=core, job=job: self._do_migrate_out(
+                    core, job, t2
+                ),
+                label=f"mig:{job.rt.name}",
+            )
+        if front:
+            core.op_queue.appendleft(op)
+        else:
+            core.op_queue.append(op)
+
+    def _do_finish(
+        self, core: _Core, job: Job, t: int, completed_at: int
+    ) -> None:
+        job.finish_time = completed_at
+        stats = self.task_stats[job.rt.name]
+        stats.jobs_completed += 1
+        response = completed_at - job.release
+        stats.total_response += response
+        stats.max_response = max(stats.max_response, response)
+        if self.record_responses:
+            stats.responses.append(response)
+        if completed_at > job.abs_deadline:
+            self.misses.append(
+                DeadlineMiss(
+                    task=job.rt.name,
+                    job_seq=job.seq,
+                    release=job.release,
+                    abs_deadline=job.abs_deadline,
+                    detected_at=completed_at,
+                    kind="late",
+                )
+            )
+            self._log_event(completed_at, "miss", job.rt.name, core.index)
+        else:
+            self._log_event(completed_at, "finish", job.rt.name, core.index)
+        # Back to the sleep queue of the core hosting the first subtask
+        # (paper §2, tail subtask rule).
+        home = self.cores[job.rt.home_core]
+        self._sleep_nodes[job.rt.name] = home.sleep.insert(
+            (job.release + job.rt.task.period, job.rt.name), job.rt
+        )
+        core.needs_sched = True
+        core.free_dispatch = True  # context load was part of cnt2
+
+    def _do_migrate_out(self, core: _Core, job: Job, t: int) -> None:
+        stage = job.advance_stage()
+        penalty = self.model.cache.migration_delay(job.rt.task.wss)
+        job.penalty_left += penalty
+        self.cache_delay_ns += penalty
+        job.migrate_count += 1
+        self.task_stats[job.rt.name].migrations += 1
+        self.migrations += 1
+        self._log_event(t, "migrate", job.rt.name, stage.core)
+        destination = self.cores[stage.core]
+        self._kernel_enqueue(
+            destination,
+            _Op(
+                kind="migrate_in",
+                duration=0,  # remote insert already paid in cnt2_migrate
+                effect=lambda t2, dest=destination, job=job: self._do_migrate_in(
+                    dest, job, t2
+                ),
+                label=f"migin:{job.rt.name}",
+            ),
+            t,
+        )
+        core.needs_sched = True
+        core.free_dispatch = True  # context load was part of cnt2
+
+    def _do_migrate_in(self, core: _Core, job: Job, t: int) -> None:
+        self._ready_insert(core, job)
+        core.needs_sched = True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _key_of(self, core: _Core, job: Job) -> tuple:
+        if self.policy == "edf":
+            # Per-stage local deadline: for normal tasks this is the job's
+            # absolute deadline; for split tasks the stage's own deadline
+            # (C=D bodies carry deadline == budget, so EDF serves them at
+            # once — the C=D scheme's defining property).
+            offset = job.rt.stages[job.stage_index].deadline_offset
+            return (job.release + offset, job.seq)
+        return (job.rt.priority_on(core.index), job.seq)
+
+    def _ready_insert(self, core: _Core, job: Job) -> None:
+        job.ready_handle = core.ready.insert(self._key_of(core, job), job)
+
+    def _record(
+        self, core: int, start: int, end: int, label: str, kind: str
+    ) -> None:
+        if self.record_trace and end > start:
+            self.trace.append((core, start, end, label, kind))
+
+    def _log_event(self, t: int, kind: str, task: str, core: int) -> None:
+        if self.record_trace:
+            self.events_log.append((t, kind, task, core))
+
+    def _finalize(self) -> None:
+        """Account partial progress at the horizon and residual misses."""
+        t = self.duration
+        for core in self.cores:
+            job = core.running
+            if job is not None and core.completion_event is not None:
+                executed = t - core.dispatched_at
+                if executed > 0:
+                    core.busy_ns += executed
+                    self._record(
+                        core.index, core.dispatched_at, t, job.name, "exec"
+                    )
+                core.completion_event.cancel()
+                core.completion_event = None
+        for job in self._current_jobs.values():
+            if (
+                job is not None
+                and not job.completed
+                and job.abs_deadline <= self.duration
+            ):
+                self.misses.append(
+                    DeadlineMiss(
+                        task=job.rt.name,
+                        job_seq=job.seq,
+                        release=job.release,
+                        abs_deadline=job.abs_deadline,
+                        detected_at=self.duration,
+                        kind="incomplete",
+                    )
+                )

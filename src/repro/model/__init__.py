@@ -1,0 +1,52 @@
+"""Real-time task model.
+
+Tasks are sporadic/periodic with worst-case execution time (WCET), period,
+and constrained deadline.  All times are **integer nanoseconds** throughout
+the library (model, analysis and simulator), which keeps discrete-event
+simulation exact and makes the paper's microsecond-scale overheads directly
+representable.
+"""
+
+from repro.model.time import NS, US, MS, SEC, ns_to_us, ns_to_ms, format_ns
+from repro.model.task import Task, rm_sort_key, dm_sort_key
+from repro.model.taskset import TaskSet
+from repro.model.split import Subtask, SplitTask
+from repro.model.assignment import (
+    Assignment,
+    CoreAssignment,
+    Entry,
+    EntryKind,
+)
+from repro.model.generator import (
+    TaskSetGenerator,
+    uunifast,
+    uunifast_discard,
+    log_uniform_periods,
+)
+from repro.model.resources import CriticalSection, ResourceModel
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "ns_to_us",
+    "ns_to_ms",
+    "format_ns",
+    "Task",
+    "rm_sort_key",
+    "dm_sort_key",
+    "TaskSet",
+    "Subtask",
+    "SplitTask",
+    "Assignment",
+    "CoreAssignment",
+    "Entry",
+    "EntryKind",
+    "TaskSetGenerator",
+    "uunifast",
+    "uunifast_discard",
+    "log_uniform_periods",
+    "CriticalSection",
+    "ResourceModel",
+]

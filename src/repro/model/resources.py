@@ -1,0 +1,123 @@
+"""Shared resources and critical sections (extension).
+
+The paper's system has no resource sharing; a production scheduler library
+needs it, so this module adds the classic uniprocessor model on top:
+
+* a **resource** is a named mutex shared by tasks *on the same core*
+  (partitioned resource access; cross-core resource sharing in
+  semi-partitioned systems is an open research area and deliberately out
+  of scope — split tasks may not use resources);
+* each task declares **critical sections**: ``(resource, start, duration)``
+  with ``start``/``duration`` measured in executed work units — the job
+  locks the resource after ``start`` units of its own execution and holds
+  it for the next ``duration`` units;
+* locking follows the **immediate priority ceiling protocol** (IPCP, the
+  POSIX ``PRIO_PROTECT`` behaviour): while holding a resource, a job runs
+  at the resource's ceiling priority (the highest priority of any task
+  using it).  Non-preemptive critical sections (NPCS) are the special case
+  of ceiling = highest priority on the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CriticalSection:
+    """One critical section inside a task's execution.
+
+    ``start`` and ``duration`` are in nanoseconds of the task's *own*
+    executed work (not wall-clock): a job locks after executing ``start``
+    and unlocks after executing ``start + duration``.
+    """
+
+    resource: str
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("critical section start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("critical section duration must be positive")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass
+class ResourceModel:
+    """Critical sections per task, with validation and ceiling computation.
+
+    >>> model = ResourceModel()
+    >>> model.add("a", CriticalSection("lock", start=1, duration=2))
+    >>> model.sections_of("a")[0].resource
+    'lock'
+    """
+
+    sections: Dict[str, List[CriticalSection]] = field(default_factory=dict)
+
+    def add(self, task_name: str, section: CriticalSection) -> None:
+        existing = self.sections.setdefault(task_name, [])
+        for other in existing:
+            if section.start < other.end and other.start < section.end:
+                raise ValueError(
+                    f"task {task_name}: critical sections overlap "
+                    f"({other} vs {section}); nesting is not supported"
+                )
+        existing.append(section)
+        existing.sort(key=lambda s: s.start)
+
+    def sections_of(self, task_name: str) -> List[CriticalSection]:
+        return self.sections.get(task_name, [])
+
+    def validate_against(self, tasks: Iterable) -> None:
+        """Check sections fit inside each task's WCET."""
+        by_name = {task.name: task for task in tasks}
+        for name, sections in self.sections.items():
+            task = by_name.get(name)
+            if task is None:
+                raise ValueError(f"resource model names unknown task {name!r}")
+            for section in sections:
+                if section.end > task.wcet:
+                    raise ValueError(
+                        f"task {name}: critical section ends at "
+                        f"{section.end} beyond WCET {task.wcet}"
+                    )
+
+    def resources(self) -> List[str]:
+        names = set()
+        for sections in self.sections.values():
+            for section in sections:
+                names.add(section.resource)
+        return sorted(names)
+
+    def ceilings(
+        self, priorities: Mapping[str, int]
+    ) -> Dict[str, int]:
+        """Ceiling priority of each resource: the highest (numerically
+        smallest) priority among its users.  Tasks absent from
+        ``priorities`` are ignored."""
+        ceilings: Dict[str, int] = {}
+        for task_name, sections in self.sections.items():
+            priority = priorities.get(task_name)
+            if priority is None:
+                continue
+            for section in sections:
+                current = ceilings.get(section.resource)
+                if current is None or priority < current:
+                    ceilings[section.resource] = priority
+        return ceilings
+
+    def max_section_of(self, task_name: str) -> int:
+        """Longest critical section of one task (0 if none)."""
+        return max(
+            (s.duration for s in self.sections_of(task_name)), default=0
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(self.sections.values())

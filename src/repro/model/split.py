@@ -1,0 +1,137 @@
+"""Split-task representation.
+
+In semi-partitioned scheduling a *split task* is divided into an ordered
+sequence of subtasks, each pinned to a core with an execution **budget**.
+At run time a job executes its subtasks in order: when the budget of subtask
+``j`` is exhausted on core ``c_j``, the job migrates to core ``c_{j+1}``
+(paper, Section 2).  Subtasks ``0 .. k-2`` are **body** subtasks; subtask
+``k-1`` is the **tail**, which completes the job, after which the task
+returns to the sleep queue of the core hosting the **first** subtask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.model.task import Task
+
+
+@dataclass(frozen=True)
+class Subtask:
+    """One piece of a split task.
+
+    Attributes
+    ----------
+    task:
+        The parent task.
+    index:
+        Position within the split sequence (0-based).
+    core:
+        The core this subtask is pinned to.
+    budget:
+        Execution budget in nanoseconds; the subtask runs exactly this much
+        of the job's work on ``core`` before migrating (or finishing).
+    total_subtasks:
+        Length of the parent's split sequence.
+    """
+
+    task: Task
+    index: int
+    core: int
+    budget: int
+    total_subtasks: int
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(
+                f"subtask {self.name}: budget must be positive, got {self.budget}"
+            )
+        if not 0 <= self.index < self.total_subtasks:
+            raise ValueError(f"subtask index {self.index} out of range")
+
+    @property
+    def name(self) -> str:
+        return f"{self.task.name}#{self.index}"
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.total_subtasks - 1
+
+    @property
+    def is_body(self) -> bool:
+        return not self.is_tail
+
+    @property
+    def utilization(self) -> float:
+        return self.budget / self.task.period
+
+
+@dataclass(frozen=True)
+class SplitTask:
+    """A task together with its ordered split across cores."""
+
+    task: Task
+    subtasks: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.subtasks) < 2:
+            raise ValueError(
+                f"split task {self.task.name} needs at least two subtasks"
+            )
+        total = sum(sub.budget for sub in self.subtasks)
+        if total != self.task.wcet:
+            raise ValueError(
+                f"split task {self.task.name}: budgets sum to {total}, "
+                f"expected wcet {self.task.wcet}"
+            )
+        cores = [sub.core for sub in self.subtasks]
+        if len(set(cores)) != len(cores):
+            raise ValueError(
+                f"split task {self.task.name} visits core twice: {cores}"
+            )
+        for position, sub in enumerate(self.subtasks):
+            if sub.index != position:
+                raise ValueError(
+                    f"split task {self.task.name}: subtask order broken"
+                )
+
+    @staticmethod
+    def build(task: Task, pieces: Sequence[tuple]) -> "SplitTask":
+        """Build from ``[(core, budget), ...]`` pairs in execution order."""
+        total = len(pieces)
+        subtasks = tuple(
+            Subtask(
+                task=task,
+                index=i,
+                core=core,
+                budget=budget,
+                total_subtasks=total,
+            )
+            for i, (core, budget) in enumerate(pieces)
+        )
+        return SplitTask(task=task, subtasks=subtasks)
+
+    @property
+    def body_subtasks(self) -> List[Subtask]:
+        return [sub for sub in self.subtasks if sub.is_body]
+
+    @property
+    def tail(self) -> Subtask:
+        return self.subtasks[-1]
+
+    @property
+    def first_core(self) -> int:
+        """Core hosting the first subtask — where the task 'sleeps'."""
+        return self.subtasks[0].core
+
+    @property
+    def migration_count_per_job(self) -> int:
+        """Number of migrations each job performs (= #subtasks - 1)."""
+        return len(self.subtasks) - 1
+
+    def __str__(self) -> str:
+        route = " -> ".join(
+            f"core{sub.core}:{sub.budget}" for sub in self.subtasks
+        )
+        return f"{self.task.name}[{route}]"

@@ -1,0 +1,122 @@
+"""The sporadic task abstraction.
+
+A task is a sporadic (or strictly periodic, in the simulator) stream of jobs,
+each needing up to ``wcet`` nanoseconds of processor time within ``deadline``
+nanoseconds of its release; consecutive releases are at least ``period``
+nanoseconds apart.  This matches the model of the paper and its reference [4]
+(Guan et al., RTAS 2010): constrained deadlines, fixed priorities assigned
+rate-monotonically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Task:
+    """An immutable sporadic task.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a task set.
+    wcet:
+        Worst-case execution time ``C`` in nanoseconds (> 0).
+    period:
+        Minimum inter-release separation ``T`` in nanoseconds (> 0).
+    deadline:
+        Relative deadline ``D`` in nanoseconds; defaults to ``period``
+        (implicit deadlines, as in the paper's evaluation).
+    priority:
+        Fixed priority; **smaller is higher** (Linux convention).  ``None``
+        until a priority-assignment pass (e.g. rate-monotonic) runs.
+    wss:
+        Working-set size in bytes, consumed by the cache-overhead model.
+        The paper notes that cache-related delay depends on "the application
+        memory characters"; 64 KiB is a representative mid-size footprint.
+
+    >>> task = Task("video", wcet=6, period=10)
+    >>> task.deadline  # implicit deadline
+    10
+    >>> round(task.utilization, 2)
+    0.6
+    >>> task.with_priority(0).priority
+    0
+    """
+
+    name: str
+    wcet: int
+    period: int
+    deadline: int = field(default=0)
+    priority: Optional[int] = None
+    wss: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.deadline == 0:
+            object.__setattr__(self, "deadline", self.period)
+        if self.wcet <= 0:
+            raise ValueError(f"task {self.name}: wcet must be positive")
+        if self.period <= 0:
+            raise ValueError(f"task {self.name}: period must be positive")
+        if self.deadline <= 0:
+            raise ValueError(f"task {self.name}: deadline must be positive")
+        if self.wcet > self.deadline:
+            raise ValueError(
+                f"task {self.name}: wcet {self.wcet} exceeds deadline "
+                f"{self.deadline}; the task can never meet its deadline"
+            )
+        if self.deadline > self.period:
+            raise ValueError(
+                f"task {self.name}: deadline {self.deadline} exceeds period "
+                f"{self.period}; only constrained deadlines are supported"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """``C / T`` as a float in (0, 1]."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> float:
+        """``C / D`` as a float in (0, 1]."""
+        return self.wcet / self.deadline
+
+    def with_priority(self, priority: int) -> "Task":
+        """Return a copy of this task with ``priority`` set."""
+        return Task(
+            name=self.name,
+            wcet=self.wcet,
+            period=self.period,
+            deadline=self.deadline,
+            priority=priority,
+            wss=self.wss,
+        )
+
+    def with_wcet(self, wcet: int) -> "Task":
+        """Return a copy of this task with a different WCET."""
+        return Task(
+            name=self.name,
+            wcet=wcet,
+            period=self.period,
+            deadline=self.deadline,
+            priority=self.priority,
+            wss=self.wss,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}(C={self.wcet}, T={self.period}, D={self.deadline}, "
+            f"u={self.utilization:.3f})"
+        )
+
+
+def rm_sort_key(task: Task) -> tuple:
+    """Rate-monotonic ordering key: shorter period first, name tie-break."""
+    return (task.period, task.name)
+
+
+def dm_sort_key(task: Task) -> tuple:
+    """Deadline-monotonic ordering key: shorter deadline first."""
+    return (task.deadline, task.name)

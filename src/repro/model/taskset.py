@@ -1,0 +1,142 @@
+"""Task-set container with priority assignment and aggregate metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.model.task import Task, rm_sort_key, dm_sort_key
+
+
+class TaskSet:
+    """An ordered collection of uniquely named tasks.
+
+    >>> ts = TaskSet([Task("a", wcet=1, period=4), Task("b", wcet=1, period=2)])
+    >>> ts.total_utilization
+    0.75
+    >>> [t.name for t in ts.assign_rate_monotonic()]
+    ['b', 'a']
+    """
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: List[Task] = []
+        self._by_name: Dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def add(self, task: Task) -> None:
+        if task.name in self._by_name:
+            raise ValueError(f"duplicate task name {task.name!r}")
+        self._tasks.append(task)
+        self._by_name[task.name] = task
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self._tasks[index]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def by_name(self, name: str) -> Task:
+        return self._by_name[name]
+
+    def names(self) -> List[str]:
+        return [task.name for task in self._tasks]
+
+    # ------------------------------------------------------------------
+    # Aggregate metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(task.utilization for task in self._tasks)
+
+    @property
+    def max_utilization(self) -> float:
+        return max((task.utilization for task in self._tasks), default=0.0)
+
+    def hyperperiod(self) -> int:
+        """Least common multiple of all periods (nanoseconds)."""
+        result = 1
+        for task in self._tasks:
+            result = result * task.period // math.gcd(result, task.period)
+        return result
+
+    # ------------------------------------------------------------------
+    # Priority assignment
+    # ------------------------------------------------------------------
+
+    def assign_priorities(self, sort_key: Callable[[Task], tuple]) -> "TaskSet":
+        """Return a new TaskSet with priorities 0..n-1 assigned by ``sort_key``.
+
+        Priority 0 is the highest.  The returned set is ordered by priority.
+        """
+        ordered = sorted(self._tasks, key=sort_key)
+        return TaskSet(
+            task.with_priority(index) for index, task in enumerate(ordered)
+        )
+
+    def assign_rate_monotonic(self) -> "TaskSet":
+        """Rate-monotonic priority order (the paper's FP-TS base policy)."""
+        return self.assign_priorities(rm_sort_key)
+
+    def assign_deadline_monotonic(self) -> "TaskSet":
+        return self.assign_priorities(dm_sort_key)
+
+    def sorted_by_priority(self) -> List[Task]:
+        """Tasks in priority order; requires priorities to be assigned."""
+        for task in self._tasks:
+            if task.priority is None:
+                raise ValueError(f"task {task.name} has no priority assigned")
+        return sorted(self._tasks, key=lambda t: t.priority)  # type: ignore[arg-type]
+
+    def sorted_by_utilization(self, descending: bool = True) -> List[Task]:
+        return sorted(
+            self._tasks,
+            key=lambda t: (t.utilization, t.name),
+            reverse=descending,
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def map_tasks(self, fn: Callable[[Task], Task]) -> "TaskSet":
+        return TaskSet(fn(task) for task in self._tasks)
+
+    def scaled_wcet(self, factor: float) -> "TaskSet":
+        """Scale all WCETs by ``factor`` (used for overhead sensitivity)."""
+        return self.map_tasks(
+            lambda t: t.with_wcet(max(1, int(round(t.wcet * factor))))
+        )
+
+    def subset(self, names: Iterable[str]) -> "TaskSet":
+        wanted = set(names)
+        return TaskSet(task for task in self._tasks if task.name in wanted)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskSet(n={len(self._tasks)}, "
+            f"U={self.total_utilization:.3f})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable table of the task set."""
+        lines = [f"{'name':>8} {'C':>12} {'T':>12} {'D':>12} {'prio':>5} {'util':>6}"]
+        for task in self._tasks:
+            prio = "-" if task.priority is None else str(task.priority)
+            lines.append(
+                f"{task.name:>8} {task.wcet:>12} {task.period:>12} "
+                f"{task.deadline:>12} {prio:>5} {task.utilization:>6.3f}"
+            )
+        lines.append(f"total utilization: {self.total_utilization:.4f}")
+        return "\n".join(lines)

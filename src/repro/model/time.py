@@ -1,0 +1,44 @@
+"""Time units.
+
+Every duration and instant in this library is an ``int`` number of
+nanoseconds.  The constants here make call sites readable::
+
+    Task(wcet=2 * MS, period=10 * MS)
+    OverheadModel(release_ns=3 * US)
+"""
+
+from __future__ import annotations
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def ns_to_us(value_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return value_ns / US
+
+
+def ns_to_ms(value_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return value_ns / MS
+
+
+def format_ns(value_ns: int) -> str:
+    """Human-readable rendering of a nanosecond duration.
+
+    >>> format_ns(2_500_000)
+    '2.500ms'
+    >>> format_ns(3300)
+    '3.300us'
+    >>> format_ns(12)
+    '12ns'
+    """
+    if value_ns >= SEC:
+        return f"{value_ns / SEC:.3f}s"
+    if value_ns >= MS:
+        return f"{value_ns / MS:.3f}ms"
+    if value_ns >= US:
+        return f"{value_ns / US:.3f}us"
+    return f"{value_ns}ns"

@@ -1,0 +1,44 @@
+"""Run-time overhead models, measurement, and analysis-side accounting.
+
+Reproduces Section 3 of the paper:
+
+* :mod:`repro.overhead.model` — the four overhead sources (``rls``, ``sch``,
+  ``cnt1``, ``cnt2``) plus queue-operation and cache-related costs, with
+  constructors calibrated to the paper's measured microsecond values;
+* :mod:`repro.overhead.measure` — micro-benchmarks that re-measure queue
+  operation costs on *our* binomial heap / red-black tree (the paper's
+  methodology applied to this implementation);
+* :mod:`repro.overhead.accounting` — WCET inflation used to integrate
+  overheads into schedulability analysis (Section 4 of the paper).
+"""
+
+from repro.overhead.model import OverheadModel, PAPER_QUEUE_POINTS
+from repro.overhead.accounting import (
+    arrival_overhead,
+    completion_overhead,
+    inflate_taskset,
+    migration_in_overhead,
+    migration_out_overhead,
+    per_job_overhead,
+    per_migration_overhead,
+)
+from repro.overhead.measure import (
+    QueueMeasurement,
+    measure_queue_operations,
+    measure_scheduler_functions,
+)
+
+__all__ = [
+    "OverheadModel",
+    "PAPER_QUEUE_POINTS",
+    "arrival_overhead",
+    "completion_overhead",
+    "inflate_taskset",
+    "migration_in_overhead",
+    "migration_out_overhead",
+    "per_job_overhead",
+    "per_migration_overhead",
+    "QueueMeasurement",
+    "measure_queue_operations",
+    "measure_scheduler_functions",
+]

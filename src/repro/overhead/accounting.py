@@ -1,0 +1,121 @@
+"""Analysis-side overhead accounting.
+
+Section 4 of the paper "integrate[s] the measured overhead into the
+state-of-the-art partitioned scheduling and semi-partitioned scheduling
+algorithms".  The standard way to do this for fixed-priority analysis is
+WCET inflation: each job pays, in the worst case,
+
+* one **arrival path** — ``rls`` on its core, a scheduling decision with a
+  preemption (``sch`` with re-queue), and a context switch in (``cnt1``);
+* one **completion path** — a scheduling decision (``sch`` without
+  re-queue) and a context switch out to the sleep queue (``cnt2``);
+* one **cache reload** charged for the preemption its arrival inflicts on
+  the task it displaces (bounded by the largest working set in the set).
+
+A *split* task additionally pays, per migration (i.e. per body subtask),
+
+* on the source core: ``sch`` + ``cnt2_migrate`` (insert into the remote
+  ready queue);
+* on the destination core: a scheduling decision + ``cnt1``;
+* a migration cache reload.
+
+``per_job_overhead`` and ``per_migration_overhead`` return these charges;
+``inflate_taskset`` applies the per-job charge up front so the partitioning
+algorithms stay overhead-agnostic, and the semi-partitioned splitter adds
+``per_migration_overhead`` for every subtask boundary it creates (passed as
+its ``split_cost``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.overhead.model import OverheadModel
+
+
+def per_job_overhead(model: OverheadModel, cpmd_wss: int = 0) -> int:
+    """Worst-case constant overhead charged to every job (ns).
+
+    ``cpmd_wss`` bounds the working set whose reload the job's arrival
+    forces on the task it preempts (0 disables the cache charge).
+    """
+    arrival = model.rls + model.sch(preemption=True) + model.cnt1
+    completion = model.sch(preemption=False) + model.cnt2_finish
+    cache = model.cache.preemption_delay(cpmd_wss) if cpmd_wss > 0 else 0
+    return arrival + completion + cache
+
+
+def migration_out_overhead(model: OverheadModel) -> int:
+    """Source-side cost of one migration: scheduling pass + ``cnt2`` with
+    the remote ready-queue insert.  It executes on the core the subtask
+    *leaves*, so the analysis charges it to the body entry there."""
+    return model.sch(preemption=False) + model.cnt2_migrate
+
+
+def migration_in_overhead(model: OverheadModel, cpmd_wss: int = 0) -> int:
+    """Destination-side cost of one migration: scheduling pass (with
+    re-queue of a preempted resident) + ``cnt1`` + the migrated working
+    set's reload + the reload the arrival inflicts on the displaced task.
+    Charged to the *arriving* subtask entry."""
+    cache = 0
+    if cpmd_wss > 0:
+        cache = model.cache.migration_delay(
+            cpmd_wss
+        ) + model.cache.preemption_delay(cpmd_wss)
+    return model.sch(preemption=True) + model.cnt1 + cache
+
+
+def arrival_overhead(model: OverheadModel, cpmd_wss: int = 0) -> int:
+    """Release-path cost (``rls`` + ``sch`` + ``cnt1``) on the home core,
+    plus the cache reload the arrival inflicts on the task it displaces.
+    Used to pin the arrival charge onto a split task's *first* subtask;
+    whole tasks carry it inside their inflated WCET."""
+    cache = model.cache.preemption_delay(cpmd_wss) if cpmd_wss > 0 else 0
+    return model.rls + model.sch(preemption=True) + model.cnt1 + cache
+
+
+def completion_overhead(model: OverheadModel) -> int:
+    """Completion-path cost (``sch`` + ``cnt2``) on the finishing core,
+    pinned onto a split task's *tail* subtask."""
+    return model.sch(preemption=False) + model.cnt2_finish
+
+
+def per_migration_overhead(model: OverheadModel, cpmd_wss: int = 0) -> int:
+    """Total worst-case overhead per subtask boundary (source + destination
+    sides); the per-core split is ``migration_out_overhead`` /
+    ``migration_in_overhead``."""
+    return migration_out_overhead(model) + migration_in_overhead(
+        model, cpmd_wss
+    )
+
+
+def inflate_taskset(
+    taskset: TaskSet,
+    model: OverheadModel,
+    charge_cache: bool = True,
+    cpmd_wss: Optional[int] = None,
+) -> TaskSet:
+    """Return a copy of ``taskset`` with per-job overheads folded into WCETs.
+
+    ``cpmd_wss`` defaults to the largest working set in the task set (the
+    sound bound for "whoever I preempt reloads at most this much").
+
+    Tasks whose inflated WCET would exceed their deadline are inflated to
+    exactly ``deadline`` (they will then simply fail the schedulability
+    test, which is the correct verdict).
+    """
+    if model.is_zero and not charge_cache:
+        return taskset
+    if cpmd_wss is None:
+        cpmd_wss = max((task.wss for task in taskset), default=0)
+    if not charge_cache:
+        cpmd_wss = 0
+    charge = per_job_overhead(model, cpmd_wss)
+
+    def inflate(task: Task) -> Task:
+        new_wcet = min(task.wcet + charge, task.deadline)
+        return task.with_wcet(new_wcet)
+
+    return taskset.map_tasks(inflate)

@@ -1,0 +1,43 @@
+"""Partitioned multiprocessor scheduling (the paper's baselines).
+
+The paper compares its semi-partitioned scheduler against "two widely used
+fixed-priority partitioned scheduling algorithms: FFD (first-fit decreasing
+size partitioning) and WFD (worst-fit decreasing size partitioning)".
+This package implements those plus the best-fit and next-fit variants, all
+parameterised by the admission test (exact RTA by default, utilization
+bounds optionally).
+"""
+
+from repro.partition.heuristics import (
+    Placement,
+    partition_taskset,
+    partition_first_fit_decreasing,
+    partition_worst_fit_decreasing,
+    partition_best_fit_decreasing,
+    partition_next_fit_decreasing,
+    rta_admission,
+    liu_layland_admission,
+    hyperbolic_admission,
+)
+from repro.partition.edf import (
+    edf_admission,
+    partition_edf,
+    partition_edf_first_fit,
+    partition_edf_worst_fit,
+)
+
+__all__ = [
+    "Placement",
+    "partition_taskset",
+    "partition_first_fit_decreasing",
+    "partition_worst_fit_decreasing",
+    "partition_best_fit_decreasing",
+    "partition_next_fit_decreasing",
+    "rta_admission",
+    "liu_layland_admission",
+    "hyperbolic_admission",
+    "edf_admission",
+    "partition_edf",
+    "partition_edf_first_fit",
+    "partition_edf_worst_fit",
+]

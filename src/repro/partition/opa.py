@@ -1,0 +1,32 @@
+"""Partitioning with OPA-backed admission (extension).
+
+Uses Audsley's Optimal Priority Assignment as the per-core admission test
+and emits assignments carrying the certified priority order.  For implicit-
+deadline jitter-free workloads this coincides with RM admission (RM is
+optimal there); its advantage appears for constrained deadlines and
+jittered entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.opa import opa_admission, opa_order
+from repro.model.assignment import Assignment
+from repro.model.taskset import TaskSet
+from repro.partition.heuristics import Placement, partition_taskset
+
+
+def partition_opa(
+    taskset: TaskSet,
+    n_cores: int,
+    placement: Placement = Placement.FIRST_FIT,
+) -> Optional[Assignment]:
+    """First-fit decreasing partitioning with OPA admission + ordering."""
+    return partition_taskset(
+        taskset,
+        n_cores,
+        placement,
+        admission=opa_admission,
+        ordering=opa_order,
+    )

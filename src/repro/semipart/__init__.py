@@ -1,0 +1,33 @@
+"""Semi-partitioned fixed-priority multiprocessor scheduling.
+
+The algorithm the paper implements is **FP-TS** ("fixed priority with task
+splitting", its reference [4]: Guan, Stigge, Yi & Yu, RTAS 2010), which has
+"both high worst-case utilization guarantees ... and good average-case
+real-time performance (exhibits high acceptance ratio in empirical
+evaluations)".
+
+* :func:`~repro.semipart.fpts.fpts_partition` — the RTA-based splitter:
+  exact response-time analysis decides both whole-task placement and the
+  maximal body budget each core can host.  This is the high-acceptance
+  member of the family and the algorithm our evaluation harness labels
+  ``FP-TS``.
+* :mod:`repro.semipart.spa` — SPA1 and SPA2, the utilization-bound variants
+  from the same RTAS'10 paper that achieve the Liu & Layland bound
+  (reconstructed from the published description).
+"""
+
+from repro.semipart.fpts import FptsConfig, fpts_partition
+from repro.semipart.spa import spa1_partition, spa2_partition
+from repro.semipart.cd_split import CdSplitConfig, cd_split_partition
+from repro.semipart.pdms import PdmsConfig, pdms_hpts_partition
+
+__all__ = [
+    "FptsConfig",
+    "fpts_partition",
+    "spa1_partition",
+    "spa2_partition",
+    "CdSplitConfig",
+    "cd_split_partition",
+    "PdmsConfig",
+    "pdms_hpts_partition",
+]

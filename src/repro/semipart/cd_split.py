@@ -1,0 +1,307 @@
+"""C=D semi-partitioned EDF splitting (extension, DESIGN.md §7).
+
+Implements the C=D scheme (Burns, Davis, Wang & Zhang, *Partitioned EDF
+scheduling for multiprocessors using a C=D task splitting scheme*, 2012):
+
+* tasks are placed whole, first-fit in decreasing-utilization order, with
+  exact uniprocessor EDF admission (processor-demand analysis);
+* a task that fits nowhere is split: a core receives a chunk ``c`` posed
+  as a **C=D task** — execution ``c``, *deadline also* ``c`` — which EDF
+  necessarily serves as soon as it is released, so the chunk completes
+  within ``c`` time units and the remainder continues elsewhere with
+  deadline reduced by ``c``;
+* the maximal chunk each core can absorb is found by binary search over
+  ``c`` with the exact demand-bound test;
+* the final piece runs as an ordinary EDF task with deadline
+  ``D - sum of earlier chunks`` and release jitter equal to that sum.
+
+Soundness details:
+
+* a split piece with release jitter ``J`` is admitted with an *effective
+  period* ``T - J``: successive releases of the piece can be as close as
+  ``T - J`` apart, and the demand-bound function with the shortened period
+  upper-bounds the true jittered demand;
+* migration overheads are charged per piece via :class:`CdSplitConfig`
+  (same located-charge discipline as FP-TS).
+
+The produced assignments carry per-stage deadlines, so
+``KernelSim(..., policy="edf")`` executes them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.edf import edf_schedulable
+from repro.analysis.rta import order_entries
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.split import SplitTask, Subtask
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class CdSplitConfig:
+    """Analysis-side charges for C=D splitting (all nanoseconds).
+
+    ``split_cost`` is added to every piece that arrives by migration,
+    ``split_cost_out`` to every piece that migrates away (non-final),
+    ``min_chunk`` bounds the smallest useful chunk.
+    """
+
+    split_cost: int = 0
+    split_cost_out: int = 0
+    min_chunk: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.split_cost < 0 or self.split_cost_out < 0:
+            raise ValueError("costs must be non-negative")
+        if self.min_chunk < 1:
+            raise ValueError("min_chunk must be at least 1 ns")
+
+    @staticmethod
+    def from_model(model, cpmd_wss: int = 0, min_chunk: int = 1000):
+        from repro.overhead.accounting import (
+            migration_in_overhead,
+            migration_out_overhead,
+        )
+
+        return CdSplitConfig(
+            split_cost=migration_in_overhead(model, cpmd_wss),
+            split_cost_out=migration_out_overhead(model),
+            min_chunk=min_chunk,
+        )
+
+
+def _triple(entry: Entry, config: CdSplitConfig) -> Tuple[int, int, int]:
+    """Demand triple (C, T_eff, D) for one entry, charges located."""
+    budget = entry.budget
+    sub = entry.subtask
+    if sub is not None:
+        if sub.index >= 1:
+            budget += config.split_cost
+        if not sub.is_tail:
+            budget += config.split_cost_out
+    effective_period = entry.period - entry.jitter
+    return (budget, max(effective_period, entry.deadline, 1), entry.deadline)
+
+
+def _core_edf_ok(
+    entries: List[Entry], candidate: Entry, config: CdSplitConfig
+) -> bool:
+    triples = [_triple(e, config) for e in entries + [candidate]]
+    # A C=D chunk (or any entry) must at least fit its own deadline.
+    for c, _t, d in triples:
+        if c > d:
+            return False
+    return edf_schedulable(triples)
+
+
+class _CdSplitter:
+    def __init__(self, n_cores: int, config: CdSplitConfig) -> None:
+        self.config = config
+        self.core_entries: List[List[Entry]] = [[] for _ in range(n_cores)]
+        self.splits: List[SplitTask] = []
+        self.body_rank = 0
+
+    def _spare(self, core: int) -> float:
+        return 1.0 - sum(e.utilization for e in self.core_entries[core])
+
+    def try_whole(self, task: Task) -> bool:
+        for core in range(len(self.core_entries)):
+            entry = Entry(
+                kind=EntryKind.NORMAL,
+                task=task,
+                core=core,
+                budget=task.wcet,
+                deadline=task.deadline,
+            )
+            if _core_edf_ok(self.core_entries[core], entry, self.config):
+                self.core_entries[core].append(entry)
+                return True
+        return False
+
+    def try_split(self, task: Task) -> bool:
+        config = self.config
+        remaining = task.wcet
+        consumed_deadline = 0  # sum of earlier C=D chunks
+        pieces: List[Tuple[int, int]] = []
+        piece_entries: List[Entry] = []
+
+        candidates = sorted(
+            range(len(self.core_entries)), key=self._spare, reverse=True
+        )
+        for core in candidates:
+            index = len(pieces)
+            # (a) place the remainder as the final ordinary-EDF piece.
+            final_deadline = task.deadline - consumed_deadline
+            tail_charge = config.split_cost if index >= 1 else 0
+            if final_deadline >= remaining + tail_charge:
+                sub = Subtask(
+                    task=task,
+                    index=index,
+                    core=core,
+                    budget=remaining,
+                    total_subtasks=index + 1,
+                )
+                entry = Entry(
+                    kind=EntryKind.TAIL if index >= 1 else EntryKind.NORMAL,
+                    task=task,
+                    core=core,
+                    budget=remaining,
+                    subtask=sub if index >= 1 else None,
+                    deadline=final_deadline,
+                    jitter=consumed_deadline,
+                )
+                if _core_edf_ok(self.core_entries[core], entry, config):
+                    pieces.append((core, remaining))
+                    piece_entries.append(entry)
+                    self._commit(task, pieces, piece_entries)
+                    return True
+            # (b) maximal C=D chunk this core can absorb.
+            chunk = self._max_chunk(
+                task, core, index, remaining, consumed_deadline
+            )
+            if chunk is None:
+                continue
+            chunk_deadline = chunk + self._piece_charge(index)
+            sub = Subtask(
+                task=task,
+                index=index,
+                core=core,
+                budget=chunk,
+                total_subtasks=index + 2,
+            )
+            entry = Entry(
+                kind=EntryKind.BODY,
+                task=task,
+                core=core,
+                budget=chunk,
+                subtask=sub,
+                # C=D on the *total demand*: raw chunk + located charges.
+                deadline=chunk_deadline,
+                jitter=consumed_deadline,
+                body_rank=self.body_rank,
+            )
+            self.body_rank += 1
+            pieces.append((core, chunk))
+            piece_entries.append(entry)
+            consumed_deadline += chunk_deadline
+            remaining -= chunk
+        return False
+
+    def _piece_charge(self, index: int) -> int:
+        """Overhead charge a body piece at ``index`` carries (out-side
+        always; in-side when it arrived by migration)."""
+        charge = self.config.split_cost_out
+        if index >= 1:
+            charge += self.config.split_cost
+        return charge
+
+    def _max_chunk(
+        self,
+        task: Task,
+        core: int,
+        index: int,
+        remaining: int,
+        consumed_deadline: int,
+    ) -> Optional[int]:
+        config = self.config
+        charge = self._piece_charge(index)
+
+        def check(c: int) -> bool:
+            # The rest must still be able to meet the residual deadline
+            # even with zero interference (reserving the tail's in-charge).
+            residual = task.deadline - consumed_deadline - (c + charge)
+            if residual < (remaining - c) + config.split_cost:
+                return False
+            sub = Subtask(
+                task=task,
+                index=index,
+                core=core,
+                budget=c,
+                total_subtasks=index + 2,
+            )
+            entry = Entry(
+                kind=EntryKind.BODY,
+                task=task,
+                core=core,
+                budget=c,
+                subtask=sub,
+                deadline=c + charge,
+                jitter=consumed_deadline,
+                body_rank=self.body_rank,
+            )
+            return _core_edf_ok(self.core_entries[core], entry, config)
+
+        low = config.min_chunk
+        high = remaining - 1
+        if high < low or not check(low):
+            return None
+        best = low
+        while low <= high:
+            mid = (low + high) // 2
+            if check(mid):
+                best = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        return best
+
+    def _commit(
+        self,
+        task: Task,
+        pieces: List[Tuple[int, int]],
+        piece_entries: List[Entry],
+    ) -> None:
+        if len(pieces) == 1:
+            self.core_entries[pieces[0][0]].append(piece_entries[0])
+            return
+        split = SplitTask.build(task, pieces)
+        for entry, sub in zip(piece_entries, split.subtasks):
+            entry.subtask = sub
+            entry.kind = EntryKind.TAIL if sub.is_tail else EntryKind.BODY
+            self.core_entries[entry.core].append(entry)
+        self.splits.append(split)
+
+
+def cd_split_partition(
+    taskset: TaskSet,
+    n_cores: int,
+    config: CdSplitConfig = CdSplitConfig(),
+) -> Optional[Assignment]:
+    """Semi-partitioned EDF with C=D splitting; None if infeasible.
+
+    >>> from repro.model import Task, TaskSet
+    >>> ts = TaskSet([
+    ...     Task("a", wcet=6, period=10),
+    ...     Task("b", wcet=6, period=10),
+    ...     Task("c", wcet=6, period=10),
+    ... ]).assign_rate_monotonic()
+    >>> assignment = cd_split_partition(ts, 2, CdSplitConfig(min_chunk=1))
+    >>> assignment is not None and assignment.n_split_tasks == 1
+    True
+    """
+    for task in taskset:
+        if task.priority is None:
+            raise ValueError(
+                f"task {task.name} has no priority; call "
+                "assign_rate_monotonic() first (priorities order the "
+                "entry bookkeeping even though EDF ignores them)"
+            )
+    splitter = _CdSplitter(n_cores, config)
+    for task in taskset.sorted_by_utilization(descending=True):
+        if splitter.try_whole(task):
+            continue
+        if not splitter.try_split(task):
+            return None
+    assignment = Assignment(n_cores)
+    for entries in splitter.core_entries:
+        for local_priority, entry in enumerate(order_entries(entries)):
+            entry.local_priority = local_priority
+            assignment.add_entry(entry)
+    for split in splitter.splits:
+        assignment.register_split(split)
+    assignment.validate()
+    return assignment

@@ -1,0 +1,41 @@
+"""Aperiodic servers (extension).
+
+Real systems mix the paper's hard periodic tasks with *aperiodic* work
+(interrupts, operator commands, network packets).  The classic solution is
+a **server**: a periodic budget reserved for aperiodic jobs, analysable as
+one more task on its core.
+
+* :class:`~repro.servers.server.PollingServer` — budget usable only at
+  period boundaries; unused budget is lost immediately.  Interferes with
+  lower-priority tasks exactly like a periodic task (C_s, T_s).
+* :class:`~repro.servers.server.DeferrableServer` — budget preserved
+  through the period, spent whenever aperiodic work arrives.  Better
+  aperiodic response times, but its back-to-back effect interferes like a
+  periodic task with release jitter ``T_s - C_s`` (the standard bound).
+* background service — no server at all: aperiodic work runs at the lowest
+  priority (the baseline both servers beat).
+
+:mod:`repro.servers.sim` simulates all three on one core alongside a hard
+periodic task set and reports aperiodic response statistics;
+:func:`~repro.servers.analysis.server_entry` produces the analysis-facing
+entry for the hard tasks' RTA.
+"""
+
+from repro.servers.server import (
+    AperiodicJob,
+    DeferrableServer,
+    PollingServer,
+    poisson_aperiodic_stream,
+)
+from repro.servers.analysis import server_entry
+from repro.servers.sim import AperiodicStats, simulate_with_server
+
+__all__ = [
+    "AperiodicJob",
+    "DeferrableServer",
+    "PollingServer",
+    "poisson_aperiodic_stream",
+    "server_entry",
+    "AperiodicStats",
+    "simulate_with_server",
+]

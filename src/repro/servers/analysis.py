@@ -1,0 +1,39 @@
+"""Analysis-side view of a server: one more fixed-priority entry.
+
+A polling server interferes with lower-priority hard tasks exactly like a
+periodic task ``(C_s, T_s)``.  A deferrable server can produce the
+*back-to-back* effect — budget spent at the very end of one period
+followed immediately by a fresh budget — which the standard bound models
+as release jitter ``T_s - C_s`` on that same periodic task (equivalently,
+up to ``ceil((R + T_s - C_s)/T_s)`` interfering budgets in a window).
+"""
+
+from __future__ import annotations
+
+from repro.model.assignment import Entry, EntryKind
+from repro.model.task import Task
+
+
+def server_entry(server, priority: int, core: int = 0) -> Entry:
+    """Analysis entry representing ``server`` at global ``priority``.
+
+    Use it alongside the hard tasks' entries in
+    :func:`repro.analysis.rta.core_schedulable`.
+    """
+    task = Task(
+        name=server.name,
+        wcet=server.capacity,
+        period=server.period,
+        priority=priority,
+    )
+    jitter = 0
+    if server.kind == "deferrable":
+        jitter = server.period - server.capacity
+    return Entry(
+        kind=EntryKind.NORMAL,
+        task=task,
+        core=core,
+        budget=server.capacity,
+        deadline=server.period,
+        jitter=jitter,
+    )

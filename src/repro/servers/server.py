@@ -1,0 +1,103 @@
+"""Server definitions and aperiodic workload streams."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class AperiodicJob:
+    """One aperiodic request: ``work`` ns arriving at ``arrival`` ns."""
+
+    arrival: int
+    work: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+
+
+@dataclass(frozen=True)
+class PollingServer:
+    """Polling server: budget available only at replenishment instants.
+
+    At each period start the server polls the aperiodic queue; if it is
+    empty the whole budget is forfeited until the next period.
+    """
+
+    capacity: int
+    period: int
+    name: str = "server"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.capacity <= self.period:
+            raise ValueError("need 0 < capacity <= period")
+
+    @property
+    def utilization(self) -> float:
+        return self.capacity / self.period
+
+    @property
+    def kind(self) -> str:
+        return "polling"
+
+
+@dataclass(frozen=True)
+class DeferrableServer:
+    """Deferrable server: budget preserved across the period.
+
+    Aperiodic work is served at the server's priority the moment it
+    arrives, as long as budget remains; the budget resets to full at each
+    period boundary (no carry-over).
+    """
+
+    capacity: int
+    period: int
+    name: str = "server"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.capacity <= self.period:
+            raise ValueError("need 0 < capacity <= period")
+
+    @property
+    def utilization(self) -> float:
+        return self.capacity / self.period
+
+    @property
+    def kind(self) -> str:
+        return "deferrable"
+
+
+def poisson_aperiodic_stream(
+    rng: random.Random,
+    horizon: int,
+    mean_interarrival: int,
+    mean_work: int,
+    max_work: int = 0,
+) -> List[AperiodicJob]:
+    """Poisson arrivals with exponential work, for server experiments.
+
+    ``max_work`` (0 = 4x mean) truncates the work distribution so a single
+    pathological job cannot dominate a run.
+    """
+    if mean_interarrival <= 0 or mean_work <= 0:
+        raise ValueError("means must be positive")
+    if max_work <= 0:
+        max_work = 4 * mean_work
+    jobs: List[AperiodicJob] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(1.0 / mean_interarrival)
+        arrival = int(t)
+        if arrival >= horizon:
+            break
+        work = min(
+            max_work, max(1, int(rng.expovariate(1.0 / mean_work)))
+        )
+        jobs.append(AperiodicJob(arrival=arrival, work=work))
+    return jobs

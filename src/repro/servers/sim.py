@@ -1,0 +1,217 @@
+"""Single-core simulation of hard periodic tasks + one aperiodic server.
+
+A compact, exact event-driven model (independent of the kernel simulator —
+servers change the dispatching rules enough that a dedicated loop is
+clearer and doubles as a cross-check):
+
+* hard tasks: synchronous periodic, preemptive fixed priority, worst-case
+  execution every job;
+* aperiodic jobs: FIFO, served by the chosen policy —
+  ``PollingServer`` / ``DeferrableServer`` at the server's priority, or
+  background service (no server: aperiodic work runs only on idle time).
+
+Reports hard-deadline misses and aperiodic response statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.task import Task
+from repro.servers.server import AperiodicJob
+
+
+@dataclass
+class AperiodicStats:
+    """Response-time statistics for the aperiodic stream."""
+
+    completed: int = 0
+    total_response: int = 0
+    max_response: int = 0
+    unfinished: int = 0
+
+    @property
+    def mean_response(self) -> float:
+        return self.total_response / self.completed if self.completed else 0.0
+
+    def record(self, response: int) -> None:
+        self.completed += 1
+        self.total_response += response
+        self.max_response = max(self.max_response, response)
+
+
+@dataclass
+class _HardJob:
+    task_index: int
+    release: int
+    deadline: int
+    remaining: int
+
+
+@dataclass
+class _ApJob:
+    job: AperiodicJob
+    remaining: int
+
+
+def simulate_with_server(
+    tasks: Sequence[Task],
+    aperiodics: Sequence[AperiodicJob],
+    horizon: int,
+    server=None,
+    server_priority: int = 0,
+) -> Tuple[int, AperiodicStats]:
+    """Simulate; returns ``(hard_deadline_misses, aperiodic_stats)``.
+
+    ``tasks`` must be sorted highest priority first.  ``server=None`` means
+    background service.  ``server_priority`` is the insertion index of the
+    server in the hard priority order (0 = above every hard task).
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    pending_ap: List[_ApJob] = [
+        _ApJob(job=j, remaining=j.work)
+        for j in sorted(aperiodics, key=lambda j: j.arrival)
+    ]
+    arrived_ap: List[_ApJob] = []
+    hard_ready: List[_HardJob] = []
+    stats = AperiodicStats()
+    misses = 0
+
+    budget = 0
+    polling_active = False
+    if server is not None:
+        budget = server.capacity
+        next_replenish = server.period
+        if server.kind == "polling":
+            polling_active = False  # set at t=0 below
+    else:
+        next_replenish = None
+
+    next_release = [0] * len(tasks)
+    t = 0
+
+    def admit_arrivals(now: int) -> None:
+        while pending_ap and pending_ap[0].job.arrival <= now:
+            arrived_ap.append(pending_ap.pop(0))
+
+    def release_hard(now: int) -> int:
+        nonlocal misses
+        for index, task in enumerate(tasks):
+            while next_release[index] <= now:
+                release = next_release[index]
+                hard_ready.append(
+                    _HardJob(
+                        task_index=index,
+                        release=release,
+                        deadline=release + task.deadline,
+                        remaining=task.wcet,
+                    )
+                )
+                next_release[index] += task.period
+        return min(next_release)
+
+    def poll(now: int) -> None:
+        """Polling-server replenishment bookkeeping."""
+        nonlocal budget, polling_active
+        if server is None:
+            return
+        if server.kind == "polling":
+            if arrived_ap:
+                budget = server.capacity
+                polling_active = True
+            else:
+                budget = 0
+                polling_active = False
+        else:  # deferrable
+            budget = server.capacity
+
+    # t = 0 bookkeeping.
+    admit_arrivals(0)
+    upcoming_hard = release_hard(0)
+    if server is not None:
+        poll(0)
+
+    while t < horizon:
+        # Decide who runs at time t.
+        hard_ready.sort(key=lambda j: (j.task_index, j.release))
+        runner = None  # "hard" | "server" | "background"
+        hard_job: Optional[_HardJob] = None
+
+        server_eligible = (
+            server is not None
+            and arrived_ap
+            and budget > 0
+            and (server.kind == "deferrable" or polling_active)
+        )
+        # Priority comparison: server sits at index server_priority.
+        if hard_ready:
+            hard_job = hard_ready[0]
+        if server_eligible and (
+            hard_job is None or server_priority <= hard_job.task_index
+        ):
+            runner = "server"
+        elif hard_job is not None:
+            runner = "hard"
+        elif server is None and arrived_ap:
+            runner = "background"
+
+        # Next scheduling point.
+        boundaries = [horizon]
+        if upcoming_hard < horizon:
+            boundaries.append(upcoming_hard)
+        if pending_ap:
+            boundaries.append(pending_ap[0].job.arrival)
+        if next_replenish is not None and next_replenish < horizon:
+            boundaries.append(next_replenish)
+        if runner == "hard":
+            boundaries.append(t + hard_job.remaining)
+        elif runner == "server":
+            boundaries.append(t + min(arrived_ap[0].remaining, budget))
+        elif runner == "background":
+            boundaries.append(t + arrived_ap[0].remaining)
+        next_t = min(b for b in boundaries if b > t)
+        span = next_t - t
+
+        # Execute.
+        if runner == "hard":
+            hard_job.remaining -= span
+            if hard_job.remaining == 0:
+                if next_t > hard_job.deadline:
+                    misses += 1
+                hard_ready.remove(hard_job)
+        elif runner in ("server", "background"):
+            ap = arrived_ap[0]
+            ap.remaining -= span
+            if runner == "server":
+                budget -= span
+            if ap.remaining == 0:
+                stats.record(next_t - ap.job.arrival)
+                arrived_ap.pop(0)
+                if (
+                    server is not None
+                    and server.kind == "polling"
+                    and not arrived_ap
+                ):
+                    # Polling server forfeits leftover budget when the
+                    # queue empties.
+                    budget = 0
+                    polling_active = False
+
+        t = next_t
+        admit_arrivals(t)
+        if upcoming_hard <= t:
+            upcoming_hard = release_hard(t)
+        if next_replenish is not None and next_replenish <= t:
+            poll(t)
+            next_replenish += server.period
+
+        # Hard jobs past their deadline but unfinished: count once.
+        for job in list(hard_ready):
+            if job.deadline <= t and job.remaining > 0:
+                misses += 1
+                hard_ready.remove(job)
+
+    stats.unfinished = len(arrived_ap) + len(pending_ap)
+    return misses, stats

@@ -1,0 +1,369 @@
+"""Binomial min-heap.
+
+The per-core *ready queue* of the paper's scheduler is "implemented by a
+binomial heap" (Section 2).  A binomial heap supports O(log n) insert,
+find-min, extract-min, arbitrary delete, and O(log n) melding, which is what
+makes it attractive for a scheduler ready queue: a migrating subtask can be
+inserted into the destination core's queue in logarithmic time.
+
+Keys are arbitrary comparable objects (the scheduler uses
+``(priority, sequence)`` tuples so that FIFO order breaks priority ties).
+``insert`` returns a :class:`HeapHandle` that remains valid until the entry is
+removed, enabling O(log n) ``delete`` and ``decrease_key``.  Internally the
+heap moves *payloads* between tree nodes (the classic sift-up), and each move
+re-points the affected handles, so handles never go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+
+class HeapHandle:
+    """Opaque, stable reference to one entry of a :class:`BinomialHeap`."""
+
+    __slots__ = ("_node",)
+
+    def __init__(self, node: "_BinomialNode") -> None:
+        self._node = node
+
+    @property
+    def key(self) -> Any:
+        if self._node is None:
+            raise KeyError("handle is no longer in the heap")
+        return self._node.key
+
+    @property
+    def value(self) -> Any:
+        if self._node is None:
+            raise KeyError("handle is no longer in the heap")
+        return self._node.value
+
+    @property
+    def in_heap(self) -> bool:
+        return self._node is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._node is None:
+            return "HeapHandle(detached)"
+        return f"HeapHandle(key={self._node.key!r})"
+
+
+class _BinomialNode:
+    """One node of a binomial tree inside the heap forest."""
+
+    __slots__ = ("key", "value", "handle", "degree", "parent", "child", "sibling")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.handle: Optional[HeapHandle] = None
+        self.degree = 0
+        self.parent: Optional[_BinomialNode] = None
+        self.child: Optional[_BinomialNode] = None
+        self.sibling: Optional[_BinomialNode] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_BinomialNode(key={self.key!r}, degree={self.degree})"
+
+
+class BinomialHeap:
+    """A binomial min-heap with stable node handles.
+
+    >>> heap = BinomialHeap()
+    >>> handle = heap.insert(5, "five")
+    >>> _ = heap.insert(2, "two")
+    >>> heap.find_min()
+    (2, 'two')
+    >>> heap.delete(handle)
+    >>> heap.extract_min()
+    (2, 'two')
+    >>> len(heap)
+    0
+    """
+
+    def __init__(self) -> None:
+        self._head: Optional[_BinomialNode] = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def insert(self, key: Any, value: Any = None) -> HeapHandle:
+        """Insert ``value`` with priority ``key``; return a stable handle."""
+        node = _BinomialNode(key, value)
+        handle = HeapHandle(node)
+        node.handle = handle
+        self._merge_root_list(node)
+        self._size += 1
+        return handle
+
+    def find_min(self) -> Any:
+        """Return ``(key, value)`` of the minimum entry without removing it."""
+        node = self._min_node()
+        if node is None:
+            raise IndexError("find_min on empty binomial heap")
+        return node.key, node.value
+
+    def peek_value(self) -> Any:
+        """Return only the value of the minimum entry."""
+        return self.find_min()[1]
+
+    def extract_min(self) -> Any:
+        """Remove and return ``(key, value)`` of the minimum entry."""
+        node = self._min_node()
+        if node is None:
+            raise IndexError("extract_min on empty binomial heap")
+        self._remove_root(node)
+        self._detach(node)
+        self._size -= 1
+        return node.key, node.value
+
+    def delete(self, handle: HeapHandle) -> None:
+        """Remove an arbitrary entry via its handle in O(log n)."""
+        node = handle._node
+        if node is None:
+            raise KeyError("handle is no longer in the heap")
+        root = self._bubble_to_root(node)
+        self._remove_root(root)
+        self._detach(root)
+        self._size -= 1
+
+    def decrease_key(self, handle: HeapHandle, new_key: Any) -> None:
+        """Decrease the key of the entry referenced by ``handle``."""
+        node = handle._node
+        if node is None:
+            raise KeyError("handle is no longer in the heap")
+        if node.key < new_key:
+            raise ValueError("decrease_key called with a larger key")
+        node.key = new_key
+        self._sift_up(node)
+
+    def merge(self, other: "BinomialHeap") -> None:
+        """Meld ``other`` into this heap, emptying ``other``."""
+        if other is self:
+            raise ValueError("cannot merge a heap with itself")
+        if other._head is not None:
+            self._merge_root_list(other._head)
+            self._size += other._size
+        other._head = None
+        other._size = 0
+
+    def items(self) -> Iterator[Any]:
+        """Iterate over all ``(key, value)`` pairs in no particular order."""
+        stack: List[_BinomialNode] = []
+        node = self._head
+        while node is not None:
+            stack.append(node)
+            node = node.sibling
+        while stack:
+            current = stack.pop()
+            yield current.key, current.value
+            child = current.child
+            while child is not None:
+                stack.append(child)
+                child = child.sibling
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    def clear(self) -> None:
+        # Detach all handles so stale handles raise instead of corrupting.
+        stack: List[_BinomialNode] = []
+        node = self._head
+        while node is not None:
+            stack.append(node)
+            node = node.sibling
+        while stack:
+            current = stack.pop()
+            child = current.child
+            while child is not None:
+                stack.append(child)
+                child = child.sibling
+            self._detach(current)
+        self._head = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Structural invariant check (used by the property-based tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the binomial-heap invariants are broken."""
+        seen_degrees = set()
+        count = 0
+        node = self._head
+        prev_degree = -1
+        while node is not None:
+            assert node.parent is None, "root with a parent"
+            assert node.degree > prev_degree, "root degrees not strictly increasing"
+            assert node.degree not in seen_degrees, "duplicate root degree"
+            seen_degrees.add(node.degree)
+            prev_degree = node.degree
+            count += self._check_tree(node)
+            node = node.sibling
+        assert count == self._size, f"size mismatch: {count} != {self._size}"
+
+    def _check_tree(self, root: _BinomialNode) -> int:
+        """Check heap order and binomial shape below ``root``; return node count."""
+        assert root.handle is not None and root.handle._node is root, (
+            "handle backlink broken"
+        )
+        count = 1
+        expected_child_degree = root.degree - 1
+        child = root.child
+        while child is not None:
+            assert child.parent is root, "child with wrong parent pointer"
+            assert not child.key < root.key, "heap order violated"
+            assert child.degree == expected_child_degree, "binomial shape violated"
+            count += self._check_tree(child)
+            expected_child_degree -= 1
+            child = child.sibling
+        assert expected_child_degree == -1, "missing children for degree"
+        return count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _detach(node: _BinomialNode) -> None:
+        if node.handle is not None:
+            node.handle._node = None
+            node.handle = None
+
+    def _min_node(self) -> Optional[_BinomialNode]:
+        best = None
+        node = self._head
+        while node is not None:
+            if best is None or node.key < best.key:
+                best = node
+            node = node.sibling
+        return best
+
+    @staticmethod
+    def _link(child: _BinomialNode, parent: _BinomialNode) -> None:
+        """Make ``child`` the left-most child of ``parent`` (equal degrees)."""
+        child.parent = parent
+        child.sibling = parent.child
+        parent.child = child
+        parent.degree += 1
+
+    def _merge_root_list(self, other_head: _BinomialNode) -> None:
+        """Merge another root list into ours and fix up duplicate degrees."""
+        self._head = self._union(self._head, other_head)
+
+    def _union(
+        self, a: Optional[_BinomialNode], b: Optional[_BinomialNode]
+    ) -> Optional[_BinomialNode]:
+        head = self._merge_by_degree(a, b)
+        if head is None:
+            return None
+        prev: Optional[_BinomialNode] = None
+        curr = head
+        nxt = curr.sibling
+        while nxt is not None:
+            if curr.degree != nxt.degree or (
+                nxt.sibling is not None and nxt.sibling.degree == curr.degree
+            ):
+                prev = curr
+                curr = nxt
+            elif not nxt.key < curr.key:
+                curr.sibling = nxt.sibling
+                self._link(nxt, curr)
+            else:
+                if prev is None:
+                    head = nxt
+                else:
+                    prev.sibling = nxt
+                self._link(curr, nxt)
+                curr = nxt
+            nxt = curr.sibling
+        return head
+
+    @staticmethod
+    def _merge_by_degree(
+        a: Optional[_BinomialNode], b: Optional[_BinomialNode]
+    ) -> Optional[_BinomialNode]:
+        """Merge two root lists sorted by degree (like merging sorted lists)."""
+        dummy = _BinomialNode(None, None)
+        tail = dummy
+        while a is not None and b is not None:
+            if a.degree <= b.degree:
+                tail.sibling = a
+                a = a.sibling
+            else:
+                tail.sibling = b
+                b = b.sibling
+            tail = tail.sibling
+        tail.sibling = a if a is not None else b
+        return dummy.sibling
+
+    def _remove_root(self, root: _BinomialNode) -> None:
+        """Detach ``root`` from the root list and re-meld its children."""
+        prev = None
+        node = self._head
+        while node is not root:
+            prev = node
+            node = node.sibling
+        if prev is None:
+            self._head = root.sibling
+        else:
+            prev.sibling = root.sibling
+        # Reverse the child list (children are stored in decreasing degree).
+        child = root.child
+        reversed_head: Optional[_BinomialNode] = None
+        while child is not None:
+            nxt = child.sibling
+            child.sibling = reversed_head
+            child.parent = None
+            reversed_head = child
+            child = nxt
+        root.child = None
+        root.sibling = None
+        root.parent = None
+        root.degree = 0
+        if reversed_head is not None:
+            self._head = self._union(self._head, reversed_head)
+
+    @staticmethod
+    def _swap_payload(a: _BinomialNode, b: _BinomialNode) -> None:
+        """Swap keys, values and handle backlinks so handles stay valid."""
+        a.key, b.key = b.key, a.key
+        a.value, b.value = b.value, a.value
+        a.handle, b.handle = b.handle, a.handle
+        if a.handle is not None:
+            a.handle._node = a
+        if b.handle is not None:
+            b.handle._node = b
+
+    def _sift_up(self, node: _BinomialNode) -> _BinomialNode:
+        """Swap payloads towards the root while heap order is violated."""
+        current = node
+        parent = current.parent
+        while parent is not None and current.key < parent.key:
+            self._swap_payload(current, parent)
+            current = parent
+            parent = current.parent
+        return current
+
+    def _bubble_to_root(self, node: _BinomialNode) -> _BinomialNode:
+        """Move ``node``'s payload to the root of its tree unconditionally."""
+        current = node
+        parent = current.parent
+        while parent is not None:
+            self._swap_payload(current, parent)
+            current = parent
+            parent = current.parent
+        return current
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BinomialHeap(size={self._size})"

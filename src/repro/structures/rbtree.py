@@ -1,0 +1,340 @@
+"""Red-black tree.
+
+The per-core *sleep queue* of the paper's scheduler is "implemented by a
+red-black tree" (Section 2), mirroring how Linux keeps time-ordered task
+collections (e.g. CFS and hrtimers) in ``rb_node`` trees.  Entries are keyed
+by absolute wake-up time; the scheduler repeatedly asks for the minimum key
+(the next task to release).
+
+This is a textbook CLRS implementation with a shared NIL sentinel, supporting
+duplicate keys (duplicates go to the right subtree), O(log n) insert/delete,
+and in-order iteration.  ``insert`` returns a stable node reference usable
+with ``remove``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+_RED = 0
+_BLACK = 1
+
+
+class _RBNode:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: Any, value: Any, color: int) -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left: "_RBNode" = None  # type: ignore[assignment]
+        self.right: "_RBNode" = None  # type: ignore[assignment]
+        self.parent: "_RBNode" = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        color = "R" if self.color == _RED else "B"
+        return f"_RBNode({self.key!r}, {color})"
+
+
+class RedBlackTree:
+    """Red-black tree keyed by comparable keys, allowing duplicates.
+
+    >>> tree = RedBlackTree()
+    >>> node = tree.insert(10, "a")
+    >>> _ = tree.insert(5, "b")
+    >>> tree.min()
+    (5, 'b')
+    >>> tree.remove(node)
+    >>> tree.pop_min()
+    (5, 'b')
+    >>> len(tree)
+    0
+    """
+
+    def __init__(self) -> None:
+        self._nil = _RBNode(None, None, _BLACK)
+        self._nil.left = self._nil
+        self._nil.right = self._nil
+        self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def insert(self, key: Any, value: Any = None) -> _RBNode:
+        """Insert ``(key, value)``; return the node for later ``remove``."""
+        node = _RBNode(key, value, _RED)
+        node.left = self._nil
+        node.right = self._nil
+        parent = self._nil
+        current = self._root
+        while current is not self._nil:
+            parent = current
+            if key < current.key:
+                current = current.left
+            else:
+                current = current.right
+        node.parent = parent
+        if parent is self._nil:
+            self._root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._size += 1
+        self._insert_fixup(node)
+        return node
+
+    def min(self) -> Any:
+        """Return ``(key, value)`` of the smallest entry."""
+        if self._root is self._nil:
+            raise IndexError("min on empty red-black tree")
+        node = self._minimum(self._root)
+        return node.key, node.value
+
+    def min_node(self) -> Optional[_RBNode]:
+        """Return the node holding the smallest key, or None if empty."""
+        if self._root is self._nil:
+            return None
+        return self._minimum(self._root)
+
+    def pop_min(self) -> Any:
+        """Remove and return ``(key, value)`` of the smallest entry."""
+        if self._root is self._nil:
+            raise IndexError("pop_min on empty red-black tree")
+        node = self._minimum(self._root)
+        key, value = node.key, node.value
+        self.remove(node)
+        return key, value
+
+    def remove(self, node: _RBNode) -> None:
+        """Remove a node previously returned by ``insert``."""
+        if node.parent is None:
+            raise KeyError("node is no longer in the tree")
+        self._delete(node)
+        node.parent = None  # type: ignore[assignment]
+        self._size -= 1
+
+    def find(self, key: Any) -> Optional[_RBNode]:
+        """Return some node with ``key``, or None."""
+        current = self._root
+        while current is not self._nil:
+            if key < current.key:
+                current = current.left
+            elif current.key < key:
+                current = current.right
+            else:
+                return current
+        return None
+
+    def items(self) -> Iterator[Any]:
+        """In-order iteration over ``(key, value)`` pairs."""
+        stack = []
+        current = self._root
+        while stack or current is not self._nil:
+            while current is not self._nil:
+                stack.append(current)
+                current = current.left
+            current = stack.pop()
+            yield current.key, current.value
+            current = current.right
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    def clear(self) -> None:
+        self._root = self._nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Invariant checking (for the property-based tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if red-black invariants are broken."""
+        assert self._root.color == _BLACK, "root must be black"
+        assert self._nil.color == _BLACK, "sentinel must be black"
+        count, _black_height = self._check_node(self._root)
+        assert count == self._size, f"size mismatch: {count} != {self._size}"
+
+    def _check_node(self, node: _RBNode) -> "tuple[int, int]":
+        if node is self._nil:
+            return 0, 1
+        if node.color == _RED:
+            assert node.left.color == _BLACK, "red node with red left child"
+            assert node.right.color == _BLACK, "red node with red right child"
+        if node.left is not self._nil:
+            assert not node.key < node.left.key, "BST order violated on the left"
+            assert node.left.parent is node, "left child parent pointer broken"
+        if node.right is not self._nil:
+            assert not node.right.key < node.key, "BST order violated on the right"
+            assert node.right.parent is node, "right child parent pointer broken"
+        left_count, left_black = self._check_node(node.left)
+        right_count, right_black = self._check_node(node.right)
+        assert left_black == right_black, "black heights differ"
+        black = left_black + (1 if node.color == _BLACK else 0)
+        return left_count + right_count + 1, black
+
+    # ------------------------------------------------------------------
+    # Internals (CLRS)
+    # ------------------------------------------------------------------
+
+    def _minimum(self, node: _RBNode) -> _RBNode:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _left_rotate(self, x: _RBNode) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _right_rotate(self, x: _RBNode) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _RBNode) -> None:
+        while z.parent.color == _RED:
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color == _RED:
+                    z.parent.color = _BLACK
+                    uncle.color = _BLACK
+                    z.parent.parent.color = _RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._left_rotate(z)
+                    z.parent.color = _BLACK
+                    z.parent.parent.color = _RED
+                    self._right_rotate(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color == _RED:
+                    z.parent.color = _BLACK
+                    uncle.color = _BLACK
+                    z.parent.parent.color = _RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._right_rotate(z)
+                    z.parent.color = _BLACK
+                    z.parent.parent.color = _RED
+                    self._left_rotate(z.parent.parent)
+        self._root.color = _BLACK
+
+    def _transplant(self, u: _RBNode, v: _RBNode) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete(self, z: _RBNode) -> None:
+        y = z
+        y_original_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color == _BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _RBNode) -> None:
+        while x is not self._root and x.color == _BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == _RED:
+                    w.color = _BLACK
+                    x.parent.color = _RED
+                    self._left_rotate(x.parent)
+                    w = x.parent.right
+                if w.left.color == _BLACK and w.right.color == _BLACK:
+                    w.color = _RED
+                    x = x.parent
+                else:
+                    if w.right.color == _BLACK:
+                        w.left.color = _BLACK
+                        w.color = _RED
+                        self._right_rotate(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = _BLACK
+                    w.right.color = _BLACK
+                    self._left_rotate(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color == _RED:
+                    w.color = _BLACK
+                    x.parent.color = _RED
+                    self._right_rotate(x.parent)
+                    w = x.parent.left
+                if w.right.color == _BLACK and w.left.color == _BLACK:
+                    w.color = _RED
+                    x = x.parent
+                else:
+                    if w.left.color == _BLACK:
+                        w.right.color = _BLACK
+                        w.color = _RED
+                        self._left_rotate(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = _BLACK
+                    w.left.color = _BLACK
+                    self._right_rotate(x.parent)
+                    x = self._root
+        x.color = _BLACK
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RedBlackTree(size={self._size})"

@@ -1,0 +1,27 @@
+"""Execution-trace utilities: validation invariants and ASCII rendering."""
+
+from repro.trace.validate import TraceViolation, validate_trace
+from repro.trace.gantt import render_gantt, render_overhead_anatomy
+from repro.trace.export import (
+    export_trace_csv,
+    export_trace_json,
+    import_trace_json,
+    trace_to_dict,
+)
+from repro.trace.svg import render_svg, save_svg
+from repro.trace.timeline import busy_intervals, timeline_stats
+
+__all__ = [
+    "TraceViolation",
+    "validate_trace",
+    "render_gantt",
+    "render_overhead_anatomy",
+    "export_trace_csv",
+    "export_trace_json",
+    "import_trace_json",
+    "trace_to_dict",
+    "render_svg",
+    "save_svg",
+    "busy_intervals",
+    "timeline_stats",
+]

@@ -1,0 +1,95 @@
+"""Trace export to JSON and CSV.
+
+Lets external tooling (spreadsheets, trace viewers, plotting scripts)
+consume the simulator's segment traces and event logs.  The JSON schema::
+
+    {
+      "duration_ns": ...,
+      "segments": [
+        {"core": 0, "start_ns": 0, "end_ns": 4000000,
+         "label": "a/1", "kind": "exec"},
+        ...
+      ],
+      "events": [
+        {"time_ns": 0, "type": "release", "task": "a", "core": 0}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.kernel.sim import SimulationResult
+
+
+def trace_to_dict(result: SimulationResult) -> dict:
+    return {
+        "duration_ns": result.duration,
+        "segments": [
+            {
+                "core": core,
+                "start_ns": start,
+                "end_ns": end,
+                "label": label,
+                "kind": kind,
+            }
+            for core, start, end, label, kind in result.trace
+        ],
+        "events": [
+            {"time_ns": time, "type": kind, "task": task, "core": core}
+            for time, kind, task, core in result.events
+        ],
+    }
+
+
+def export_trace_json(
+    result: SimulationResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise the trace to JSON; writes to ``path`` if given."""
+    text = json.dumps(trace_to_dict(result), indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def export_trace_csv(
+    result: SimulationResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialise the segment trace to CSV (one row per segment)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["core", "start_ns", "end_ns", "label", "kind"])
+    for core, start, end, label, kind in sorted(result.trace):
+        writer.writerow([core, start, end, label, kind])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def import_trace_json(source: Union[str, Path]) -> List[tuple]:
+    """Load a segment trace back from a JSON file or string."""
+    text = (
+        Path(source).read_text()
+        if isinstance(source, Path) or (
+            isinstance(source, str) and "\n" not in source
+            and source.endswith(".json")
+        )
+        else str(source)
+    )
+    data = json.loads(text)
+    return [
+        (
+            seg["core"],
+            seg["start_ns"],
+            seg["end_ns"],
+            seg["label"],
+            seg["kind"],
+        )
+        for seg in data["segments"]
+    ]

@@ -1,0 +1,82 @@
+"""ASCII rendering of simulation traces.
+
+``render_gantt`` draws a per-core timeline; ``render_overhead_anatomy``
+renders the Figure-1 reproduction: the labelled sequence of execution and
+overhead segments around a preemption (a..i in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.model.time import format_ns
+
+
+def render_gantt(
+    trace: List[tuple],
+    n_cores: int,
+    width: int = 100,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> str:
+    """Render the trace as one text lane per core.
+
+    Execution segments print the first letter of the task name; overhead
+    segments print ``#``; idle prints ``.``.
+    """
+    if not trace:
+        return "(empty trace)"
+    if end is None:
+        end = max(seg_end for _c, _s, seg_end, _l, _k in trace)
+    span = max(1, end - start)
+    scale = width / span
+
+    lanes = []
+    for core in range(n_cores):
+        lane = ["."] * width
+        for seg_core, seg_start, seg_end, label, kind in trace:
+            if seg_core != core or seg_end <= start or seg_start >= end:
+                continue
+            lo = max(0, int((seg_start - start) * scale))
+            hi = min(width, max(lo + 1, int((seg_end - start) * scale)))
+            char = "#" if kind == "overhead" else (label[0] if label else "?")
+            for i in range(lo, hi):
+                lane[i] = char
+        lanes.append(f"core{core} |" + "".join(lane) + "|")
+    header = (
+        f"t = [{format_ns(start)} .. {format_ns(end)}]   "
+        "(# = scheduler overhead, . = idle)"
+    )
+    return "\n".join([header] + lanes)
+
+
+def render_overhead_anatomy(trace: List[tuple], core: int = 0) -> str:
+    """Figure-1-style listing: every segment on ``core``, in order, with the
+    overhead segments labelled by their source (rls / sch / cnt1 / cnt2).
+    """
+    rows = [
+        (start, end, label, kind)
+        for seg_core, start, end, label, kind in trace
+        if seg_core == core
+    ]
+    rows.sort()
+    lines = [f"{'start':>12} {'end':>12} {'dur':>10}  {'kind':<9} label"]
+    for start, end, label, kind in rows:
+        lines.append(
+            f"{start:>12} {end:>12} {end - start:>10}  {kind:<9} {label}"
+        )
+    return "\n".join(lines)
+
+
+def segment_summary(trace: List[tuple]) -> Dict[str, int]:
+    """Total nanoseconds per segment kind and overhead label prefix."""
+    summary: Dict[str, int] = {}
+    for _core, start, end, label, kind in trace:
+        duration = end - start
+        summary[kind] = summary.get(kind, 0) + duration
+        if kind == "overhead":
+            prefix = label.split(":", 1)[0]
+            summary[f"overhead:{prefix}"] = (
+                summary.get(f"overhead:{prefix}", 0) + duration
+            )
+    return summary

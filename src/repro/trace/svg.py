@@ -1,0 +1,192 @@
+"""Standalone SVG rendering of simulation traces.
+
+Produces a self-contained SVG Gantt chart (no external dependencies) of a
+:class:`~repro.kernel.sim.SimulationResult` trace: one lane per core,
+execution segments coloured per task, overhead segments hatched dark, and
+release/deadline-miss markers.  Open the file in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.kernel.sim import SimulationResult
+
+_PALETTE = [
+    "#4e79a7",
+    "#f28e2b",
+    "#59a14f",
+    "#e15759",
+    "#76b7b2",
+    "#edc948",
+    "#b07aa1",
+    "#ff9da7",
+    "#9c755f",
+    "#bab0ac",
+]
+
+_LANE_HEIGHT = 34
+_LANE_GAP = 10
+_MARGIN_LEFT = 70
+_MARGIN_TOP = 30
+_MARGIN_BOTTOM = 40
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_svg(
+    result: SimulationResult,
+    width: int = 1000,
+    start: int = 0,
+    end: Optional[int] = None,
+    title: str = "schedule",
+) -> str:
+    """Render the trace window ``[start, end)`` as an SVG document string."""
+    if end is None:
+        end = result.duration
+    if end <= start:
+        raise ValueError("need end > start")
+    span = end - start
+    scale = width / span
+
+    tasks = sorted(
+        {
+            label.split("/", 1)[0]
+            for _c, _s, _e, label, kind in result.trace
+            if kind == "exec"
+        }
+    )
+    colors: Dict[str, str] = {
+        task: _PALETTE[i % len(_PALETTE)] for i, task in enumerate(tasks)
+    }
+    height = (
+        _MARGIN_TOP
+        + result.n_cores * (_LANE_HEIGHT + _LANE_GAP)
+        + _MARGIN_BOTTOM
+    )
+    total_width = _MARGIN_LEFT + width + 20
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{total_width}" height="{height + 24 + 16 * ((len(tasks) + 4) // 5)}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<text x="{_MARGIN_LEFT}" y="16" font-size="13" '
+        f'font-weight="bold">{_escape(title)}</text>',
+    ]
+
+    def lane_y(core: int) -> int:
+        return _MARGIN_TOP + core * (_LANE_HEIGHT + _LANE_GAP)
+
+    # Lane backgrounds and labels.
+    for core in range(result.n_cores):
+        y = lane_y(core)
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{width}" '
+            f'height="{_LANE_HEIGHT}" fill="#f4f4f4"/>'
+        )
+        parts.append(
+            f'<text x="8" y="{y + _LANE_HEIGHT // 2 + 4}">core {core}</text>'
+        )
+
+    # Segments.
+    for core, seg_start, seg_end, label, kind in sorted(result.trace):
+        if seg_end <= start or seg_start >= end:
+            continue
+        x0 = _MARGIN_LEFT + max(0.0, (seg_start - start) * scale)
+        x1 = _MARGIN_LEFT + min(float(width), (seg_end - start) * scale)
+        w = max(x1 - x0, 0.5)
+        y = lane_y(core)
+        if kind == "exec":
+            task = label.split("/", 1)[0]
+            color = colors.get(task, "#999999")
+            parts.append(
+                f'<rect x="{x0:.2f}" y="{y + 4}" width="{w:.2f}" '
+                f'height="{_LANE_HEIGHT - 8}" fill="{color}">'
+                f"<title>{_escape(label)}: {seg_start}..{seg_end}</title>"
+                f"</rect>"
+            )
+        else:  # overhead
+            parts.append(
+                f'<rect x="{x0:.2f}" y="{y}" width="{w:.2f}" '
+                f'height="{_LANE_HEIGHT}" fill="#333333" opacity="0.8">'
+                f"<title>{_escape(label)}: {seg_start}..{seg_end}</title>"
+                f"</rect>"
+            )
+
+    # Event markers (releases above the lane, misses as red flags).
+    for time, kind, task, core in result.events:
+        if not start <= time < end or kind not in ("release", "miss"):
+            continue
+        x = _MARGIN_LEFT + (time - start) * scale
+        y = lane_y(core)
+        if kind == "release":
+            parts.append(
+                f'<line x1="{x:.2f}" y1="{y - 5}" x2="{x:.2f}" y2="{y}" '
+                f'stroke="#555" stroke-width="1">'
+                f"<title>release {_escape(task)} @ {time}</title></line>"
+            )
+        else:
+            parts.append(
+                f'<circle cx="{x:.2f}" cy="{y - 6}" r="4" fill="#d62728">'
+                f"<title>deadline miss {_escape(task)} @ {time}</title>"
+                f"</circle>"
+            )
+
+    # Time axis.
+    axis_y = lane_y(result.n_cores - 1) + _LANE_HEIGHT + 16
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_y}" '
+        f'x2="{_MARGIN_LEFT + width}" y2="{axis_y}" stroke="#000"/>'
+    )
+    for i in range(11):
+        x = _MARGIN_LEFT + width * i / 10
+        t = start + span * i // 10
+        parts.append(
+            f'<line x1="{x:.2f}" y1="{axis_y}" x2="{x:.2f}" '
+            f'y2="{axis_y + 4}" stroke="#000"/>'
+        )
+        parts.append(
+            f'<text x="{x:.2f}" y="{axis_y + 16}" '
+            f'text-anchor="middle">{t / 1_000_000:.1f}ms</text>'
+        )
+
+    # Legend.
+    legend_y = axis_y + 28
+    for i, task in enumerate(tasks):
+        x = _MARGIN_LEFT + (i % 5) * 140
+        y = legend_y + (i // 5) * 16
+        parts.append(
+            f'<rect x="{x}" y="{y - 9}" width="10" height="10" '
+            f'fill="{colors[task]}"/>'
+        )
+        parts.append(f'<text x="{x + 14}" y="{y}">{_escape(task)}</text>')
+    parts.append(
+        f'<rect x="{_MARGIN_LEFT + (len(tasks) % 5) * 140}" '
+        f'y="{legend_y + (len(tasks) // 5) * 16 - 9}" width="10" '
+        f'height="10" fill="#333333" opacity="0.8"/>'
+    )
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + (len(tasks) % 5) * 140 + 14}" '
+        f'y="{legend_y + (len(tasks) // 5) * 16}">kernel overhead</text>'
+    )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    result: SimulationResult,
+    path: Union[str, Path],
+    width: int = 1000,
+    start: int = 0,
+    end: Optional[int] = None,
+    title: str = "schedule",
+) -> None:
+    Path(path).write_text(
+        render_svg(result, width=width, start=start, end=end, title=title)
+    )

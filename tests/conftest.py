@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+
+
+@pytest.fixture
+def simple_taskset() -> TaskSet:
+    """Three 0.6-utilization tasks: classic semi-partitioning motivator."""
+    return TaskSet(
+        [
+            Task("a", wcet=6 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=10 * MS),
+            Task("c", wcet=6 * MS, period=10 * MS),
+        ]
+    ).assign_rate_monotonic()
+
+
+@pytest.fixture
+def harmonic_taskset() -> TaskSet:
+    """Harmonic periods: RM schedulable up to U = 1 on one core."""
+    return TaskSet(
+        [
+            Task("h1", wcet=2 * MS, period=8 * MS),
+            Task("h2", wcet=4 * MS, period=16 * MS),
+            Task("h3", wcet=8 * MS, period=32 * MS),
+        ]
+    ).assign_rate_monotonic()
+
+
+@pytest.fixture
+def liu_layland_example() -> TaskSet:
+    """The textbook 3-task set with U just above the L&L bound."""
+    return TaskSet(
+        [
+            Task("t1", wcet=40, period=100),
+            Task("t2", wcet=40, period=150),
+            Task("t3", wcet=100, period=350),
+        ]
+    ).assign_rate_monotonic()

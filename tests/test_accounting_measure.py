@@ -1,0 +1,130 @@
+"""Tests for overhead accounting and the measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.model import CachePenaltyModel
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.overhead.accounting import (
+    inflate_taskset,
+    per_job_overhead,
+    per_migration_overhead,
+)
+from repro.overhead.measure import (
+    measure_queue_operations,
+    measure_scheduler_functions,
+)
+from repro.overhead.model import OverheadModel
+
+
+class TestPerJobOverhead:
+    def test_zero_model_zero_charge(self):
+        assert per_job_overhead(OverheadModel.zero()) == 0
+
+    def test_paper_model_charge(self):
+        model = OverheadModel.paper_core_i7(4)
+        charge = per_job_overhead(model)
+        expected = (
+            model.rls
+            + model.sch(True)
+            + model.cnt1
+            + model.sch(False)
+            + model.cnt2_finish
+        )
+        assert charge == expected
+        # Order of magnitude: tens of microseconds.
+        assert 10_000 < charge < 100_000
+
+    def test_cache_charge_added(self):
+        model = OverheadModel.paper_core_i7(4, cache=CachePenaltyModel())
+        without = per_job_overhead(model, cpmd_wss=0)
+        with_cache = per_job_overhead(model, cpmd_wss=64 * 1024)
+        assert with_cache > without
+
+    def test_migration_charge(self):
+        model = OverheadModel.paper_core_i7(4)
+        charge = per_migration_overhead(model)
+        expected = (
+            model.sch(False)
+            + model.cnt2_migrate
+            + model.sch(True)
+            + model.cnt1
+        )
+        assert charge == expected
+
+
+class TestInflateTaskset:
+    def test_zero_model_is_identity(self):
+        ts = TaskSet([Task("a", wcet=1 * MS, period=10 * MS)])
+        inflated = inflate_taskset(ts, OverheadModel.zero(), charge_cache=False)
+        assert inflated.by_name("a").wcet == 1 * MS
+
+    def test_inflation_amount(self):
+        ts = TaskSet([Task("a", wcet=1 * MS, period=10 * MS, wss=0)])
+        model = OverheadModel.paper_core_i7(4)
+        inflated = inflate_taskset(ts, model)
+        assert inflated.by_name("a").wcet == 1 * MS + per_job_overhead(
+            model, 0
+        )
+
+    def test_clamped_at_deadline(self):
+        ts = TaskSet([Task("a", wcet=10 * MS, period=10 * MS, wss=0)])
+        model = OverheadModel.paper_core_i7(4)
+        inflated = inflate_taskset(ts, model)
+        assert inflated.by_name("a").wcet == 10 * MS  # clamped, will fail RTA
+
+    def test_uses_max_wss_for_cache_bound(self):
+        model = OverheadModel.paper_core_i7(4, cache=CachePenaltyModel())
+        small = Task("s", wcet=1 * MS, period=10 * MS, wss=1024)
+        big = Task("b", wcet=1 * MS, period=10 * MS, wss=512 * 1024)
+        ts = TaskSet([small, big])
+        inflated = inflate_taskset(ts, model)
+        # Both tasks carry the same (max-wss-bounded) cache charge.
+        delta_small = inflated.by_name("s").wcet - small.wcet
+        delta_big = inflated.by_name("b").wcet - big.wcet
+        assert delta_small == delta_big
+        assert delta_small > per_job_overhead(model, 0)
+
+    def test_priorities_preserved(self):
+        ts = TaskSet(
+            [Task("a", wcet=1 * MS, period=10 * MS)]
+        ).assign_rate_monotonic()
+        inflated = inflate_taskset(ts, OverheadModel.paper_core_i7(4))
+        assert inflated.by_name("a").priority == 0
+
+
+class TestMeasurement:
+    def test_queue_measurement_shape(self):
+        m4 = measure_queue_operations(4, rounds=300, warmup_rounds=50)
+        assert m4.n == 4
+        assert m4.ready_max_ns > 0
+        assert m4.sleep_max_ns > 0
+        assert m4.ready_mean_ns <= m4.ready_max_ns
+        assert m4.sleep_mean_ns <= m4.sleep_max_ns
+
+    def test_cost_grows_with_queue_length(self):
+        """The paper's table shape: mean op cost grows from N=4 to N=64.
+
+        Mean is used rather than max because wall-clock maxima on a shared
+        machine are noise-dominated.
+        """
+        m4 = measure_queue_operations(4, rounds=2000, warmup_rounds=500)
+        m64 = measure_queue_operations(64, rounds=2000, warmup_rounds=500)
+        # Logarithmic structures: allow generous slack but demand growth
+        # from 4 to 64 entries (paper: x1.4 ready, x1.76 sleep).
+        assert m64.ready_mean_ns > m4.ready_mean_ns * 0.8
+        assert m64.sleep_mean_ns > m4.sleep_mean_ns * 0.8
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            measure_queue_operations(0)
+
+    def test_scheduler_function_profile(self):
+        costs = measure_scheduler_functions(rounds=3)
+        assert set(costs) == {"release", "sch", "cnt_swth"}
+        assert all(v >= 0 for v in costs.values())
+        # The simulator definitely exercised releases.
+        assert costs["release"] > 0

@@ -1,0 +1,132 @@
+"""Tests for assignment serialisation and the save/load CLI round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.kernel.sim import KernelSim
+from repro.model.generator import TaskSetGenerator
+from repro.model.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_assignment,
+    save_assignment,
+    save_taskset,
+)
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+from repro.semipart.fpts import fpts_partition
+
+
+def _split_assignment():
+    ts = TaskSet(
+        [
+            Task("a", wcet=6 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=10 * MS),
+            Task("c", wcet=6 * MS, period=10 * MS),
+        ]
+    ).assign_rate_monotonic()
+    assignment = fpts_partition(ts, 2)
+    assert assignment is not None
+    return ts, assignment
+
+
+class TestRoundtrip:
+    def test_split_assignment_roundtrip(self, tmp_path):
+        _ts, assignment = _split_assignment()
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        loaded = load_assignment(path)
+        loaded.validate()
+        assert loaded.n_cores == assignment.n_cores
+        assert set(loaded.split_tasks) == set(assignment.split_tasks)
+        original = sorted(
+            (e.name, e.core, e.budget, e.deadline, e.jitter, e.local_priority)
+            for e in assignment.entries()
+        )
+        restored = sorted(
+            (e.name, e.core, e.budget, e.deadline, e.jitter, e.local_priority)
+            for e in loaded.entries()
+        )
+        assert original == restored
+
+    def test_loaded_assignment_simulates_identically(self):
+        _ts, assignment = _split_assignment()
+        loaded = assignment_from_dict(assignment_to_dict(assignment))
+        a = KernelSim(assignment, OverheadModel.zero(), duration=100 * MS).run()
+        b = KernelSim(loaded, OverheadModel.zero(), duration=100 * MS).run()
+        assert a.miss_count == b.miss_count == 0
+        assert a.migrations == b.migrations
+        for name in a.task_stats:
+            assert (
+                a.task_stats[name].max_response
+                == b.task_stats[name].max_response
+            )
+
+    def test_json_is_valid(self):
+        _ts, assignment = _split_assignment()
+        json.dumps(assignment_to_dict(assignment))
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_random_assignments_roundtrip(self, seed):
+        generator = TaskSetGenerator(n_tasks=8, seed=seed)
+        ts = generator.generate(3.3)
+        assignment = fpts_partition(ts, 4)
+        if assignment is None:
+            return
+        loaded = assignment_from_dict(assignment_to_dict(assignment))
+        loaded.validate()
+        assert loaded.n_split_tasks == assignment.n_split_tasks
+
+
+class TestCliIntegration:
+    def test_save_then_simulate_assignment(self, tmp_path, capsys):
+        workload = tmp_path / "w.json"
+        ts = TaskSet(
+            [
+                Task("a", wcet=5500_000, period=10 * MS),
+                Task("b", wcet=5500_000, period=10 * MS),
+                Task("c", wcet=5500_000, period=10 * MS),
+            ]
+        )
+        save_taskset(ts, workload)
+        saved = tmp_path / "assignment.json"
+        code = main(
+            [
+                "analyze",
+                "--tasks",
+                str(workload),
+                "--cores",
+                "2",
+                "--algorithm",
+                "FP-TS",
+                "--save-assignment",
+                str(saved),
+            ]
+        )
+        assert code == 0
+        assert saved.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate",
+                "--tasks",
+                str(workload),
+                "--cores",
+                "2",
+                "--assignment",
+                str(saved),
+                "--duration-ms",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "misses=0" in capsys.readouterr().out

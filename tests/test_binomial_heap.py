@@ -1,0 +1,261 @@
+"""Unit and property tests for the binomial heap (ready queue)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.binomial_heap import BinomialHeap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = BinomialHeap()
+        assert len(heap) == 0
+        assert not heap
+
+    def test_find_min_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinomialHeap().find_min()
+
+    def test_extract_min_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinomialHeap().extract_min()
+
+    def test_single_insert_and_min(self):
+        heap = BinomialHeap()
+        heap.insert(5, "five")
+        assert heap.find_min() == (5, "five")
+        assert len(heap) == 1
+
+    def test_insert_returns_handle_with_key(self):
+        heap = BinomialHeap()
+        handle = heap.insert(3, "x")
+        assert handle.key == 3
+        assert handle.value == "x"
+        assert handle.in_heap
+
+    def test_extract_min_orders_keys(self):
+        heap = BinomialHeap()
+        for key in [5, 3, 9, 1, 7]:
+            heap.insert(key)
+        extracted = [heap.extract_min()[0] for _ in range(5)]
+        assert extracted == [1, 3, 5, 7, 9]
+
+    def test_peek_value(self):
+        heap = BinomialHeap()
+        heap.insert(2, "two")
+        heap.insert(1, "one")
+        assert heap.peek_value() == "one"
+
+    def test_duplicate_keys_allowed(self):
+        heap = BinomialHeap()
+        heap.insert(1, "a")
+        heap.insert(1, "b")
+        values = {heap.extract_min()[1], heap.extract_min()[1]}
+        assert values == {"a", "b"}
+
+    def test_tuple_keys(self):
+        """Scheduler keys are (priority, sequence) tuples."""
+        heap = BinomialHeap()
+        heap.insert((2, 1), "low-prio-early")
+        heap.insert((1, 5), "high-prio-late")
+        assert heap.extract_min()[1] == "high-prio-late"
+
+    def test_bool_conversion(self):
+        heap = BinomialHeap()
+        assert not heap
+        heap.insert(1)
+        assert heap
+
+
+class TestDelete:
+    def test_delete_leaf(self):
+        heap = BinomialHeap()
+        handles = [heap.insert(k) for k in range(8)]
+        heap.delete(handles[7])
+        assert len(heap) == 7
+        heap.check_invariants()
+
+    def test_delete_min_via_handle(self):
+        heap = BinomialHeap()
+        handles = [heap.insert(k) for k in range(8)]
+        heap.delete(handles[0])
+        assert heap.find_min()[0] == 1
+
+    def test_delete_makes_handle_stale(self):
+        heap = BinomialHeap()
+        handle = heap.insert(1)
+        heap.delete(handle)
+        assert not handle.in_heap
+        with pytest.raises(KeyError):
+            heap.delete(handle)
+
+    def test_extract_detaches_handle(self):
+        heap = BinomialHeap()
+        handle = heap.insert(1)
+        heap.extract_min()
+        assert not handle.in_heap
+
+    def test_delete_middle_of_large_heap(self):
+        heap = BinomialHeap()
+        rng = random.Random(3)
+        handles = [heap.insert(rng.randint(0, 100), i) for i in range(64)]
+        for index in [10, 20, 30, 40]:
+            heap.delete(handles[index])
+        assert len(heap) == 60
+        heap.check_invariants()
+
+    def test_handles_stay_valid_after_other_deletes(self):
+        """Payload swaps during delete must re-point surviving handles."""
+        heap = BinomialHeap()
+        handles = {i: heap.insert(i, f"v{i}") for i in range(16)}
+        heap.delete(handles[7])
+        for i, handle in handles.items():
+            if i == 7:
+                continue
+            assert handle.key == i, f"handle {i} corrupted"
+            assert handle.value == f"v{i}"
+
+
+class TestDecreaseKey:
+    def test_decrease_key_moves_to_min(self):
+        heap = BinomialHeap()
+        heap.insert(5)
+        handle = heap.insert(10, "target")
+        heap.decrease_key(handle, 1)
+        assert heap.find_min() == (1, "target")
+
+    def test_decrease_key_rejects_increase(self):
+        heap = BinomialHeap()
+        handle = heap.insert(5)
+        with pytest.raises(ValueError):
+            heap.decrease_key(handle, 6)
+
+    def test_decrease_key_equal_is_noop(self):
+        heap = BinomialHeap()
+        handle = heap.insert(5, "x")
+        heap.decrease_key(handle, 5)
+        assert heap.find_min() == (5, "x")
+
+
+class TestMerge:
+    def test_merge_two_heaps(self):
+        a = BinomialHeap()
+        b = BinomialHeap()
+        for k in [1, 3, 5]:
+            a.insert(k)
+        for k in [2, 4, 6]:
+            b.insert(k)
+        a.merge(b)
+        assert len(a) == 6
+        assert len(b) == 0
+        assert [a.extract_min()[0] for _ in range(6)] == [1, 2, 3, 4, 5, 6]
+
+    def test_merge_with_self_raises(self):
+        heap = BinomialHeap()
+        with pytest.raises(ValueError):
+            heap.merge(heap)
+
+    def test_merge_empty(self):
+        a = BinomialHeap()
+        a.insert(1)
+        a.merge(BinomialHeap())
+        assert len(a) == 1
+
+
+class TestIterationAndClear:
+    def test_items_covers_everything(self):
+        heap = BinomialHeap()
+        keys = [5, 1, 4, 2, 3, 9, 0]
+        for k in keys:
+            heap.insert(k, k * 10)
+        assert sorted(k for k, _v in heap.items()) == sorted(keys)
+
+    def test_values(self):
+        heap = BinomialHeap()
+        heap.insert(1, "a")
+        heap.insert(2, "b")
+        assert sorted(heap.values()) == ["a", "b"]
+
+    def test_clear_empties_and_detaches(self):
+        heap = BinomialHeap()
+        handles = [heap.insert(k) for k in range(5)]
+        heap.clear()
+        assert len(heap) == 0
+        assert all(not h.in_heap for h in handles)
+
+
+@st.composite
+def _operations(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "extract", "delete"]),
+                st.integers(min_value=-1000, max_value=1000),
+            ),
+            max_size=80,
+        )
+    )
+
+
+class TestProperties:
+    @given(keys=st.lists(st.integers(), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_heapsort_matches_sorted(self, keys):
+        heap = BinomialHeap()
+        for key in keys:
+            heap.insert(key)
+        heap.check_invariants()
+        out = [heap.extract_min()[0] for _ in range(len(keys))]
+        assert out == sorted(keys)
+
+    @given(ops=_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_random_operations_preserve_invariants(self, ops):
+        heap = BinomialHeap()
+        model = []  # sorted list of live keys
+        handles = []
+        for op, key in ops:
+            if op == "insert":
+                handles.append(heap.insert(key))
+                model.append(key)
+            elif op == "extract" and model:
+                k, _v = heap.extract_min()
+                assert k == min(model)
+                model.remove(k)
+            elif op == "delete" and handles:
+                live = [h for h in handles if h.in_heap]
+                if not live:
+                    continue
+                victim = live[len(live) // 2]
+                key_deleted = victim.key
+                heap.delete(victim)
+                model.remove(key_deleted)
+            heap.check_invariants()
+        assert len(heap) == len(model)
+        if model:
+            assert heap.find_min()[0] == min(model)
+
+    @given(
+        keys=st.lists(st.integers(), min_size=1, max_size=60),
+        new_keys=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decrease_key_keeps_order(self, keys, new_keys):
+        heap = BinomialHeap()
+        handles = [heap.insert(k) for k in keys]
+        target = handles[len(handles) // 2]
+        new_key = new_keys.draw(
+            st.integers(max_value=target.key), label="new_key"
+        )
+        heap.decrease_key(target, new_key)
+        heap.check_invariants()
+        expected = sorted(keys)
+        expected.remove(keys[len(handles) // 2])
+        expected.append(new_key)
+        out = [heap.extract_min()[0] for _ in range(len(keys))]
+        assert out == sorted(expected)

@@ -1,0 +1,101 @@
+"""Tests for utilization bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    hyperbolic_schedulable,
+    liu_layland_bound,
+    liu_layland_schedulable,
+    spa_light_threshold,
+    worst_case_partitioned_utilization,
+)
+
+
+class TestLiuLayland:
+    def test_one_task(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+
+    def test_two_tasks(self):
+        assert liu_layland_bound(2) == pytest.approx(2 * (2**0.5 - 1))
+
+    def test_limit_ln2(self):
+        assert liu_layland_bound(10_000) == pytest.approx(
+            math.log(2), abs=1e-4
+        )
+
+    def test_monotone_decreasing(self):
+        values = [liu_layland_bound(n) for n in range(1, 40)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+    def test_schedulable_accepts_below_bound(self):
+        assert liu_layland_schedulable([0.3, 0.3])  # 0.6 < 0.828
+
+    def test_schedulable_rejects_above_bound(self):
+        assert not liu_layland_schedulable([0.5, 0.5])  # 1.0 > 0.828
+
+    def test_empty_set(self):
+        assert liu_layland_schedulable([])
+
+
+class TestHyperbolic:
+    def test_dominates_liu_layland(self):
+        """Any set passing L&L also passes the hyperbolic bound."""
+        for utils in [[0.4, 0.4], [0.2, 0.2, 0.2], [0.69], [0.3, 0.3, 0.09]]:
+            if liu_layland_schedulable(utils):
+                assert hyperbolic_schedulable(utils)
+
+    def test_accepts_harmonic_style_sets_ll_rejects(self):
+        # product (1.33)(1.33)(1.12) = 1.99 <= 2, sum = 0.78 > Theta(3)=0.7798
+        utils = [0.33, 0.33, 0.12]
+        assert sum(utils) > liu_layland_bound(3)
+        assert hyperbolic_schedulable(utils)
+
+    def test_rejects_overload(self):
+        assert not hyperbolic_schedulable([0.9, 0.9])
+
+    def test_single_full_task(self):
+        assert hyperbolic_schedulable([1.0])
+
+    @given(
+        utils=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), max_size=20
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_ll_implies_hyperbolic(self, utils):
+        if liu_layland_schedulable(utils):
+            assert hyperbolic_schedulable(utils)
+
+
+class TestSpaThreshold:
+    def test_value_for_small_n(self):
+        theta = liu_layland_bound(4)
+        assert spa_light_threshold(4) == pytest.approx(theta / (1 + theta))
+
+    def test_below_half_for_large_n(self):
+        # Theta -> ln2, threshold -> ln2/(1+ln2) ~= 0.4093
+        assert spa_light_threshold(10_000) == pytest.approx(0.409, abs=1e-3)
+
+
+class TestWorstCasePartitioned:
+    def test_tends_to_half(self):
+        assert worst_case_partitioned_utilization(100) == pytest.approx(
+            0.505
+        )
+
+    def test_single_core(self):
+        assert worst_case_partitioned_utilization(1) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            worst_case_partitioned_utilization(0)

@@ -1,0 +1,101 @@
+"""Tests for the breakdown-utilization experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.breakdown import (
+    BreakdownResult,
+    critical_scaling_factor,
+    run_breakdown,
+)
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.overhead.model import OverheadModel
+
+
+def _ts(*specs):
+    return TaskSet(
+        [Task(f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)]
+    ).assign_rate_monotonic()
+
+
+class TestCriticalScaling:
+    def test_harmonic_single_core_reaches_one(self):
+        """Harmonic set: RM schedulable up to exactly U = 1."""
+        ts = _ts((1000, 8000), (1000, 16000), (1000, 32000))
+        factor = critical_scaling_factor(ts, "FFD", 1, precision=0.01)
+        breakdown = factor * ts.total_utilization
+        assert breakdown == pytest.approx(1.0, abs=0.02)
+
+    def test_edf_always_reaches_one_single_core(self):
+        ts = _ts((700, 9000), (1100, 14000), (900, 23000))
+        factor = critical_scaling_factor(ts, "P-EDF", 1, precision=0.01)
+        assert factor * ts.total_utilization == pytest.approx(1.0, abs=0.02)
+
+    def test_rm_below_edf_on_nonharmonic(self):
+        ts = _ts((1000, 10000), (1000, 14000), (1000, 23000))
+        rm = critical_scaling_factor(ts, "FFD", 1, precision=0.01)
+        edf = critical_scaling_factor(ts, "P-EDF", 1, precision=0.01)
+        assert rm <= edf + 0.01
+
+    def test_zero_when_never_schedulable(self):
+        # A task with wcet == period cannot be scaled at all beyond 1.0,
+        # and a pair of them cannot fit one core even at tiny scale?  They
+        # can (tiny utilization) — so use an algorithm bound instead:
+        ts = _ts((9999, 10000),)
+        factor = critical_scaling_factor(ts, "FFD", 1, precision=0.01)
+        assert factor == pytest.approx(1.0, abs=0.02)
+
+    def test_overheads_reduce_breakdown(self):
+        ts = _ts((1000_000, 8_000_000), (1000_000, 16_000_000))
+        free = critical_scaling_factor(ts, "FFD", 1)
+        loaded = critical_scaling_factor(
+            ts, "FFD", 1, model=OverheadModel.paper_core_i7(2).scaled(10)
+        )
+        assert loaded < free
+
+    def test_fpts_at_least_ffd(self):
+        ts = _ts(
+            (3000, 10000),
+            (3000, 10000),
+            (3000, 10000),
+            (3000, 10000),
+        )
+        ffd = critical_scaling_factor(ts, "FFD", 2, precision=0.01)
+        fpts = critical_scaling_factor(ts, "FP-TS", 2, precision=0.01)
+        assert fpts >= ffd - 0.01
+
+
+class TestRunBreakdown:
+    def test_structure_and_ordering(self):
+        result = run_breakdown(
+            algorithms=("FP-TS", "FFD", "P-EDF"),
+            n_cores=2,
+            n_tasks=6,
+            sets=8,
+            seed=5,
+        )
+        assert len(result.utilizations["FFD"]) == 8
+        # Dominance in the mean (paired workloads).
+        assert result.mean("FP-TS") >= result.mean("FFD") - 1e-9
+        assert result.mean("P-EDF") >= result.mean("FFD") - 1e-9
+        # Normalised means are plausible (0.5 .. 1.0 per core).
+        for name in ("FP-TS", "FFD", "P-EDF"):
+            normalized = result.mean(name) / 2
+            assert 0.4 < normalized <= 1.01
+
+    def test_percentiles_monotone(self):
+        result = run_breakdown(
+            algorithms=("FFD",), n_cores=2, n_tasks=5, sets=10, seed=9
+        )
+        p10 = result.percentile("FFD", 0.1)
+        p50 = result.percentile("FFD", 0.5)
+        p90 = result.percentile("FFD", 0.9)
+        assert p10 <= p50 <= p90
+
+    def test_table(self):
+        result = run_breakdown(
+            algorithms=("FFD",), n_cores=2, n_tasks=4, sets=3, seed=1
+        )
+        assert "mean U/m" in result.as_table()

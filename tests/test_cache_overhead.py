@@ -1,0 +1,149 @@
+"""Tests for the cache penalty model and the overhead model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.model import CacheHierarchy, CachePenaltyModel
+from repro.model.time import US
+from repro.overhead.model import OverheadModel, PAPER_QUEUE_POINTS
+
+
+class TestCacheHierarchy:
+    def test_lines_rounds_up(self):
+        h = CacheHierarchy(line_bytes=64)
+        assert h.lines(64) == 1
+        assert h.lines(65) == 2
+        assert h.lines(0) == 0
+
+    def test_invalid_line_size(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(line_bytes=0)
+
+
+class TestCachePenalty:
+    def test_zero_wss_costs_nothing(self):
+        model = CachePenaltyModel()
+        assert model.preemption_delay(0) == 0
+        assert model.migration_delay(0) == 0
+
+    def test_migration_at_least_local(self):
+        model = CachePenaltyModel()
+        for wss in [1024, 64 * 1024, 512 * 1024, 16 * 1024 * 1024]:
+            assert model.migration_delay(wss) >= model.preemption_delay(wss)
+
+    def test_shared_l3_same_order_of_magnitude(self):
+        """The paper's headline cache finding: with a shared L3 the
+        migration and local-preemption delays are comparable."""
+        model = CachePenaltyModel()
+        wss = 64 * 1024
+        ratio = model.migration_delay(wss) / model.preemption_delay(wss)
+        assert 1.0 <= ratio < 10.0
+
+    def test_small_wss_benefits_locally(self):
+        """Small working sets get a discount on local resume only."""
+        model = CachePenaltyModel(local_survival=0.5)
+        wss = 16 * 1024  # fits private cache
+        assert model.preemption_delay(wss) < model.migration_delay(wss)
+
+    def test_private_only_penalises_migration(self):
+        """Without a shared level, migrating re-fetches from memory."""
+        model = CachePenaltyModel.private_only()
+        wss = 64 * 1024
+        local = model.preemption_delay(wss)
+        migration = model.migration_delay(wss)
+        assert migration > local
+
+    def test_delay_dispatch(self):
+        model = CachePenaltyModel()
+        wss = 32 * 1024
+        assert model.delay(wss, migrated=True) == model.migration_delay(wss)
+        assert model.delay(wss, migrated=False) == model.preemption_delay(wss)
+
+    def test_none_model_charges_zero(self):
+        model = CachePenaltyModel.none()
+        assert model.preemption_delay(10**7) == 0
+        assert model.migration_delay(10**7) == 0
+
+    def test_invalid_survival(self):
+        with pytest.raises(ValueError):
+            CachePenaltyModel(local_survival=1.5)
+
+    def test_wss_beyond_l3_pays_memory(self):
+        hierarchy = CacheHierarchy()
+        model = CachePenaltyModel(hierarchy=hierarchy)
+        small = model.migration_delay(hierarchy.shared_bytes)
+        big = model.migration_delay(hierarchy.shared_bytes * 2)
+        # Per-line cost jumps from L3 latency to memory latency.
+        assert big > small * 2
+
+    @given(wss=st.integers(min_value=0, max_value=64 * 1024 * 1024))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_wss_for_migration(self, wss):
+        model = CachePenaltyModel()
+        assert model.migration_delay(wss) <= model.migration_delay(wss + 4096)
+
+
+class TestOverheadModel:
+    def test_zero_model(self):
+        model = OverheadModel.zero()
+        assert model.is_zero
+        assert model.rls == 0
+        assert model.sch(True) == 0
+        assert model.cnt1 == 0
+        assert model.cnt2_finish == 0
+        assert model.cnt2_migrate == 0
+
+    def test_paper_calibration_n4(self):
+        model = OverheadModel.paper_core_i7(4)
+        assert model.ready_op_ns == 3300  # delta at N=4
+        assert model.sleep_op_ns == 3300  # theta at N=4
+        assert model.release_ns == 3 * US
+        assert model.sch_ns == 5 * US
+        assert model.cnt_swth_ns == 1500
+
+    def test_paper_calibration_n64(self):
+        model = OverheadModel.paper_core_i7(64)
+        assert model.ready_op_ns == 4600
+        assert model.sleep_op_ns == 5800
+
+    def test_interpolation_monotone(self):
+        previous = (0, 0)
+        for n in [1, 2, 4, 8, 16, 32, 64, 128]:
+            model = OverheadModel.paper_core_i7(n)
+            current = (model.ready_op_ns, model.sleep_op_ns)
+            assert current >= previous
+            previous = current
+
+    def test_interpolation_midpoint(self):
+        """N=16 is halfway between 4 and 64 in log2 space."""
+        model = OverheadModel.paper_core_i7(16)
+        assert model.ready_op_ns == pytest.approx((3300 + 4600) / 2, abs=1)
+        assert model.sleep_op_ns == pytest.approx((3300 + 5800) / 2, abs=1)
+
+    def test_derived_event_costs(self):
+        model = OverheadModel.paper_core_i7(4)
+        assert model.rls == 3000 + 3300
+        assert model.sch(preemption=False) == 5000 + 3300
+        assert model.sch(preemption=True) == 5000 + 2 * 3300
+        assert model.cnt1 == 1500
+        assert model.cnt2_finish == 1500 + 3300
+        assert model.cnt2_migrate == 1500 + 3300
+
+    def test_scaled(self):
+        model = OverheadModel.paper_core_i7(4).scaled(2.0)
+        assert model.release_ns == 6000
+        assert model.ready_op_ns == 6600
+
+    def test_scaled_zero(self):
+        assert OverheadModel.paper_core_i7(4).scaled(0.0).is_zero
+
+    def test_paper_points_constant(self):
+        assert PAPER_QUEUE_POINTS[0] == (4, 3300, 3300)
+        assert PAPER_QUEUE_POINTS[1] == (64, 4600, 5800)
+
+    def test_describe(self):
+        text = OverheadModel.paper_core_i7(4).describe()
+        assert "rls=" in text and "cnt2" in text

@@ -1,0 +1,112 @@
+"""Tests for the factorial campaign runner."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignRecord,
+    CampaignResult,
+    run_campaign,
+)
+from repro.overhead.model import OverheadModel
+
+
+@pytest.fixture(scope="module")
+def small_campaign() -> CampaignResult:
+    return run_campaign(
+        core_counts=(2, 4),
+        task_counts=(6,),
+        algorithms=("FP-TS", "FFD"),
+        overhead_specs=(
+            ("zero", OverheadModel.zero()),
+            ("paper", OverheadModel.paper_core_i7(3)),
+        ),
+        utilizations=(0.7, 0.95),
+        sets_per_point=8,
+    )
+
+
+class TestRunCampaign:
+    def test_record_count(self, small_campaign):
+        # 2 cores x 1 task-count x 2 overheads x 2 algorithms x 2 points.
+        assert len(small_campaign.records) == 2 * 2 * 2 * 2
+
+    def test_filtered(self, small_campaign):
+        rows = small_campaign.filtered(algorithm="FFD", n_cores=2)
+        assert len(rows) == 4
+        assert all(r.algorithm == "FFD" for r in rows)
+
+    def test_acceptance_in_range(self, small_campaign):
+        assert all(
+            0.0 <= r.acceptance <= 1.0 for r in small_campaign.records
+        )
+
+    def test_fpts_dominates_ffd_in_campaign(self, small_campaign):
+        for n_cores in (2, 4):
+            fpts = small_campaign.mean_acceptance(
+                algorithm="FP-TS", n_cores=n_cores
+            )
+            ffd = small_campaign.mean_acceptance(
+                algorithm="FFD", n_cores=n_cores
+            )
+            assert fpts >= ffd - 1e-9
+
+    def test_overheads_never_help(self, small_campaign):
+        for algorithm in ("FP-TS", "FFD"):
+            zero = small_campaign.mean_acceptance(
+                algorithm=algorithm, overheads="zero"
+            )
+            paper = small_campaign.mean_acceptance(
+                algorithm=algorithm, overheads="paper"
+            )
+            assert zero >= paper - 1e-9
+
+    def test_skips_infeasible_combinations(self):
+        result = run_campaign(
+            core_counts=(8,),
+            task_counts=(4,),  # fewer tasks than cores: skipped
+            algorithms=("FFD",),
+            utilizations=(0.5,),
+            sets_per_point=2,
+        )
+        assert result.records == []
+
+    def test_deterministic(self):
+        kwargs = dict(
+            core_counts=(2,),
+            task_counts=(5,),
+            algorithms=("FFD",),
+            utilizations=(0.8,),
+            sets_per_point=6,
+        )
+        a = run_campaign(**kwargs)
+        b = run_campaign(**kwargs)
+        assert a.records == b.records
+
+
+class TestOutput:
+    def test_pivot(self, small_campaign):
+        table = small_campaign.pivot()
+        assert "FP-TS" in table and "FFD" in table
+
+    def test_csv(self, small_campaign, tmp_path):
+        path = tmp_path / "campaign.csv"
+        text = small_campaign.to_csv(path)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == [
+            "n_cores",
+            "n_tasks",
+            "overheads",
+            "algorithm",
+            "utilization",
+            "acceptance",
+        ]
+        assert len(rows) == 1 + len(small_campaign.records)
+        assert path.read_text() == text
+
+    def test_mean_on_empty_filter(self, small_campaign):
+        assert small_campaign.mean_acceptance(algorithm="GHOST") == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.events import EventQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(30, lambda t: log.append(("c", t)))
+        q.schedule(10, lambda t: log.append(("a", t)))
+        q.schedule(20, lambda t: log.append(("b", t)))
+        q.run_until(100)
+        assert log == [("a", 10), ("b", 20), ("c", 30)]
+
+    def test_ties_by_insertion_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda t: log.append("first"))
+        q.schedule(10, lambda t: log.append("second"))
+        q.run_until(100)
+        assert log == ["first", "second"]
+
+    def test_priority_breaks_ties_before_seq(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda t: log.append("release"), priority=10)
+        q.schedule(10, lambda t: log.append("completion"), priority=0)
+        q.run_until(100)
+        assert log == ["completion", "release"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        log = []
+        event = q.schedule(10, lambda t: log.append("x"))
+        event.cancel()
+        q.run_until(100)
+        assert log == []
+
+    def test_run_until_horizon_exclusive_of_later(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda t: log.append("in"))
+        q.schedule(50, lambda t: log.append("out"))
+        q.run_until(30)
+        assert log == ["in"]
+        assert q.now == 30
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        log = []
+
+        def chain(t):
+            log.append(t)
+            if t < 30:
+                q.schedule(t + 10, chain)
+
+        q.schedule(10, chain)
+        q.run_until(100)
+        assert log == [10, 20, 30]
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.schedule(10, lambda t: None)
+        q.run_until(20)
+        with pytest.raises(ValueError):
+            q.schedule(5, lambda t: None)
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        event = q.schedule(10, lambda t: None)
+        q.schedule(20, lambda t: None)
+        assert len(q) == 2
+        event.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        early = q.schedule(10, lambda t: None)
+        q.schedule(20, lambda t: None)
+        early.cancel()
+        assert q.peek_time() == 20
+
+    def test_pop_next(self):
+        q = EventQueue()
+        q.schedule(5, lambda t: None)
+        event = q.pop_next()
+        assert event is not None and event.time == 5
+        assert q.pop_next() is None

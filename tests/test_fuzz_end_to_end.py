@@ -1,0 +1,83 @@
+"""End-to-end fuzzing: random algorithm x random workload x random
+simulator configuration, asserting the global invariants that must hold no
+matter what:
+
+* accepted assignments validate structurally;
+* zero-overhead simulation of an accepted assignment never misses;
+* trace invariants hold under every overhead/stochastic configuration;
+* time accounting never exceeds the horizon.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.algorithms import ALGORITHMS, build_assignment
+from repro.kernel.sim import KernelSim
+from repro.model.generator import TaskSetGenerator
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+from repro.trace.validate import validate_trace
+
+_CONSTRUCTIVE = ["FP-TS", "C=D", "FFD", "WFD", "BFD", "P-EDF", "SPA2"]
+
+
+@pytest.mark.parametrize("trial", range(30))
+def test_fuzz_pipeline(trial):
+    rng = random.Random(9000 + trial)
+    n_cores = rng.choice([2, 4])
+    n_tasks = rng.randint(4, 12)
+    normalized = rng.uniform(0.3, 0.95)
+    algorithm = rng.choice(_CONSTRUCTIVE)
+    method = rng.choice(["uunifast", "randfixedsum"])
+    generator = TaskSetGenerator(
+        n_tasks=n_tasks,
+        seed=rng.randint(0, 10**6),
+        period_min=5 * MS,
+        period_max=50 * MS,
+        method=method,
+    )
+    taskset = generator.generate(normalized * n_cores)
+    assignment = build_assignment(
+        algorithm, taskset, n_cores, OverheadModel.zero()
+    )
+    if assignment is None:
+        return
+    assignment.validate()
+
+    # Zero-overhead worst-case simulation must be clean for FP-side
+    # algorithms under "fp" and EDF-side under "edf".
+    policy = "edf" if algorithm in ("C=D", "P-EDF") else "fp"
+    horizon = 8 * max(task.period for task in taskset)
+    clean = KernelSim(
+        assignment,
+        OverheadModel.zero(),
+        duration=horizon,
+        record_trace=True,
+        policy=policy,
+    ).run()
+    assert clean.miss_count == 0, (algorithm, trial, clean.misses[:2])
+    assert validate_trace(clean.trace, assignment) == []
+
+    # A stochastic, overhead-laden run may miss (overheads were not in the
+    # analysis) but must never break structural invariants or accounting.
+    stochastic = KernelSim(
+        assignment,
+        OverheadModel.paper_core_i7(max(1, n_tasks // n_cores)),
+        duration=horizon,
+        record_trace=True,
+        policy=policy,
+        sporadic_jitter=rng.choice([0, MS]),
+        execution_variation=rng.choice([0.0, 0.4]),
+        seed=trial,
+    ).run()
+    assert validate_trace(stochastic.trace, assignment) == []
+    for core in range(n_cores):
+        assert (
+            stochastic.busy_ns[core] + stochastic.overhead_ns[core]
+            <= horizon
+        )
+    for name, stats in stochastic.task_stats.items():
+        assert stats.jobs_completed <= stats.jobs_released

@@ -1,0 +1,164 @@
+"""Tests for random task-set generation (UUniFast and friends)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.generator import (
+    TaskSetGenerator,
+    log_uniform_periods,
+    uunifast,
+    uunifast_discard,
+)
+from repro.model.time import MS, US
+
+
+class TestUUniFast:
+    def test_sums_to_total(self):
+        rng = random.Random(0)
+        utils = uunifast(rng, 10, 3.0)
+        assert sum(utils) == pytest.approx(3.0)
+        assert len(utils) == 10
+
+    def test_all_positive(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            assert all(u > 0 for u in uunifast(rng, 5, 2.0))
+
+    def test_single_task(self):
+        rng = random.Random(2)
+        assert uunifast(rng, 1, 0.7) == [0.7]
+
+    def test_invalid_args(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            uunifast(rng, 0, 1.0)
+        with pytest.raises(ValueError):
+            uunifast(rng, 3, 0.0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        total=st.floats(min_value=0.1, max_value=8.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_sum_and_positivity(self, n, total, seed):
+        utils = uunifast(random.Random(seed), n, total)
+        assert sum(utils) == pytest.approx(total, rel=1e-9)
+        assert all(u > 0 for u in utils)
+
+
+class TestUUniFastDiscard:
+    def test_respects_cap(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            utils = uunifast_discard(rng, 8, 3.2, max_task_utilization=1.0)
+            assert max(utils) <= 1.0
+
+    def test_infeasible_raises(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            uunifast_discard(rng, 2, 3.0, max_task_utilization=1.0)
+
+    def test_tight_cap(self):
+        rng = random.Random(4)
+        utils = uunifast_discard(rng, 4, 2.0, max_task_utilization=0.6)
+        assert max(utils) <= 0.6
+        assert sum(utils) == pytest.approx(2.0)
+
+
+class TestPeriods:
+    def test_range_respected(self):
+        rng = random.Random(5)
+        periods = log_uniform_periods(rng, 100, 10 * MS, 1000 * MS)
+        assert all(10 * MS <= p <= 1000 * MS for p in periods)
+
+    def test_granularity(self):
+        rng = random.Random(6)
+        periods = log_uniform_periods(
+            rng, 50, 10 * MS, 1000 * MS, granularity=MS
+        )
+        assert all(p % MS == 0 for p in periods)
+
+    def test_invalid_range(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            log_uniform_periods(rng, 5, 0, 100)
+        with pytest.raises(ValueError):
+            log_uniform_periods(rng, 5, 100, 50)
+
+    def test_log_uniform_spread(self):
+        """Log-uniform: roughly half the mass below the geometric mean."""
+        rng = random.Random(7)
+        periods = log_uniform_periods(rng, 2000, 10 * MS, 1000 * MS)
+        geometric_mean = (10 * MS * 1000 * MS) ** 0.5
+        below = sum(1 for p in periods if p < geometric_mean)
+        assert 0.4 < below / len(periods) < 0.6
+
+
+class TestTaskSetGenerator:
+    def test_generates_requested_count_and_utilization(self):
+        gen = TaskSetGenerator(n_tasks=10, seed=42)
+        ts = gen.generate(total_utilization=3.0)
+        assert len(ts) == 10
+        assert ts.total_utilization == pytest.approx(3.0, abs=0.05)
+
+    def test_deterministic_with_seed(self):
+        a = TaskSetGenerator(n_tasks=6, seed=9).generate(2.0)
+        b = TaskSetGenerator(n_tasks=6, seed=9).generate(2.0)
+        assert [(t.wcet, t.period) for t in a] == [
+            (t.wcet, t.period) for t in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = TaskSetGenerator(n_tasks=6, seed=1).generate(2.0)
+        b = TaskSetGenerator(n_tasks=6, seed=2).generate(2.0)
+        assert [(t.wcet, t.period) for t in a] != [
+            (t.wcet, t.period) for t in b
+        ]
+
+    def test_priorities_assigned(self):
+        ts = TaskSetGenerator(n_tasks=5, seed=0).generate(1.5)
+        assert all(t.priority is not None for t in ts)
+
+    def test_no_rm_option(self):
+        gen = TaskSetGenerator(n_tasks=5, seed=0, assign_rm=False)
+        ts = gen.generate(1.5)
+        assert all(t.priority is None for t in ts)
+
+    def test_wss_within_bounds(self):
+        gen = TaskSetGenerator(
+            n_tasks=20, seed=0, wss_min=1024, wss_max=2048
+        )
+        ts = gen.generate(2.0)
+        assert all(1024 <= t.wss <= 2048 for t in ts)
+
+    def test_all_tasks_valid(self):
+        """Rounding must never produce wcet > period or wcet < 1."""
+        gen = TaskSetGenerator(n_tasks=16, seed=13)
+        for utilization in [0.5, 2.0, 3.9]:
+            ts = gen.generate(utilization)
+            for task in ts:
+                assert 1 <= task.wcet <= task.period
+
+    def test_generate_many(self):
+        gen = TaskSetGenerator(n_tasks=4, seed=5)
+        sets = gen.generate_many(1.0, 7)
+        assert len(sets) == 7
+
+    def test_reseed(self):
+        gen = TaskSetGenerator(n_tasks=4, seed=5)
+        first = gen.generate(1.0)
+        gen.reseed(5)
+        again = gen.generate(1.0)
+        assert [(t.wcet, t.period) for t in first] == [
+            (t.wcet, t.period) for t in again
+        ]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            TaskSetGenerator(n_tasks=0)

@@ -1,0 +1,165 @@
+"""Tests for the partitioned scheduling heuristics (FFD, WFD, BFD, NFD)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rta import assignment_schedulable
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.partition.heuristics import (
+    Placement,
+    hyperbolic_admission,
+    liu_layland_admission,
+    partition_best_fit_decreasing,
+    partition_first_fit_decreasing,
+    partition_next_fit_decreasing,
+    partition_taskset,
+    partition_worst_fit_decreasing,
+)
+
+
+def _ts(*specs):
+    return TaskSet(
+        [Task(f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)]
+    ).assign_rate_monotonic()
+
+
+class TestBasics:
+    def test_requires_priorities(self):
+        ts = TaskSet([Task("a", wcet=1, period=10)])
+        with pytest.raises(ValueError):
+            partition_first_fit_decreasing(ts, 2)
+
+    def test_single_task(self):
+        assignment = partition_first_fit_decreasing(_ts((1, 10)), 1)
+        assert assignment is not None
+        assert assignment.core_of("t0") == 0
+
+    def test_empty_taskset(self):
+        assignment = partition_first_fit_decreasing(TaskSet(), 2)
+        assert assignment is not None
+        assert len(assignment.tasks) == 0
+
+    def test_result_passes_exact_rta(self):
+        ts = _ts((3, 10), (4, 20), (5, 40), (6, 80))
+        assignment = partition_first_fit_decreasing(ts, 2)
+        assert assignment is not None
+        assert assignment_schedulable(assignment)
+        assignment.validate()
+
+    def test_infeasible_returns_none(self):
+        # Three 0.6 tasks cannot be partitioned onto 2 cores.
+        ts = _ts((6, 10), (6, 10), (6, 10))
+        for fn in [
+            partition_first_fit_decreasing,
+            partition_worst_fit_decreasing,
+            partition_best_fit_decreasing,
+            partition_next_fit_decreasing,
+        ]:
+            assert fn(ts, 2) is None
+
+    def test_no_splits_ever(self):
+        ts = _ts((3, 10), (4, 20), (5, 40), (6, 80), (2, 10))
+        assignment = partition_first_fit_decreasing(ts, 3)
+        assert assignment is not None
+        assert assignment.n_split_tasks == 0
+
+
+class TestPlacementStrategies:
+    def test_first_fit_packs_left(self):
+        ts = _ts((2, 10), (2, 10))
+        assignment = partition_first_fit_decreasing(ts, 2)
+        # Both small tasks land on core 0.
+        assert assignment.core_of("t0") == 0
+        assert assignment.core_of("t1") == 0
+
+    def test_worst_fit_spreads(self):
+        ts = _ts((2, 10), (2, 10))
+        assignment = partition_worst_fit_decreasing(ts, 2)
+        cores = {assignment.core_of("t0"), assignment.core_of("t1")}
+        assert cores == {0, 1}
+
+    def test_best_fit_prefers_fuller_core(self):
+        # heavy on core0; medium then goes to the fuller admitting core.
+        ts = _ts((7, 10), (2, 10), (2, 10))
+        assignment = partition_best_fit_decreasing(ts, 2)
+        assert assignment is not None
+        heavy_core = assignment.core_of("t0")
+        # Exactly one small task shares with the heavy (0.7+0.2 fits RM?
+        # R = 2 + ceil(R/10)*7 -> 9 <= 10 yes), second goes to other core
+        # only if the first fills core0 beyond feasibility.
+        small_cores = [assignment.core_of("t1"), assignment.core_of("t2")]
+        assert heavy_core in small_cores
+
+    def test_next_fit_never_revisits(self):
+        # decreasing order: 0.8, 0.7, 0.2; NF: t_a -> core0; t_b needs
+        # core1; the 0.2 task would fit core0 but next-fit won't go back.
+        ts = _ts((8, 10), (7, 10), (2, 10))
+        assignment = partition_next_fit_decreasing(ts, 2)
+        assert assignment is not None
+        heavy0 = assignment.core_of("t0")
+        light = assignment.core_of("t2")
+        assert heavy0 == 0
+        assert light == 1  # not back on core 0
+
+    def test_ffd_beats_wfd_on_classic_instance(self):
+        """FFD packs {0.5,0.5} + {0.34,0.33,0.33}; WFD's spreading strands
+        utilization (the standard bin-packing separation)."""
+        ts = _ts((5, 10), (5, 10), (34, 100), (33, 100), (33, 100))
+        assert partition_first_fit_decreasing(ts, 2) is not None
+        # WFD balances, ending with ~0.83/0.82 on both cores before the
+        # last 0.33 task, which then fits neither.
+        assert partition_worst_fit_decreasing(ts, 2) is None
+
+
+class TestAdmissionTests:
+    def test_liu_layland_stricter_than_rta(self):
+        # Harmonic set at U=1.0: exact RTA accepts, L&L rejects.
+        ts = _ts((4, 8), (4, 16), (8, 32))
+        assert partition_first_fit_decreasing(ts, 1) is not None
+        assert (
+            partition_taskset(
+                ts, 1, Placement.FIRST_FIT, liu_layland_admission
+            )
+            is None
+        )
+
+    def test_hyperbolic_between(self):
+        ts = _ts((33, 100), (33, 100), (12, 100))
+        ll = partition_taskset(
+            ts, 1, Placement.FIRST_FIT, liu_layland_admission
+        )
+        hyp = partition_taskset(
+            ts, 1, Placement.FIRST_FIT, hyperbolic_admission
+        )
+        assert ll is None
+        assert hyp is not None
+
+    def test_rta_is_exact_on_borderline(self):
+        # Classic set with U = 0.95 > Theta(3): only exact RTA accepts.
+        ts = _ts((40, 100), (40, 150), (100, 350))
+        assignment = partition_first_fit_decreasing(ts, 1)
+        assert assignment is not None
+        assert (
+            partition_taskset(
+                ts, 1, Placement.FIRST_FIT, liu_layland_admission
+            )
+            is None
+        )
+
+
+class TestLocalPriorities:
+    def test_rm_order_on_core(self):
+        ts = _ts((1, 100), (1, 10), (1, 50))
+        assignment = partition_first_fit_decreasing(ts, 1)
+        entries = assignment.cores[0].sorted_entries()
+        periods = [e.task.period for e in entries]
+        assert periods == sorted(periods)
+
+    def test_unique_local_priorities(self):
+        ts = _ts((1, 10), (1, 20), (1, 40), (2, 30), (2, 60))
+        assignment = partition_first_fit_decreasing(ts, 2)
+        for core in assignment.cores:
+            priorities = [e.local_priority for e in core.entries]
+            assert len(set(priorities)) == len(priorities)

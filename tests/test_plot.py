@@ -1,0 +1,69 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
+from repro.experiments.plot import acceptance_plot, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_markers(self):
+        text = ascii_plot(
+            {"up": [0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]},
+            [0, 1, 2],
+            width=20,
+            height=8,
+        )
+        assert "U" in text and "D" in text
+        assert "*" in text  # they cross in the middle
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({}, [0, 1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2, 3]}, [0, 1])
+
+    def test_marker_collision_fallback(self):
+        text = ascii_plot(
+            {"alpha": [0.2, 0.4], "amber": [0.6, 0.8]},
+            [0, 1],
+            width=12,
+            height=6,
+        )
+        assert "A=alpha" in text
+        assert "0=amber" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot(
+            {"s": [0.0, 1.0]},
+            [0, 10],
+            x_label="load",
+            y_label="ratio",
+        )
+        assert "load" in text
+        assert "ratio" in text
+
+    def test_values_clamped_to_grid(self):
+        # No exception for y values above y_max.
+        text = ascii_plot({"s": [0.5, 2.0]}, [0, 1], y_max=1.0)
+        assert "S" in text
+
+
+class TestAcceptancePlot:
+    def test_renders_sweep(self):
+        config = AcceptanceConfig(
+            n_cores=2,
+            n_tasks=6,
+            sets_per_point=8,
+            utilizations=[0.5, 0.7, 0.9],
+            algorithms=("FP-TS", "WFD"),
+        )
+        result = run_acceptance(config)
+        text = acceptance_plot(result)
+        assert "F=FP-TS" in text
+        assert "W=WFD" in text
+        assert "acceptance ratio" in text

@@ -1,0 +1,72 @@
+"""QPA correctness: must agree exactly with the enumeration-based test."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.edf import edf_schedulable
+from repro.analysis.qpa import qpa_schedulable
+
+
+class TestBasics:
+    def test_empty(self):
+        assert qpa_schedulable([])
+
+    def test_implicit_full_load(self):
+        assert qpa_schedulable([(5, 10, 10), (5, 10, 10)])
+
+    def test_overload(self):
+        assert not qpa_schedulable([(6, 10, 10), (5, 10, 10)])
+
+    def test_constrained_infeasible(self):
+        assert not qpa_schedulable([(3, 10, 5), (3, 10, 5)])
+
+    def test_constrained_feasible(self):
+        assert qpa_schedulable([(2, 10, 5), (2, 10, 5)])
+
+    def test_single_tight_task(self):
+        assert qpa_schedulable([(5, 10, 5)])
+        assert not qpa_schedulable([(6, 10, 5)])
+
+
+@st.composite
+def _edf_tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    triples = []
+    for _ in range(n):
+        period = draw(st.integers(min_value=5, max_value=100))
+        wcet = draw(st.integers(min_value=1, max_value=period))
+        deadline = draw(st.integers(min_value=wcet, max_value=period))
+        triples.append((wcet, period, deadline))
+    return triples
+
+
+class TestAgreement:
+    @given(triples=_edf_tasksets())
+    @settings(max_examples=300, deadline=None)
+    def test_qpa_equals_enumeration(self, triples):
+        assert qpa_schedulable(triples) == edf_schedulable(triples), triples
+
+    def test_agreement_on_denser_random_sets(self):
+        rng = random.Random(17)
+        disagreements = []
+        for _ in range(300):
+            n = rng.randint(2, 8)
+            triples = []
+            for _i in range(n):
+                period = rng.randint(10, 500)
+                wcet = max(1, int(period * rng.uniform(0.05, 0.9 / n) ))
+                deadline = rng.randint(wcet, period)
+                triples.append((wcet, period, deadline))
+            if qpa_schedulable(triples) != edf_schedulable(triples):
+                disagreements.append(triples)
+        assert not disagreements, disagreements[:2]
+
+    def test_borderline_demand_equals_t(self):
+        # dbf(t) == t exactly at some point: QPA's equality branch.
+        triples = [(5, 10, 5), (5, 10, 10)]
+        assert qpa_schedulable(triples) == edf_schedulable(triples)

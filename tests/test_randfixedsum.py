@@ -1,0 +1,103 @@
+"""Tests for the RandFixedSum utilization generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.generator import TaskSetGenerator
+from repro.model.randfixedsum import randfixedsum
+
+
+class TestRandFixedSum:
+    def test_sum_and_bounds(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            values = randfixedsum(rng, 8, 3.2)
+            assert sum(values) == pytest.approx(3.2)
+            assert all(-1e-9 <= v <= 1 + 1e-9 for v in values)
+
+    def test_tight_bounds(self):
+        """The case UUniFast-discard cannot handle efficiently."""
+        rng = random.Random(1)
+        for _ in range(30):
+            values = randfixedsum(rng, 6, 3.0, low=0.4, high=0.6)
+            assert sum(values) == pytest.approx(3.0)
+            assert all(0.4 - 1e-9 <= v <= 0.6 + 1e-9 for v in values)
+
+    def test_single_value(self):
+        rng = random.Random(2)
+        assert randfixedsum(rng, 1, 0.7) == [pytest.approx(0.7)]
+
+    def test_degenerate_corners(self):
+        rng = random.Random(3)
+        assert randfixedsum(rng, 4, 0.0) == [0.0] * 4
+        assert randfixedsum(rng, 4, 4.0) == [1.0] * 4
+
+    def test_infeasible_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            randfixedsum(rng, 3, 4.0)  # > n * high
+        with pytest.raises(ValueError):
+            randfixedsum(rng, 3, 1.0, low=0.5)  # < n * low
+        with pytest.raises(ValueError):
+            randfixedsum(rng, 0, 1.0)
+        with pytest.raises(ValueError):
+            randfixedsum(rng, 3, 1.0, low=0.6, high=0.5)
+
+    def test_mean_is_unbiased(self):
+        """Exchangeability: every slot's mean is total/n."""
+        rng = random.Random(4)
+        n, total, draws = 5, 2.0, 400
+        sums = [0.0] * n
+        for _ in range(draws):
+            values = randfixedsum(rng, n, total)
+            for i, v in enumerate(values):
+                sums[i] += v
+        for slot_sum in sums:
+            assert slot_sum / draws == pytest.approx(total / n, abs=0.05)
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        frac=st.floats(min_value=0.05, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_sum_bounds(self, n, frac, seed):
+        total = frac * n
+        values = randfixedsum(random.Random(seed), n, total)
+        assert sum(values) == pytest.approx(total, abs=1e-6)
+        assert all(-1e-9 <= v <= 1 + 1e-9 for v in values)
+
+
+class TestGeneratorMethod:
+    def test_randfixedsum_method(self):
+        gen = TaskSetGenerator(n_tasks=10, seed=7, method="randfixedsum")
+        ts = gen.generate(4.0)
+        assert len(ts) == 10
+        assert ts.total_utilization == pytest.approx(4.0, abs=0.05)
+
+    def test_capped_method(self):
+        gen = TaskSetGenerator(
+            n_tasks=8,
+            seed=8,
+            method="randfixedsum",
+            max_task_utilization=0.5,
+        )
+        ts = gen.generate(3.0)
+        assert all(t.utilization <= 0.51 for t in ts)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            TaskSetGenerator(n_tasks=4, method="magic")
+
+    def test_methods_differ_but_both_valid(self):
+        a = TaskSetGenerator(n_tasks=6, seed=9, method="uunifast").generate(2.0)
+        b = TaskSetGenerator(n_tasks=6, seed=9, method="randfixedsum").generate(
+            2.0
+        )
+        assert a.total_utilization == pytest.approx(2.0, abs=0.05)
+        assert b.total_utilization == pytest.approx(2.0, abs=0.05)

@@ -1,0 +1,189 @@
+"""Unit and property tests for the red-black tree (sleep queue)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.min_node() is None
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            RedBlackTree().min()
+
+    def test_pop_min_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            RedBlackTree().pop_min()
+
+    def test_insert_and_min(self):
+        tree = RedBlackTree()
+        tree.insert(10, "a")
+        tree.insert(5, "b")
+        tree.insert(20, "c")
+        assert tree.min() == (5, "b")
+
+    def test_pop_min_orders(self):
+        tree = RedBlackTree()
+        for key in [4, 2, 8, 6, 0]:
+            tree.insert(key)
+        assert [tree.pop_min()[0] for _ in range(5)] == [0, 2, 4, 6, 8]
+
+    def test_duplicate_keys(self):
+        tree = RedBlackTree()
+        tree.insert(1, "x")
+        tree.insert(1, "y")
+        assert len(tree) == 2
+        got = {tree.pop_min()[1], tree.pop_min()[1]}
+        assert got == {"x", "y"}
+
+    def test_items_in_order(self):
+        tree = RedBlackTree()
+        keys = [9, 1, 8, 2, 7, 3]
+        for k in keys:
+            tree.insert(k)
+        assert [k for k, _v in tree.items()] == sorted(keys)
+
+    def test_find(self):
+        tree = RedBlackTree()
+        tree.insert(3, "three")
+        node = tree.find(3)
+        assert node is not None and node.value == "three"
+        assert tree.find(4) is None
+
+    def test_tuple_keys(self):
+        """Sleep queue uses (wakeup_time, name) composite keys."""
+        tree = RedBlackTree()
+        tree.insert((100, "b"), 1)
+        tree.insert((100, "a"), 2)
+        tree.insert((50, "z"), 3)
+        assert tree.min() == ((50, "z"), 3)
+
+
+class TestRemove:
+    def test_remove_leaf(self):
+        tree = RedBlackTree()
+        node = tree.insert(5)
+        tree.insert(3)
+        tree.insert(8)
+        tree.remove(node)
+        assert len(tree) == 2
+        tree.check_invariants()
+
+    def test_remove_then_double_remove_raises(self):
+        tree = RedBlackTree()
+        node = tree.insert(5)
+        tree.remove(node)
+        with pytest.raises(KeyError):
+            tree.remove(node)
+
+    def test_remove_all_random(self):
+        tree = RedBlackTree()
+        rng = random.Random(7)
+        nodes = [tree.insert(rng.randint(0, 50), i) for i in range(64)]
+        rng.shuffle(nodes)
+        for node in nodes:
+            tree.remove(node)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_remove_internal_node_with_two_children(self):
+        tree = RedBlackTree()
+        nodes = {k: tree.insert(k) for k in [50, 25, 75, 10, 30, 60, 90]}
+        tree.remove(nodes[50])
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == [10, 25, 30, 60, 75, 90]
+
+    def test_surviving_node_references_stay_valid(self):
+        tree = RedBlackTree()
+        nodes = {k: tree.insert(k, f"v{k}") for k in range(20)}
+        tree.remove(nodes[10])
+        # Every other node object must still be removable.
+        for k in [0, 5, 15, 19]:
+            tree.remove(nodes[k])
+            tree.check_invariants()
+        remaining = [k for k, _ in tree.items()]
+        assert 10 not in remaining and 5 not in remaining
+        assert len(remaining) == 15
+
+
+class TestClear:
+    def test_clear(self):
+        tree = RedBlackTree()
+        for k in range(10):
+            tree.insert(k)
+        tree.clear()
+        assert len(tree) == 0
+        tree.check_invariants()
+
+
+class TestProperties:
+    @given(keys=st.lists(st.integers(), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_treesort_matches_sorted(self, keys):
+        tree = RedBlackTree()
+        for key in keys:
+            tree.insert(key)
+        tree.check_invariants()
+        assert [tree.pop_min()[0] for _ in range(len(keys))] == sorted(keys)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "pop", "remove"]),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_operations_preserve_invariants(self, ops):
+        tree = RedBlackTree()
+        model = []
+        nodes = []
+        for op, key in ops:
+            if op == "insert":
+                nodes.append(tree.insert(key))
+                model.append(key)
+            elif op == "pop" and model:
+                k, _v = tree.pop_min()
+                assert k == min(model)
+                model.remove(k)
+            elif op == "remove" and nodes:
+                live = [n for n in nodes if n.parent is not None]
+                if not live:
+                    continue
+                victim = live[len(live) // 2]
+                model.remove(victim.key)
+                tree.remove(victim)
+            tree.check_invariants()
+        assert len(tree) == len(model)
+        assert [k for k, _ in tree.items()] == sorted(model)
+
+    @given(keys=st.lists(st.integers(), min_size=1, max_size=128, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_black_height_logarithmic(self, keys):
+        """Red-black trees bound height at 2 log2(n + 1)."""
+        tree = RedBlackTree()
+        for key in keys:
+            tree.insert(key)
+
+        def height(node):
+            if node is tree._nil:
+                return 0
+            return 1 + max(height(node.left), height(node.right))
+
+        import math
+
+        n = len(keys)
+        assert height(tree._root) <= 2 * math.log2(n + 1) + 1

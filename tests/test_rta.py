@@ -1,0 +1,236 @@
+"""Tests for exact response-time analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rta import (
+    core_schedulable,
+    entry_response_time,
+    order_entries,
+    response_time,
+)
+from repro.model.assignment import Entry, EntryKind
+from repro.model.split import Subtask
+from repro.model.task import Task
+
+
+def _normal(name, wcet, period, priority, deadline=None, jitter=0):
+    task = Task(
+        name,
+        wcet=wcet,
+        period=period,
+        deadline=deadline or period,
+        priority=priority,
+    )
+    return Entry(
+        kind=EntryKind.NORMAL,
+        task=task,
+        core=0,
+        budget=wcet,
+        deadline=task.deadline,
+        jitter=jitter,
+    )
+
+
+class TestResponseTimeCore:
+    def test_no_interference(self):
+        assert response_time(5, [], limit=10) == 5
+
+    def test_exceeds_limit(self):
+        assert response_time(11, [], limit=10) is None
+
+    def test_classic_example(self):
+        """Joseph & Pandya style: C=(1,2,3), T=(4,6,12)."""
+        # R3 = 3 + ceil(R/4)*1 + ceil(R/6)*2
+        r = response_time(3, [(1, 4, 0), (2, 6, 0)], limit=12)
+        # iterate: 3 -> 3+1+2=6 -> 3+2+2=7 -> 3+2+4=9 -> 3+3+4=10 ->
+        #          3+3+4=10 (fixpoint)
+        assert r == 10
+
+    def test_converges_with_heavy_interference(self):
+        # Interference utilization 0.75: R = 5 + ceil(R/4)*3 -> 20.
+        assert response_time(5, [(3, 4, 0)], limit=1000) == 20
+
+    def test_unschedulable_returns_none(self):
+        # Interference utilization 1.0 never lets a 5-unit job through.
+        assert response_time(5, [(4, 4, 0)], limit=10_000) is None
+
+    def test_jitter_increases_interference(self):
+        without = response_time(3, [(2, 10, 0)], limit=100)
+        with_jitter = response_time(3, [(2, 10, 9)], limit=100)
+        assert with_jitter >= without
+        # With jitter 9, window R+9 covers a second release once R > 1.
+        assert with_jitter == 7
+
+    def test_exact_fit(self):
+        # 6 + ceil(R/10)*4 with R=10: exactly meets a deadline of 10.
+        assert response_time(6, [(4, 10, 0)], limit=10) == 10
+
+    @given(
+        budget=st.integers(min_value=1, max_value=1000),
+        higher=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=100),
+                st.integers(min_value=100, max_value=10_000),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_response_at_least_budget_plus_one_hit_each(self, budget, higher):
+        r = response_time(budget, higher, limit=10**9)
+        if r is not None:
+            floor = budget + sum(c for c, _t, _j in higher)
+            assert r >= floor
+
+    @given(
+        budget=st.integers(min_value=1, max_value=500),
+        extra=st.integers(min_value=0, max_value=500),
+        wcet=st.integers(min_value=1, max_value=50),
+        period=st.integers(min_value=100, max_value=1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_budget(self, budget, extra, wcet, period):
+        higher = [(wcet, period, 0)]
+        small = response_time(budget, higher, limit=10**9)
+        large = response_time(budget + extra, higher, limit=10**9)
+        if large is not None:
+            assert small is not None
+            assert small <= large
+
+
+class TestOrderEntries:
+    def test_bodies_first(self):
+        task_a = Task("a", wcet=4, period=10, priority=0)
+        task_b = Task("b", wcet=2, period=20, priority=1)
+        body = Entry(
+            kind=EntryKind.BODY,
+            task=task_b,
+            core=0,
+            budget=1,
+            subtask=Subtask(
+                task=task_b, index=0, core=0, budget=1, total_subtasks=2
+            ),
+            body_rank=5,
+        )
+        normal = Entry(
+            kind=EntryKind.NORMAL, task=task_a, core=0, budget=4
+        )
+        ordered = order_entries([normal, body])
+        assert ordered[0] is body
+
+    def test_bodies_by_rank(self):
+        task = Task("x", wcet=4, period=10, priority=0)
+
+        def body(rank, index):
+            return Entry(
+                kind=EntryKind.BODY,
+                task=Task(f"s{rank}", wcet=4, period=10, priority=rank),
+                core=0,
+                budget=2,
+                subtask=Subtask(
+                    task=Task(
+                        f"s{rank}", wcet=4, period=10, priority=rank
+                    ),
+                    index=index,
+                    core=0,
+                    budget=2,
+                    total_subtasks=2,
+                ),
+                body_rank=rank,
+            )
+
+        early, late = body(1, 0), body(9, 0)
+        assert order_entries([late, early]) == [early, late]
+
+    def test_normals_by_global_priority(self):
+        high = _normal("hi", 1, 10, priority=0)
+        low = _normal("lo", 1, 100, priority=7)
+        assert order_entries([low, high]) == [high, low]
+
+    def test_missing_priority_raises(self):
+        entry = Entry(
+            kind=EntryKind.NORMAL,
+            task=Task("t", wcet=1, period=10),
+            core=0,
+            budget=1,
+        )
+        with pytest.raises(ValueError):
+            order_entries([entry])
+
+
+class TestCoreSchedulable:
+    def test_liu_layland_counterexample_rejected(self):
+        """U = 0.753 < 1 but not RM schedulable: C=(3,3), T=(8,12), plus a
+        third task pushing past the breakdown."""
+        entries = [
+            _normal("t1", 40, 100, priority=0),
+            _normal("t2", 40, 150, priority=1),
+            _normal("t3", 100, 350, priority=2),
+        ]
+        analysis = core_schedulable(entries)
+        # Exact RTA accepts this classic set (R3 = 300 <= 350).
+        assert analysis.schedulable
+        assert analysis.response_of("t3") == 300
+
+    def test_overloaded_core_rejected(self):
+        entries = [
+            _normal("t1", 6, 10, priority=0),
+            _normal("t2", 6, 10, priority=1),
+        ]
+        assert not core_schedulable(entries).schedulable
+
+    def test_harmonic_full_utilization(self):
+        # U = 0.5 + 0.25 + 0.25 = 1.0, harmonic: RM schedulable exactly.
+        entries = [
+            _normal("h1", 4, 8, priority=0),
+            _normal("h2", 4, 16, priority=1),
+            _normal("h3", 8, 32, priority=2),
+        ]
+        analysis = core_schedulable(entries)
+        assert analysis.schedulable
+        assert analysis.response_of("h3") == 32
+
+    def test_empty_core(self):
+        assert core_schedulable([]).schedulable
+
+    def test_entry_result_slack(self):
+        entries = [_normal("t", 3, 10, priority=0)]
+        analysis = core_schedulable(entries)
+        assert analysis.results[0].slack == 7
+
+    def test_response_of_unknown_raises(self):
+        analysis = core_schedulable([_normal("t", 1, 10, priority=0)])
+        with pytest.raises(KeyError):
+            analysis.response_of("ghost")
+
+    def test_jittered_tail_entry(self):
+        """A tail with jitter interferes more than its jitter-free twin."""
+        task_hi = Task("hi", wcet=2, period=10, priority=0)
+        tail_sub = Subtask(
+            task=task_hi, index=1, core=0, budget=2, total_subtasks=2
+        )
+        tail = Entry(
+            kind=EntryKind.TAIL,
+            task=task_hi,
+            core=0,
+            budget=2,
+            subtask=tail_sub,
+            deadline=6,
+            jitter=4,
+        )
+        low = _normal("lo", 5, 12, priority=1)
+        analysis = core_schedulable([tail, low])
+        assert analysis.schedulable
+        # lo: R = 5 + ceil((R+4)/10)*2 -> 5+2=7 -> 5+ceil(11/10)*2=9
+        #      -> 5+ceil(13/10)*2 = 9 (fixpoint)
+        assert analysis.response_of("lo") == 9
+
+    def test_entry_response_time_helper(self):
+        hi = _normal("hi", 2, 10, priority=0)
+        lo = _normal("lo", 3, 20, priority=1)
+        assert entry_response_time(lo, [hi]) == 5

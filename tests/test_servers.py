@@ -1,0 +1,212 @@
+"""Tests for aperiodic servers: model, analysis view, simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.rta import core_schedulable
+from repro.model.assignment import Entry, EntryKind
+from repro.model.task import Task
+from repro.servers import (
+    AperiodicJob,
+    DeferrableServer,
+    PollingServer,
+    poisson_aperiodic_stream,
+    server_entry,
+    simulate_with_server,
+)
+
+
+def _hard(specs):
+    """Tasks sorted highest priority first (RM by construction)."""
+    return [
+        Task(f"h{i}", wcet=c, period=p, priority=i)
+        for i, (c, p) in enumerate(specs)
+    ]
+
+
+class TestModel:
+    def test_aperiodic_job_validation(self):
+        with pytest.raises(ValueError):
+            AperiodicJob(arrival=-1, work=1)
+        with pytest.raises(ValueError):
+            AperiodicJob(arrival=0, work=0)
+
+    def test_server_validation(self):
+        with pytest.raises(ValueError):
+            PollingServer(capacity=0, period=10)
+        with pytest.raises(ValueError):
+            DeferrableServer(capacity=11, period=10)
+
+    def test_utilization(self):
+        assert PollingServer(capacity=2, period=10).utilization == 0.2
+
+    def test_poisson_stream(self):
+        rng = random.Random(0)
+        jobs = poisson_aperiodic_stream(
+            rng, horizon=100_000, mean_interarrival=1000, mean_work=100
+        )
+        assert jobs
+        assert all(0 <= j.arrival < 100_000 for j in jobs)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(j.work <= 400 for j in jobs)  # truncated at 4x mean
+
+    def test_poisson_invalid(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            poisson_aperiodic_stream(rng, 100, 0, 10)
+
+
+class TestAnalysisView:
+    def test_polling_entry_is_plain_periodic(self):
+        entry = server_entry(PollingServer(capacity=2, period=10), priority=0)
+        assert entry.budget == 2
+        assert entry.period == 10
+        assert entry.jitter == 0
+
+    def test_deferrable_entry_carries_jitter(self):
+        entry = server_entry(
+            DeferrableServer(capacity=2, period=10), priority=0
+        )
+        assert entry.jitter == 8  # T_s - C_s back-to-back bound
+
+    def test_hard_tasks_analysed_with_server(self):
+        """A deferrable server's jitter makes analysis strictly harder."""
+        hard = Task("h", wcet=5, period=12, priority=1)
+        hard_entry = Entry(
+            kind=EntryKind.NORMAL, task=hard, core=0, budget=5
+        )
+        polling = server_entry(PollingServer(2, 10), priority=0)
+        deferrable = server_entry(DeferrableServer(2, 10), priority=0)
+        r_polling = core_schedulable([polling, hard_entry]).response_of("h")
+        r_deferrable = core_schedulable([deferrable, hard_entry]).response_of(
+            "h"
+        )
+        assert r_deferrable >= r_polling
+
+
+class TestSimulation:
+    def test_hard_tasks_unaffected_without_aperiodics(self):
+        tasks = _hard([(2, 10), (5, 20)])
+        misses, stats = simulate_with_server(tasks, [], horizon=200)
+        assert misses == 0
+        assert stats.completed == 0
+
+    def test_background_service_waits_for_idle(self):
+        tasks = _hard([(6, 10)])
+        jobs = [AperiodicJob(arrival=0, work=3)]
+        misses, stats = simulate_with_server(tasks, jobs, horizon=50)
+        assert misses == 0
+        # Idle time is 6..10; job done at 9 -> response 9.
+        assert stats.max_response == 9
+
+    def test_deferrable_serves_immediately(self):
+        tasks = _hard([(6, 10)])
+        jobs = [AperiodicJob(arrival=0, work=3)]
+        server = DeferrableServer(capacity=3, period=10)
+        misses, stats = simulate_with_server(
+            tasks, jobs, horizon=50, server=server, server_priority=0
+        )
+        assert misses == 0
+        assert stats.max_response == 3  # served at top priority at once
+
+    def test_polling_waits_for_replenishment(self):
+        """A job arriving just after the poll waits for the next period."""
+        tasks = _hard([(2, 10)])
+        jobs = [AperiodicJob(arrival=1, work=2)]
+        server = PollingServer(capacity=3, period=10)
+        misses, stats = simulate_with_server(
+            tasks, jobs, horizon=50, server=server, server_priority=0
+        )
+        assert misses == 0
+        # Poll at 0 found an empty queue; next poll at 10 serves it:
+        # response = (10 - 1) + 2 = 11.
+        assert stats.max_response == 11
+
+    def test_deferrable_beats_polling_beats_background_at_high_load(self):
+        """The classic server ordering holds when hard load is high enough
+        that background idle time is scarce (U = 0.8 here).  At *low* hard
+        load, background service can legitimately beat a polling server —
+        idle time is plentiful while polls add latency."""
+        tasks = _hard([(5, 10), (6, 20)])
+        rng = random.Random(3)
+        jobs = poisson_aperiodic_stream(
+            rng, horizon=50_000, mean_interarrival=100, mean_work=2
+        )
+        server_polling = PollingServer(capacity=2, period=10)
+        server_deferrable = DeferrableServer(capacity=2, period=10)
+        m1, background = simulate_with_server(tasks, jobs, horizon=50_000)
+        m2, polling = simulate_with_server(
+            tasks, jobs, horizon=50_000, server=server_polling
+        )
+        m3, deferrable = simulate_with_server(
+            tasks, jobs, horizon=50_000, server=server_deferrable
+        )
+        assert m1 == m2 == m3 == 0
+        assert deferrable.mean_response <= polling.mean_response
+        assert polling.mean_response <= background.mean_response
+
+    def test_background_can_beat_polling_at_low_load(self):
+        tasks = _hard([(3, 10), (4, 20)])  # U = 0.5: idle-rich
+        rng = random.Random(3)
+        jobs = poisson_aperiodic_stream(
+            rng, horizon=50_000, mean_interarrival=100, mean_work=2
+        )
+        _m1, background = simulate_with_server(tasks, jobs, horizon=50_000)
+        _m2, polling = simulate_with_server(
+            tasks,
+            jobs,
+            horizon=50_000,
+            server=PollingServer(capacity=2, period=10),
+        )
+        assert background.mean_response < polling.mean_response
+
+    def test_budget_limits_service(self):
+        """Aperiodic burst larger than the budget spills across periods."""
+        tasks = _hard([(2, 10)])
+        jobs = [AperiodicJob(arrival=0, work=8)]
+        server = DeferrableServer(capacity=3, period=10)
+        misses, stats = simulate_with_server(
+            tasks, jobs, horizon=100, server=server, server_priority=0
+        )
+        assert misses == 0
+        # 3 units in period 0, 3 in period 1, 2 in period 2:
+        # finishes at 20 + 2 = 22.
+        assert stats.max_response == 22
+
+    def test_hard_tasks_protected_from_server_overload(self):
+        """Even a saturated server cannot make hard tasks miss (budget)."""
+        tasks = _hard([(5, 10)])
+        rng = random.Random(9)
+        jobs = poisson_aperiodic_stream(
+            rng, horizon=10_000, mean_interarrival=5, mean_work=10
+        )
+        server = DeferrableServer(capacity=4, period=10)
+        misses, _stats = simulate_with_server(
+            tasks, jobs, horizon=10_000, server=server, server_priority=0
+        )
+        assert misses == 0
+
+    def test_server_priority_below_hard_task(self):
+        tasks = _hard([(4, 10)])
+        jobs = [AperiodicJob(arrival=0, work=2)]
+        server = DeferrableServer(capacity=2, period=10)
+        misses, stats = simulate_with_server(
+            tasks, jobs, horizon=50, server=server, server_priority=1
+        )
+        assert misses == 0
+        # Hard task runs 0..4 first: response = 4 + 2.
+        assert stats.max_response == 6
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            simulate_with_server(_hard([(1, 10)]), [], horizon=0)
+
+    def test_unfinished_counted(self):
+        tasks = _hard([(9, 10)])
+        jobs = [AperiodicJob(arrival=0, work=50)]
+        _misses, stats = simulate_with_server(tasks, jobs, horizon=100)
+        assert stats.unfinished == 1

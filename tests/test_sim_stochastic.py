@@ -1,0 +1,146 @@
+"""Tests for the stochastic simulation modes (sporadic releases,
+execution-time variation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.sim import KernelSim
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS, SEC
+from repro.overhead.model import OverheadModel
+from repro.partition.heuristics import partition_first_fit_decreasing
+from repro.semipart.fpts import fpts_partition
+
+
+def _assignment(*specs, n_cores=1):
+    ts = TaskSet(
+        [Task(f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)]
+    ).assign_rate_monotonic()
+    assignment = partition_first_fit_decreasing(ts, n_cores)
+    assert assignment is not None
+    return assignment
+
+
+class TestSporadicReleases:
+    def test_fewer_or_equal_releases(self):
+        assignment = _assignment((2, 10), (3, 20))
+        periodic = KernelSim(
+            assignment, OverheadModel.zero(), duration=1000
+        ).run()
+        sporadic = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=1000,
+            sporadic_jitter=5,
+            seed=3,
+        ).run()
+        assert sporadic.releases <= periodic.releases
+
+    def test_schedulable_set_stays_clean(self):
+        """Sporadic arrivals only *reduce* load: no misses may appear."""
+        assignment = _assignment((2, 10), (5, 20))
+        for seed in range(5):
+            result = KernelSim(
+                assignment,
+                OverheadModel.zero(),
+                duration=2000,
+                sporadic_jitter=7,
+                seed=seed,
+            ).run()
+            assert result.miss_count == 0
+
+    def test_deterministic_per_seed(self):
+        assignment = _assignment((2, 10))
+        a = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=1000,
+            sporadic_jitter=9,
+            seed=42,
+        ).run()
+        b = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=1000,
+            sporadic_jitter=9,
+            seed=42,
+        ).run()
+        assert a.releases == b.releases
+        assert a.task_stats["t0"].max_response == b.task_stats["t0"].max_response
+
+    def test_invalid_jitter(self):
+        assignment = _assignment((2, 10))
+        with pytest.raises(ValueError):
+            KernelSim(
+                assignment,
+                OverheadModel.zero(),
+                duration=100,
+                sporadic_jitter=-1,
+            )
+
+
+class TestExecutionVariation:
+    def test_reduces_busy_time(self):
+        assignment = _assignment((4, 10))
+        full = KernelSim(
+            assignment, OverheadModel.zero(), duration=1000
+        ).run()
+        varied = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=1000,
+            execution_variation=0.5,
+            seed=1,
+        ).run()
+        assert varied.busy_ns[0] < full.busy_ns[0]
+        assert varied.miss_count == 0
+
+    def test_split_task_finishes_early_in_body(self):
+        """With strong variation, some jobs of a split task complete inside
+        the body stage and skip the migration (paper cnt_swth case 3)."""
+        ts = TaskSet(
+            [
+                Task("a", wcet=6 * MS, period=10 * MS),
+                Task("b", wcet=6 * MS, period=10 * MS),
+                Task("c", wcet=6 * MS, period=10 * MS),
+            ]
+        ).assign_rate_monotonic()
+        assignment = fpts_partition(ts, 2)
+        assert assignment is not None
+        split_name = next(iter(assignment.split_tasks))
+        result = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=1 * SEC,
+            execution_variation=0.6,
+            seed=5,
+        ).run()
+        stats = result.task_stats[split_name]
+        assert stats.jobs_completed == stats.jobs_released
+        # Variation up to 60%: many jobs fit entirely in the 4 ms body.
+        assert stats.migrations < stats.jobs_completed
+        assert result.miss_count == 0
+
+    def test_invalid_variation(self):
+        assignment = _assignment((2, 10))
+        with pytest.raises(ValueError):
+            KernelSim(
+                assignment,
+                OverheadModel.zero(),
+                duration=100,
+                execution_variation=1.0,
+            )
+
+    def test_work_never_below_one(self):
+        assignment = _assignment((1, 10))
+        result = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=500,
+            execution_variation=0.99,
+            seed=2,
+        ).run()
+        assert result.task_stats["t0"].jobs_completed == 50

@@ -1,0 +1,131 @@
+"""Tests for the SPA1/SPA2 utilization-bound semi-partitioned algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import liu_layland_bound, spa_light_threshold
+from repro.model.generator import TaskSetGenerator, uunifast_discard
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.semipart.spa import spa1_partition, spa2_partition
+
+
+def _ts(*specs):
+    return TaskSet(
+        [Task(f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)]
+    ).assign_rate_monotonic()
+
+
+def _light_taskset(n, total_utilization, seed):
+    """Random task set where every task is SPA1-light."""
+    rng = random.Random(seed)
+    cap = spa_light_threshold(n) * 0.999
+    utils = uunifast_discard(rng, n, total_utilization, cap)
+    tasks = []
+    for i, u in enumerate(utils):
+        period = rng.choice([10, 20, 50, 100]) * MS
+        tasks.append(
+            Task(f"t{i}", wcet=max(1, int(u * period)), period=period)
+        )
+    return TaskSet(tasks).assign_rate_monotonic()
+
+
+class TestSpa1:
+    def test_requires_priorities(self):
+        ts = TaskSet([Task("a", wcet=1, period=10)])
+        with pytest.raises(ValueError):
+            spa1_partition(ts, 2)
+
+    def test_empty(self):
+        assert spa1_partition(TaskSet(), 2) is not None
+
+    def test_rejects_heavy_tasks(self):
+        # One task above the light threshold -> SPA1 refuses.
+        ts = _ts((8, 10), (1, 10), (1, 10))
+        assert spa1_partition(ts, 2) is None
+
+    def test_accepts_light_set_below_bound(self):
+        ts = _light_taskset(8, 2.0, seed=1)
+        assignment = spa1_partition(ts, 4)
+        assert assignment is not None
+        assignment.validate()
+
+    def test_splits_when_core_fills(self):
+        # 6 light tasks, total close to 2*Theta: at least one boundary split.
+        n = 6
+        theta = liu_layland_bound(n)
+        ts = _light_taskset(n, 1.9 * theta, seed=3)
+        assignment = spa1_partition(ts, 2)
+        assert assignment is not None
+        # Utilization per core never exceeds Theta.
+        for core in assignment.cores:
+            assert core.utilization <= theta + 1e-6
+
+    def test_guaranteed_bound(self):
+        """Any light set with U <= m*Theta(n) must be accepted (the paper's
+        utilization-bound guarantee)."""
+        for seed in range(10):
+            n, m = 12, 4
+            theta = liu_layland_bound(n)
+            ts = _light_taskset(n, 0.98 * m * theta, seed=seed)
+            assert spa1_partition(ts, m) is not None, f"seed={seed}"
+
+    def test_overload_rejected(self):
+        # 3.2 > 4 * Theta(12) = 2.94: beyond the utilization guarantee.
+        ts = _light_taskset(12, 3.2, seed=5)
+        assert spa1_partition(ts, 4) is None
+
+
+class TestSpa2:
+    def test_empty(self):
+        assert spa2_partition(TaskSet(), 2) is not None
+
+    def test_accepts_heavy_tasks(self):
+        ts = _ts((8, 10), (1, 10), (1, 10))
+        assignment = spa2_partition(ts, 2)
+        assert assignment is not None
+        # The heavy task is never split.
+        assert "t0" not in assignment.split_tasks
+
+    def test_heavy_tasks_get_dedicated_cores(self):
+        ts = _ts((8, 10), (7, 10), (1, 100))
+        assignment = spa2_partition(ts, 3)
+        assert assignment is not None
+        heavy_cores = {assignment.core_of("t0"), assignment.core_of("t1")}
+        assert len(heavy_cores) == 2
+        assert assignment.core_of("t2") not in heavy_cores
+
+    def test_too_many_heavy_rejected(self):
+        ts = _ts((8, 10), (8, 10), (8, 10))
+        assert spa2_partition(ts, 2) is None
+
+    def test_dominates_spa1_on_light_sets(self):
+        for seed in range(8):
+            ts = _light_taskset(8, 2.2, seed=seed)
+            if spa1_partition(ts, 4) is not None:
+                assert spa2_partition(ts, 4) is not None, f"seed={seed}"
+
+    def test_all_heavy_no_lights(self):
+        ts = _ts((8, 10), (8, 10))
+        assignment = spa2_partition(ts, 2)
+        assert assignment is not None
+        assert assignment.n_split_tasks == 0
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_structural_validity(self, seed):
+        generator = TaskSetGenerator(n_tasks=8, seed=seed)
+        ts = generator.generate(2.5)
+        assignment = spa2_partition(ts, 4)
+        if assignment is not None:
+            assignment.validate()
+            total = sum(
+                e.budget / e.period for e in assignment.entries()
+            )
+            assert total == pytest.approx(ts.total_utilization, rel=1e-6)

@@ -1,0 +1,188 @@
+"""Tests for Subtask/SplitTask and Assignment containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.split import SplitTask, Subtask
+from repro.model.task import Task
+
+
+@pytest.fixture
+def task() -> Task:
+    return Task("s", wcet=10, period=100, priority=1)
+
+
+class TestSubtask:
+    def test_body_and_tail_classification(self, task):
+        body = Subtask(task=task, index=0, core=0, budget=4, total_subtasks=2)
+        tail = Subtask(task=task, index=1, core=1, budget=6, total_subtasks=2)
+        assert body.is_body and not body.is_tail
+        assert tail.is_tail and not tail.is_body
+
+    def test_name(self, task):
+        sub = Subtask(task=task, index=1, core=0, budget=5, total_subtasks=3)
+        assert sub.name == "s#1"
+
+    def test_utilization(self, task):
+        sub = Subtask(task=task, index=0, core=0, budget=5, total_subtasks=2)
+        assert sub.utilization == 0.05
+
+    def test_invalid_budget(self, task):
+        with pytest.raises(ValueError):
+            Subtask(task=task, index=0, core=0, budget=0, total_subtasks=2)
+
+    def test_invalid_index(self, task):
+        with pytest.raises(ValueError):
+            Subtask(task=task, index=2, core=0, budget=1, total_subtasks=2)
+
+
+class TestSplitTask:
+    def test_build(self, task):
+        split = SplitTask.build(task, [(0, 4), (1, 6)])
+        assert split.first_core == 0
+        assert split.tail.core == 1
+        assert split.migration_count_per_job == 1
+        assert len(split.body_subtasks) == 1
+
+    def test_budgets_must_sum_to_wcet(self, task):
+        with pytest.raises(ValueError):
+            SplitTask.build(task, [(0, 4), (1, 5)])  # 9 != 10
+
+    def test_needs_two_subtasks(self, task):
+        with pytest.raises(ValueError):
+            SplitTask.build(task, [(0, 10)])
+
+    def test_no_core_revisits(self, task):
+        with pytest.raises(ValueError):
+            SplitTask.build(task, [(0, 4), (0, 6)])
+
+    def test_three_way_split(self, task):
+        split = SplitTask.build(task, [(0, 3), (1, 3), (2, 4)])
+        assert split.migration_count_per_job == 2
+        assert [s.core for s in split.subtasks] == [0, 1, 2]
+        assert [s.is_tail for s in split.subtasks] == [False, False, True]
+
+    def test_str(self, task):
+        assert "core0:4 -> core1:6" in str(SplitTask.build(task, [(0, 4), (1, 6)]))
+
+
+class TestEntry:
+    def test_normal_requires_full_wcet(self, task):
+        with pytest.raises(ValueError):
+            Entry(kind=EntryKind.NORMAL, task=task, core=0, budget=5)
+
+    def test_body_requires_subtask(self, task):
+        with pytest.raises(ValueError):
+            Entry(kind=EntryKind.BODY, task=task, core=0, budget=5)
+
+    def test_deadline_defaults_to_task(self, task):
+        entry = Entry(kind=EntryKind.NORMAL, task=task, core=0, budget=10)
+        assert entry.deadline == task.deadline
+
+    def test_name_uses_subtask(self, task):
+        sub = Subtask(task=task, index=0, core=0, budget=4, total_subtasks=2)
+        entry = Entry(
+            kind=EntryKind.BODY, task=task, core=0, budget=4, subtask=sub
+        )
+        assert entry.name == "s#0"
+
+    def test_invalid_budget(self, task):
+        with pytest.raises(ValueError):
+            Entry(kind=EntryKind.NORMAL, task=task, core=0, budget=0)
+
+
+class TestAssignment:
+    def _entry(self, task, core, priority=0):
+        return Entry(
+            kind=EntryKind.NORMAL,
+            task=task,
+            core=core,
+            budget=task.wcet,
+            local_priority=priority,
+        )
+
+    def test_needs_positive_cores(self):
+        with pytest.raises(ValueError):
+            Assignment(0)
+
+    def test_add_and_lookup(self, task):
+        assignment = Assignment(2)
+        assignment.add_entry(self._entry(task, 1))
+        assert assignment.core_of("s") == 1
+        assert len(assignment.tasks) == 1
+
+    def test_core_mismatch_rejected(self, task):
+        assignment = Assignment(2)
+        core0 = assignment.cores[0]
+        with pytest.raises(ValueError):
+            core0.add(self._entry(task, 1))
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            Assignment(1).core_of("ghost")
+
+    def test_split_task_registration(self, task):
+        assignment = Assignment(2)
+        split = SplitTask.build(task, [(0, 4), (1, 6)])
+        for sub in split.subtasks:
+            assignment.add_entry(
+                Entry(
+                    kind=EntryKind.TAIL if sub.is_tail else EntryKind.BODY,
+                    task=task,
+                    core=sub.core,
+                    budget=sub.budget,
+                    subtask=sub,
+                    local_priority=0,
+                )
+            )
+        assignment.register_split(split)
+        assignment.validate()
+        assert assignment.core_of("s") is None  # split tasks live on several
+        assert assignment.n_split_tasks == 1
+        assert assignment.n_migrations_per_hyperperiod == {"s": 1}
+
+    def test_validate_rejects_duplicate_priorities(self, task):
+        other = Task("o", wcet=1, period=50, priority=0)
+        assignment = Assignment(1)
+        assignment.add_entry(self._entry(task, 0, priority=0))
+        assignment.add_entry(self._entry(other, 0, priority=0))
+        with pytest.raises(ValueError):
+            assignment.validate()
+
+    def test_validate_rejects_duplicate_normal_task(self, task):
+        assignment = Assignment(2)
+        assignment.add_entry(self._entry(task, 0, priority=0))
+        assignment.add_entry(self._entry(task, 1, priority=0))
+        with pytest.raises(ValueError):
+            assignment.validate()
+
+    def test_validate_rejects_missing_subtask(self, task):
+        assignment = Assignment(2)
+        split = SplitTask.build(task, [(0, 4), (1, 6)])
+        # Register only the body entry.
+        sub = split.subtasks[0]
+        assignment.add_entry(
+            Entry(
+                kind=EntryKind.BODY,
+                task=task,
+                core=0,
+                budget=4,
+                subtask=sub,
+            )
+        )
+        assignment.register_split(split)
+        with pytest.raises(ValueError):
+            assignment.validate()
+
+    def test_utilization_accounting(self, task):
+        assignment = Assignment(2)
+        assignment.add_entry(self._entry(task, 0))
+        assert assignment.cores[0].utilization == pytest.approx(0.1)
+        assert assignment.total_utilization == pytest.approx(0.1)
+
+    def test_describe(self, task):
+        assignment = Assignment(1)
+        assignment.add_entry(self._entry(task, 0))
+        assert "core 0" in assignment.describe()

@@ -1,0 +1,194 @@
+"""Tests for Task, TaskSet, and time helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.task import Task, dm_sort_key, rm_sort_key
+from repro.model.taskset import TaskSet
+from repro.model.time import MS, SEC, US, format_ns, ns_to_ms, ns_to_us
+
+
+class TestTimeUnits:
+    def test_constants(self):
+        assert US == 1_000
+        assert MS == 1_000_000
+        assert SEC == 1_000_000_000
+
+    def test_conversions(self):
+        assert ns_to_us(2500) == 2.5
+        assert ns_to_ms(3 * MS) == 3.0
+
+    def test_format_ns(self):
+        assert format_ns(12) == "12ns"
+        assert format_ns(3300) == "3.300us"
+        assert format_ns(2_500_000) == "2.500ms"
+        assert format_ns(2 * SEC) == "2.000s"
+
+
+class TestTask:
+    def test_implicit_deadline_defaults_to_period(self):
+        task = Task("t", wcet=1, period=10)
+        assert task.deadline == 10
+
+    def test_constrained_deadline(self):
+        task = Task("t", wcet=1, period=10, deadline=5)
+        assert task.deadline == 5
+
+    def test_utilization(self):
+        assert Task("t", wcet=3, period=12).utilization == 0.25
+
+    def test_density(self):
+        assert Task("t", wcet=3, period=12, deadline=6).density == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(wcet=0, period=10),
+            dict(wcet=-1, period=10),
+            dict(wcet=1, period=0),
+            dict(wcet=5, period=10, deadline=4),  # C > D
+            dict(wcet=1, period=10, deadline=11),  # D > T
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Task("bad", **kwargs)
+
+    def test_with_priority_copies(self):
+        task = Task("t", wcet=1, period=10)
+        prioritized = task.with_priority(3)
+        assert prioritized.priority == 3
+        assert task.priority is None
+        assert prioritized.period == task.period
+
+    def test_with_wcet(self):
+        task = Task("t", wcet=1, period=10, priority=2)
+        bigger = task.with_wcet(5)
+        assert bigger.wcet == 5
+        assert bigger.priority == 2
+
+    def test_frozen(self):
+        task = Task("t", wcet=1, period=10)
+        with pytest.raises(AttributeError):
+            task.wcet = 2  # type: ignore[misc]
+
+    def test_sort_keys(self):
+        short = Task("s", wcet=1, period=5)
+        long = Task("l", wcet=1, period=50, deadline=3)
+        assert rm_sort_key(short) < rm_sort_key(long)
+        assert dm_sort_key(long) < dm_sort_key(short)
+
+    def test_str(self):
+        text = str(Task("t", wcet=1, period=4))
+        assert "t" in text and "u=0.250" in text
+
+
+class TestTaskSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([Task("x", wcet=1, period=2), Task("x", wcet=1, period=3)])
+
+    def test_total_utilization(self):
+        ts = TaskSet(
+            [Task("a", wcet=1, period=4), Task("b", wcet=1, period=2)]
+        )
+        assert ts.total_utilization == pytest.approx(0.75)
+
+    def test_container_protocol(self):
+        a = Task("a", wcet=1, period=4)
+        ts = TaskSet([a])
+        assert len(ts) == 1
+        assert "a" in ts
+        assert ts.by_name("a") is a
+        assert ts[0] is a
+        assert list(ts) == [a]
+
+    def test_hyperperiod(self):
+        ts = TaskSet(
+            [Task("a", wcet=1, period=4), Task("b", wcet=1, period=6)]
+        )
+        assert ts.hyperperiod() == 12
+
+    def test_rm_assignment_orders_by_period(self):
+        ts = TaskSet(
+            [
+                Task("slow", wcet=1, period=100),
+                Task("fast", wcet=1, period=10),
+            ]
+        ).assign_rate_monotonic()
+        assert ts.by_name("fast").priority == 0
+        assert ts.by_name("slow").priority == 1
+
+    def test_dm_assignment_orders_by_deadline(self):
+        ts = TaskSet(
+            [
+                Task("a", wcet=1, period=100, deadline=50),
+                Task("b", wcet=1, period=10),
+            ]
+        ).assign_deadline_monotonic()
+        assert ts.by_name("b").priority == 0  # D=10 < 50
+
+    def test_sorted_by_priority_requires_assignment(self):
+        ts = TaskSet([Task("a", wcet=1, period=4)])
+        with pytest.raises(ValueError):
+            ts.sorted_by_priority()
+
+    def test_sorted_by_utilization(self):
+        ts = TaskSet(
+            [
+                Task("light", wcet=1, period=10),
+                Task("heavy", wcet=9, period=10),
+            ]
+        )
+        ordered = ts.sorted_by_utilization()
+        assert [t.name for t in ordered] == ["heavy", "light"]
+
+    def test_scaled_wcet(self):
+        ts = TaskSet([Task("a", wcet=100, period=1000)])
+        scaled = ts.scaled_wcet(1.5)
+        assert scaled.by_name("a").wcet == 150
+
+    def test_subset(self):
+        ts = TaskSet(
+            [Task("a", wcet=1, period=4), Task("b", wcet=1, period=8)]
+        )
+        sub = ts.subset(["b"])
+        assert sub.names() == ["b"]
+
+    def test_describe_mentions_tasks(self):
+        ts = TaskSet([Task("alpha", wcet=1, period=4)])
+        assert "alpha" in ts.describe()
+
+    @given(
+        periods=st.lists(
+            st.integers(min_value=2, max_value=10_000), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rm_priorities_are_permutation(self, periods):
+        tasks = [
+            Task(f"t{i}", wcet=1, period=p) for i, p in enumerate(periods)
+        ]
+        ts = TaskSet(tasks).assign_rate_monotonic()
+        priorities = sorted(t.priority for t in ts)
+        assert priorities == list(range(len(periods)))
+
+    @given(
+        periods=st.lists(
+            st.integers(min_value=2, max_value=10_000),
+            min_size=2,
+            max_size=30,
+            unique=True,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rm_priority_respects_period_order(self, periods):
+        tasks = [
+            Task(f"t{i}", wcet=1, period=p) for i, p in enumerate(periods)
+        ]
+        ts = TaskSet(tasks).assign_rate_monotonic()
+        ordered = ts.sorted_by_priority()
+        assert [t.period for t in ordered] == sorted(periods)

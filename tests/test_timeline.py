@@ -1,0 +1,119 @@
+"""Tests for trace timeline statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.sim import KernelSim
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+from repro.partition.heuristics import partition_first_fit_decreasing
+from repro.semipart.fpts import fpts_partition
+from repro.trace.timeline import busy_intervals, timeline_stats
+
+
+def _result(specs, model=None, duration=100, n_cores=1):
+    ts = TaskSet(
+        [Task(f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)]
+    ).assign_rate_monotonic()
+    assignment = partition_first_fit_decreasing(ts, n_cores)
+    assert assignment is not None
+    return KernelSim(
+        assignment,
+        model or OverheadModel.zero(),
+        duration=duration,
+        record_trace=True,
+    ).run()
+
+
+class TestTimelineStats:
+    def test_exec_accounting(self):
+        result = _result([(3, 10)])
+        stats = timeline_stats(result)
+        assert stats.cores[0].exec_ns == 30
+        assert stats.cores[0].idle_ns == 70
+        assert stats.cores[0].utilization == pytest.approx(0.3)
+        assert stats.exec_by_task["t0"] == 30
+
+    def test_overhead_by_source(self):
+        model = OverheadModel.paper_core_i7(4)
+        result = _result(
+            [(2 * MS, 10 * MS)], model=model, duration=100 * MS
+        )
+        stats = timeline_stats(result)
+        assert set(stats.overhead_by_source) == {"rls", "sch", "cnt1", "cnt2"}
+        assert stats.overhead_by_source["rls"] == 10 * model.rls
+        # The completion op is one combined segment: sch + cnt2.
+        assert stats.overhead_by_source["cnt2"] == 10 * (
+            model.sch(False) + model.cnt2_finish
+        )
+        # 'sch' segments are the arrival-path scheduling passes.
+        assert stats.overhead_by_source["sch"] == 10 * model.sch(False)
+        # Shares sum to one.
+        total_share = sum(
+            stats.overhead_share(source)
+            for source in stats.overhead_by_source
+        )
+        assert total_share == pytest.approx(1.0)
+
+    def test_matches_result_counters(self):
+        model = OverheadModel.paper_core_i7(4)
+        result = _result(
+            [(2 * MS, 10 * MS), (3 * MS, 15 * MS)],
+            model=model,
+            duration=300 * MS,
+        )
+        stats = timeline_stats(result)
+        assert stats.cores[0].exec_ns == result.busy_ns[0]
+        assert stats.cores[0].overhead_ns == result.overhead_ns[0]
+
+    def test_split_task_exec_split_across_cores(self):
+        ts = TaskSet(
+            [
+                Task("a", wcet=6 * MS, period=10 * MS),
+                Task("b", wcet=6 * MS, period=10 * MS),
+                Task("c", wcet=6 * MS, period=10 * MS),
+            ]
+        ).assign_rate_monotonic()
+        assignment = fpts_partition(ts, 2)
+        result = KernelSim(
+            assignment,
+            OverheadModel.zero(),
+            duration=100 * MS,
+            record_trace=True,
+        ).run()
+        stats = timeline_stats(result)
+        split_name = next(iter(assignment.split_tasks))
+        # All of the split task's work appears, across both cores.
+        assert stats.exec_by_task[split_name] == 10 * 6 * MS
+        assert stats.cores[0].exec_ns + stats.cores[1].exec_ns == sum(
+            result.busy_ns
+        )
+
+    def test_describe(self):
+        result = _result([(3, 10)])
+        text = timeline_stats(result).describe()
+        assert "core0" in text
+
+
+class TestBusyIntervals:
+    def test_single_task_intervals(self):
+        result = _result([(3, 10)])
+        intervals = busy_intervals(result, 0)
+        assert intervals == [(k * 10, k * 10 + 3) for k in range(10)]
+
+    def test_contiguous_merge(self):
+        # Two tasks back to back form one interval per period.
+        result = _result([(3, 10), (4, 10)])
+        intervals = busy_intervals(result, 0)
+        assert intervals == [(k * 10, k * 10 + 7) for k in range(10)]
+
+    def test_full_utilization_single_interval(self):
+        result = _result([(4, 8), (4, 16), (8, 32)], duration=96)
+        assert busy_intervals(result, 0) == [(0, 96)]
+
+    def test_empty_core(self):
+        result = _result([(3, 10)], n_cores=1)
+        assert busy_intervals(result, 5) == []

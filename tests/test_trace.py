@@ -1,0 +1,116 @@
+"""Tests for trace validation and rendering."""
+
+from __future__ import annotations
+
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.task import Task
+from repro.model.time import MS
+from repro.trace.gantt import render_gantt, render_overhead_anatomy, segment_summary
+from repro.trace.validate import validate_trace
+
+
+def _assignment_one_task() -> Assignment:
+    task = Task("a", wcet=2, period=10, priority=0)
+    assignment = Assignment(2)
+    assignment.add_entry(
+        Entry(kind=EntryKind.NORMAL, task=task, core=0, budget=2)
+    )
+    return assignment
+
+
+class TestValidate:
+    def test_clean_trace(self):
+        assignment = _assignment_one_task()
+        trace = [
+            (0, 0, 2, "a/1", "exec"),
+            (0, 10, 12, "a/2", "exec"),
+        ]
+        assert validate_trace(trace, assignment) == []
+
+    def test_core_overlap_detected(self):
+        assignment = _assignment_one_task()
+        trace = [
+            (0, 0, 5, "a/1", "exec"),
+            (0, 3, 6, "a/2", "exec"),
+        ]
+        violations = validate_trace(trace, assignment)
+        assert any(v.kind == "core-overlap" for v in violations)
+
+    def test_job_parallelism_detected(self):
+        task = Task("a", wcet=4, period=10, priority=0)
+        assignment = Assignment(2)
+        from repro.model.split import SplitTask
+
+        split = SplitTask.build(task, [(0, 2), (1, 2)])
+        for sub in split.subtasks:
+            assignment.add_entry(
+                Entry(
+                    kind=EntryKind.TAIL if sub.is_tail else EntryKind.BODY,
+                    task=task,
+                    core=sub.core,
+                    budget=sub.budget,
+                    subtask=sub,
+                )
+            )
+        assignment.register_split(split)
+        trace = [
+            (0, 0, 2, "a/1", "exec"),
+            (1, 1, 3, "a/1", "exec"),  # overlaps in time on another core
+        ]
+        violations = validate_trace(trace, assignment)
+        assert any(v.kind == "job-parallelism" for v in violations)
+
+    def test_wrong_core_detected(self):
+        assignment = _assignment_one_task()
+        trace = [(1, 0, 2, "a/1", "exec")]  # task a belongs on core 0
+        violations = validate_trace(trace, assignment)
+        assert any(v.kind == "placement" for v in violations)
+
+    def test_budget_violation_detected(self):
+        assignment = _assignment_one_task()
+        trace = [(0, 0, 9, "a/1", "exec")]  # 9 >> budget 2 (+slack 2)
+        violations = validate_trace(trace, assignment)
+        assert any(v.kind == "budget" for v in violations)
+
+    def test_overhead_segments_ignored_for_job_checks(self):
+        assignment = _assignment_one_task()
+        trace = [
+            (0, 0, 2, "a/1", "exec"),
+            (0, 2, 3, "sch", "overhead"),
+        ]
+        assert validate_trace(trace, assignment) == []
+
+
+class TestRendering:
+    def test_gantt_empty(self):
+        assert render_gantt([], 2) == "(empty trace)"
+
+    def test_gantt_contains_lanes(self):
+        trace = [
+            (0, 0, 5 * MS, "a/1", "exec"),
+            (1, 0, 2 * MS, "b/1", "exec"),
+            (0, 5 * MS, 6 * MS, "sch", "overhead"),
+        ]
+        text = render_gantt(trace, 2, width=50)
+        assert "core0" in text and "core1" in text
+        assert "a" in text and "#" in text
+
+    def test_anatomy_lists_segments(self):
+        trace = [
+            (0, 0, 3, "rls:a", "overhead"),
+            (0, 3, 5, "a/1", "exec"),
+        ]
+        text = render_overhead_anatomy(trace, core=0)
+        assert "rls:a" in text and "a/1" in text
+
+    def test_segment_summary(self):
+        trace = [
+            (0, 0, 3, "rls:a", "overhead"),
+            (0, 3, 10, "a/1", "exec"),
+            (0, 10, 12, "cnt2:a", "overhead"),
+        ]
+        summary = segment_summary(trace)
+        assert summary["exec"] == 7
+        assert summary["overhead"] == 5
+        assert summary["overhead:rls"] == 3
+        assert summary["overhead:cnt2"] == 2

@@ -1,0 +1,85 @@
+"""Tests for trace export/import and response-time percentile recording."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kernel.sim import KernelSim
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.task import Task
+from repro.overhead.model import OverheadModel
+from repro.trace.export import (
+    export_trace_csv,
+    export_trace_json,
+    import_trace_json,
+    trace_to_dict,
+)
+
+
+@pytest.fixture
+def sim_result():
+    task = Task("a", wcet=3, period=10, priority=0)
+    assignment = Assignment(1)
+    assignment.add_entry(
+        Entry(kind=EntryKind.NORMAL, task=task, core=0, budget=3)
+    )
+    sim = KernelSim(
+        assignment,
+        OverheadModel.zero(),
+        duration=50,
+        record_trace=True,
+        record_responses=True,
+    )
+    return sim.run()
+
+
+class TestExport:
+    def test_dict_schema(self, sim_result):
+        data = trace_to_dict(sim_result)
+        assert data["duration_ns"] == 50
+        assert len(data["segments"]) == 5  # one exec segment per job
+        segment = data["segments"][0]
+        assert set(segment) == {"core", "start_ns", "end_ns", "label", "kind"}
+        assert data["events"], "events recorded with record_trace"
+
+    def test_json_roundtrip(self, sim_result, tmp_path):
+        path = tmp_path / "trace.json"
+        export_trace_json(sim_result, path)
+        loaded = import_trace_json(path)
+        assert loaded == sorted(sim_result.trace)
+        # Also from a raw JSON string.
+        text = export_trace_json(sim_result)
+        assert import_trace_json(text) == sorted(sim_result.trace)
+
+    def test_json_is_valid(self, sim_result):
+        json.loads(export_trace_json(sim_result))
+
+    def test_csv(self, sim_result, tmp_path):
+        path = tmp_path / "trace.csv"
+        text = export_trace_csv(sim_result, path)
+        lines = text.strip().splitlines()
+        assert lines[0] == "core,start_ns,end_ns,label,kind"
+        assert len(lines) == 6  # header + 5 segments
+        assert path.read_text() == text
+
+
+class TestResponseRecording:
+    def test_percentiles(self, sim_result):
+        stats = sim_result.task_stats["a"]
+        assert len(stats.responses) == 5
+        assert stats.response_percentile(0.0) == 3
+        assert stats.response_percentile(1.0) == stats.max_response
+
+    def test_disabled_by_default(self):
+        task = Task("a", wcet=3, period=10, priority=0)
+        assignment = Assignment(1)
+        assignment.add_entry(
+            Entry(kind=EntryKind.NORMAL, task=task, core=0, budget=3)
+        )
+        result = KernelSim(assignment, OverheadModel.zero(), duration=50).run()
+        stats = result.task_stats["a"]
+        assert stats.responses == []
+        with pytest.raises(ValueError):
+            stats.response_percentile(0.5)
