@@ -1,0 +1,222 @@
+"""Performance regression harness for the experiment engine and simulator.
+
+Times three things and writes ``BENCH_engine.json`` at the repo root:
+
+1. a mid-size acceptance sweep executed serially and with ``--jobs``
+   worker processes through the :class:`repro.engine.ExperimentEngine`
+   (plus a cache cold/warm pass to show memoization);
+2. a fixed :class:`repro.kernel.sim.KernelSim` scenario (12 tasks,
+   U/m = 0.9, FP-TS on 4 cores, paper-calibrated overheads, 5 s of
+   simulated time), compared against the recorded pre-optimization
+   baseline;
+3. nothing else — keep this harness fast enough to run in CI.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_engine.py [--jobs N] [--quick]
+
+Notes on honesty: the achievable multi-process speedup is bounded by the
+CPUs actually available to this process; the harness records that count
+(``environment.cpu_count``) next to the measured speedup so numbers from
+a 1-CPU CI container are not mistaken for a parallelism regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.engine import ExperimentEngine, ResultCache
+from repro.experiments.acceptance import (
+    AcceptanceConfig,
+    acceptance_units,
+    run_acceptance,
+)
+from repro.experiments.algorithms import build_assignment
+from repro.kernel.sim import KernelSim
+from repro.model.generator import TaskSetGenerator
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: Wall-time of the fixed KernelSim scenario measured on this repository
+#: immediately *before* the hot-path optimization pass (tuple-keyed event
+#: heap, __slots__ Job, gated tracing/profiling, schedule_fast), on the
+#: machine that produced the committed BENCH_engine.json.  Absolute times
+#: are machine-dependent; the committed ratio is what the optimization
+#: claimed.
+KERNELSIM_PREOPT_BASELINE_S = 0.082
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _sweep_config(quick: bool) -> AcceptanceConfig:
+    return AcceptanceConfig(
+        n_cores=4,
+        n_tasks=12,
+        sets_per_point=10 if quick else 40,
+        overheads=OverheadModel.paper_core_i7(3),
+        algorithms=("FP-TS", "FFD", "WFD"),
+        seed=2011,
+    )
+
+
+def bench_sweep(jobs: int, quick: bool) -> dict:
+    """Serial vs parallel engine runs of the same sweep (must be equal)."""
+    config = _sweep_config(quick)
+
+    t0 = time.perf_counter()
+    serial = run_acceptance(config)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_acceptance(config, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    if serial.ratios != parallel.ratios:
+        raise SystemExit(
+            "determinism violation: serial and parallel sweeps disagree"
+        )
+
+    return {
+        "n_units": len(acceptance_units(config)),
+        "sets_per_point": config.sets_per_point,
+        "serial_s": round(serial_s, 4),
+        "jobs": jobs,
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical_results": True,
+    }
+
+
+def bench_cache(quick: bool, tmp_root: pathlib.Path) -> dict:
+    """Cold populate then warm rerun of the same sweep through a cache."""
+    config = _sweep_config(quick)
+    cache = ResultCache(tmp_root)
+
+    engine = ExperimentEngine(cache=cache)
+    t0 = time.perf_counter()
+    run_acceptance(config, engine=engine)
+    cold_s = time.perf_counter() - t0
+    cold_stats = engine.stats
+
+    engine = ExperimentEngine(cache=cache)
+    t0 = time.perf_counter()
+    run_acceptance(config, engine=engine)
+    warm_s = time.perf_counter() - t0
+    warm_stats = engine.stats
+
+    return {
+        "cold_s": round(cold_s, 4),
+        "cold_misses": cold_stats.cache_misses,
+        "warm_s": round(warm_s, 4),
+        "warm_hits": warm_stats.cache_hits,
+        "warm_computed": warm_stats.computed,
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+
+
+def bench_kernelsim(quick: bool) -> dict:
+    """Fixed simulator scenario vs the recorded pre-optimization baseline."""
+    generator = TaskSetGenerator(n_tasks=12, seed=2011)
+    taskset = generator.generate(3.6)
+    model = OverheadModel.paper_core_i7(3)
+    assignment = build_assignment("FP-TS", taskset, 4, model)
+    assert assignment is not None, "benchmark scenario must be schedulable"
+
+    def once(duration_ms: int):
+        sim = KernelSim(assignment, model, duration=duration_ms * MS)
+        return sim.run()
+
+    once(200)  # warm-up
+    repeats = 3 if quick else 9
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = once(5000)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+
+    return {
+        "scenario": "12 tasks U/m=0.9 FP-TS 4 cores paper overheads 5s",
+        "releases": result.releases,
+        "context_switches": result.context_switches,
+        "preemptions": result.preemptions,
+        "migrations": result.migrations,
+        "deadline_misses": result.miss_count,
+        "wall_s": round(best, 4),
+        "preopt_baseline_s": KERNELSIM_PREOPT_BASELINE_S,
+        "speedup_vs_preopt": round(KERNELSIM_PREOPT_BASELINE_S / best, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweep / fewer repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default=str(OUTPUT_PATH), help="where to write the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    print(f"engine sweep: serial vs jobs={args.jobs} ...", flush=True)
+    sweep = bench_sweep(args.jobs, args.quick)
+    print(
+        f"  serial {sweep['serial_s']}s, parallel {sweep['parallel_s']}s "
+        f"(speedup {sweep['speedup']}x)"
+    )
+
+    print("result cache: cold vs warm ...", flush=True)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = bench_cache(args.quick, pathlib.Path(tmp))
+    print(
+        f"  cold {cache['cold_s']}s ({cache['cold_misses']} misses), "
+        f"warm {cache['warm_s']}s ({cache['warm_hits']} hits, "
+        f"{cache['warm_computed']} recomputed)"
+    )
+
+    print("kernel simulator: fixed scenario ...", flush=True)
+    sim = bench_kernelsim(args.quick)
+    print(
+        f"  {sim['wall_s']}s vs pre-opt baseline "
+        f"{sim['preopt_baseline_s']}s "
+        f"(speedup {sim['speedup_vs_preopt']}x)"
+    )
+
+    payload = {
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+            "cpu_count": _available_cpus(),
+            "quick": args.quick,
+        },
+        "engine_sweep": sweep,
+        "result_cache": cache,
+        "kernelsim": sim,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

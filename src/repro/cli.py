@@ -144,6 +144,23 @@ def _cmd_simulate(args) -> int:
     return 0 if result.no_misses else 2
 
 
+def _engine_for(args):
+    """Build the shared ExperimentEngine from --jobs/--cache flags."""
+    from repro.engine import ExperimentEngine
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    if args.cache is not None:
+        import pathlib
+
+        cache_root = pathlib.Path(args.cache)
+        if cache_root.exists() and not cache_root.is_dir():
+            raise SystemExit(
+                f"--cache {args.cache!r} exists and is not a directory"
+            )
+    return ExperimentEngine(jobs=args.jobs, cache=args.cache)
+
+
 def _cmd_sweep(args) -> int:
     algorithms = tuple(args.algorithms.split(","))
     model = _overhead_model(
@@ -157,8 +174,10 @@ def _cmd_sweep(args) -> int:
         algorithms=algorithms,
         seed=args.seed,
     )
-    result = run_acceptance(config)
+    engine = _engine_for(args)
+    result = run_acceptance(config, engine=engine)
     print(result.as_table())
+    print(engine.stats.summary())
     return 0
 
 
@@ -188,6 +207,7 @@ def _cmd_campaign(args) -> int:
     algorithms = tuple(args.algorithms.split(","))
     core_counts = tuple(int(c) for c in args.core_counts.split(","))
     task_counts = tuple(int(c) for c in args.task_counts.split(","))
+    engine = _engine_for(args)
     result = run_campaign(
         core_counts=core_counts,
         task_counts=task_counts,
@@ -197,8 +217,10 @@ def _cmd_campaign(args) -> int:
             ("paper", _OM.paper_core_i7(4)),
         ),
         sets_per_point=args.sets,
+        engine=engine,
     )
     print(result.pivot(row_key="algorithm", column_key="n_cores"))
+    print(engine.stats.summary())
     if args.csv:
         result.to_csv(args.csv)
         print(f"\n{len(result.records)} records written to {args.csv}")
@@ -266,6 +288,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(fn=_cmd_simulate)
 
+    def engine_flags(p):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the experiment engine "
+            "(default: 1, serial; results are identical for any value)",
+        )
+        p.add_argument(
+            "--cache",
+            metavar="DIR",
+            help="content-addressed result cache directory "
+            "(e.g. .repro-cache; off by default)",
+        )
+
     sweep = sub.add_parser("sweep", help="acceptance-ratio sweep")
     sweep.add_argument("--cores", type=int, default=4)
     sweep.add_argument("--n-tasks", type=int, default=12)
@@ -273,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=2011)
     sweep.add_argument("--overheads", default="paper")
     sweep.add_argument("--algorithms", default="FP-TS,FFD,WFD")
+    engine_flags(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
     measure = sub.add_parser(
@@ -300,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--algorithms", default="FP-TS,FFD,WFD")
     campaign.add_argument("--sets", type=int, default=15)
     campaign.add_argument("--csv", help="write long-format CSV here")
+    engine_flags(campaign)
     campaign.set_defaults(fn=_cmd_campaign)
 
     return parser

@@ -1,0 +1,47 @@
+"""Parallel, cache-aware experiment engine.
+
+The paper's evaluation is a large factorial sweep: thousands of generated
+task sets x algorithms x overhead models.  This package turns that sweep
+into *work units* — self-describing, independently executable slices of an
+experiment — and executes them either serially or over a process pool,
+with an optional content-addressed on-disk result cache:
+
+* :mod:`repro.engine.units` — the work-unit dataclasses
+  (:class:`AcceptanceUnit`, :class:`SplittingUnit`), the process-pool-safe
+  :func:`execute_unit` entry point, and the stable config fingerprint the
+  cache keys on;
+* :mod:`repro.engine.cache` — :class:`ResultCache`, a content-addressed
+  JSON store under ``.repro-cache/`` (or any directory);
+* :mod:`repro.engine.executor` — :class:`ExperimentEngine`, which resolves
+  cache hits, fans the misses out over ``jobs`` worker processes with
+  chunked dispatch, and merges everything back **in unit order**, so a
+  parallel run is bit-identical to a serial run.
+
+Determinism contract: every unit carries its own seed (derived from the
+experiment seed and the unit's position, e.g. ``seed + 7919 *
+point_index``), so results do not depend on which process computed them or
+in which order they finished.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import EngineStats, ExperimentEngine
+from repro.engine.units import (
+    CACHE_SCHEMA_VERSION,
+    AcceptanceUnit,
+    SplittingUnit,
+    execute_unit,
+    unit_fingerprint,
+    unit_spec,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "AcceptanceUnit",
+    "SplittingUnit",
+    "EngineStats",
+    "ExperimentEngine",
+    "ResultCache",
+    "execute_unit",
+    "unit_fingerprint",
+    "unit_spec",
+]

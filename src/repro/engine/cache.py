@@ -1,0 +1,71 @@
+"""Content-addressed on-disk result cache.
+
+Each work unit's payload is stored as JSON under
+``<root>/<key[:2]>/<key>.json``, where ``key`` is the unit's
+:func:`~repro.engine.units.unit_fingerprint` — a SHA-256 over the unit's
+full configuration plus the cache schema version.  Consequences:
+
+* re-running a campaign after adding one algorithm or one utilization
+  point recomputes only the new units — everything else is a hit;
+* any change to a unit's configuration (seed, overhead constants, grid
+  point, ...) changes the key, so stale results can never be returned;
+* bumping :data:`~repro.engine.units.CACHE_SCHEMA_VERSION` invalidates
+  the entire cache at once.
+
+Corrupt or unreadable entries are treated as misses, never as errors.
+Writes go through a temporary file + :meth:`~pathlib.Path.replace` so a
+crashed run cannot leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+
+class ResultCache:
+    """A directory of content-addressed work-unit payloads."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where a payload with fingerprint ``key`` lives (may not exist)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """Return the cached payload for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None  # corrupt entry: recompute rather than fail
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, key: str, payload: dict) -> None:
+        """Persist ``payload`` under ``key`` (atomic rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(path)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def entry_count(self) -> int:
+        """Number of cached payloads on disk (walks the directory)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultCache(root={str(self.root)!r})"

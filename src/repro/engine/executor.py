@@ -1,0 +1,134 @@
+"""The experiment engine: cache resolution + parallel fan-out + merge.
+
+``ExperimentEngine.run(units)`` returns one payload per unit, **in unit
+order**, regardless of ``jobs`` or cache state.  The pipeline is:
+
+1. resolve every unit against the :class:`ResultCache` (if configured),
+   counting hits and misses;
+2. execute the misses — serially for ``jobs == 1``, otherwise over a
+   :class:`concurrent.futures.ProcessPoolExecutor` with chunked dispatch
+   (``pool.map`` preserves input order, so merging is trivial and
+   deterministic);
+3. write freshly computed payloads back to the cache.
+
+Because every unit is seeded independently, a parallel run is
+bit-identical to a serial run — the engine only changes *where* and
+*when* units execute, never *what* they compute.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.units import WorkUnit, execute_unit, unit_fingerprint
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across every ``run()`` of one engine."""
+
+    units: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.units} unit(s)",
+            f"jobs={self.jobs}",
+            f"computed={self.computed}",
+        ]
+        if self.cache_hits or self.cache_misses:
+            parts.append(
+                f"cache {self.cache_hits} hit(s) / "
+                f"{self.cache_misses} miss(es)"
+            )
+        parts.append(f"{self.wall_s:.2f}s")
+        return "engine: " + ", ".join(parts)
+
+
+class ExperimentEngine:
+    """Executes work units serially or across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  1 (the default) executes in-process with
+        no multiprocessing machinery at all.
+    cache:
+        Optional :class:`ResultCache` (or a directory path for one).
+        Off by default; hit/miss counters land in :attr:`stats`.
+    chunks_per_worker:
+        Dispatch granularity: misses are sent to the pool in chunks of
+        roughly ``len(misses) / (jobs * chunks_per_worker)`` units —
+        large enough to amortize pickling, small enough to load-balance.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunks_per_worker: int = 4,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be at least 1")
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        self.jobs = jobs
+        self.cache = cache
+        self.chunks_per_worker = chunks_per_worker
+        self.stats = EngineStats(jobs=jobs)
+
+    def run(self, units: Sequence[WorkUnit]) -> List[dict]:
+        """Execute ``units``; returns their payloads in unit order."""
+        start = time.perf_counter()
+        results: List[Optional[dict]] = [None] * len(units)
+        keys: List[Optional[str]] = [None] * len(units)
+        if self.cache is not None:
+            pending: List[int] = []
+            for index, unit in enumerate(units):
+                key = unit_fingerprint(unit)
+                keys[index] = key
+                payload = self.cache.load(key)
+                if payload is None:
+                    self.stats.cache_misses += 1
+                    pending.append(index)
+                else:
+                    self.stats.cache_hits += 1
+                    results[index] = payload
+        else:
+            pending = list(range(len(units)))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                todo = [units[index] for index in pending]
+                workers = min(self.jobs, len(pending))
+                chunksize = max(
+                    1,
+                    -(-len(pending) // (self.jobs * self.chunks_per_worker)),
+                )
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    payloads = list(
+                        pool.map(execute_unit, todo, chunksize=chunksize)
+                    )
+                for index, payload in zip(pending, payloads):
+                    results[index] = payload
+            else:
+                for index in pending:
+                    results[index] = execute_unit(units[index])
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.store(keys[index], results[index])
+
+        self.stats.units += len(units)
+        self.stats.computed += len(pending)
+        self.stats.wall_s += time.perf_counter() - start
+        return results  # type: ignore[return-value]

@@ -1,0 +1,168 @@
+"""Work units: self-describing, independently executable experiment slices.
+
+A unit is one *utilization point* of one experiment configuration — the
+granularity at which the existing harnesses already derive their per-point
+seeds (``seed + 7919 * point_index`` for acceptance sweeps, ``seed +
+104729 * point_index`` for splitting statistics).  Because each unit
+carries everything needed to execute it (platform, workload, overhead
+model, algorithms, seed), units can run in any order, in any process, and
+the merged result is identical to the serial loops they replaced.
+
+``execute_unit`` is a module-level function so it pickles cleanly for
+:class:`concurrent.futures.ProcessPoolExecutor`; payloads are plain
+JSON-serializable dicts of *exact* values (acceptance counts, not ratios)
+so a cache round-trip cannot perturb downstream floating-point results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.model.generator import TaskSetGenerator
+from repro.model.time import MS, SEC
+from repro.overhead.model import OverheadModel
+
+#: Bump whenever unit semantics or payload layout change: the version is
+#: hashed into every cache key, so stale cache entries are invalidated
+#: wholesale instead of being misread.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AcceptanceUnit:
+    """One utilization point of an acceptance-ratio sweep.
+
+    Executing it generates ``sets_per_point`` task sets with total
+    utilization ``utilization * n_cores`` from ``seed`` and counts, per
+    algorithm, how many pass the overhead-aware acceptance test.
+    """
+
+    n_cores: int
+    n_tasks: int
+    sets_per_point: int
+    utilization: float  # normalized (U/m)
+    seed: int
+    algorithms: Tuple[str, ...]
+    overheads: OverheadModel
+    period_min: int = 10 * MS
+    period_max: int = 1000 * MS
+    kind: str = "acceptance"
+
+
+@dataclass(frozen=True)
+class SplittingUnit:
+    """One utilization point of the splitting-statistics experiment (E7)."""
+
+    algorithm: str
+    n_cores: int
+    n_tasks: int
+    sets_per_point: int
+    utilization: float  # normalized (U/m)
+    seed: int
+    overheads: OverheadModel
+    period_min: int = 10 * MS
+    period_max: int = 1000 * MS
+    kind: str = "splitting"
+
+
+WorkUnit = Union[AcceptanceUnit, SplittingUnit]
+
+
+def unit_spec(unit: WorkUnit) -> dict:
+    """The unit's full configuration as a JSON-safe nested dict."""
+    return asdict(unit)
+
+
+def unit_fingerprint(
+    unit: WorkUnit, schema_version: Optional[int] = None
+) -> str:
+    """Stable content hash of a unit's configuration.
+
+    Canonical JSON (sorted keys, no whitespace) of the unit's spec plus
+    the cache schema version, SHA-256 hashed — the key under which
+    :class:`repro.engine.cache.ResultCache` stores the unit's payload.
+    """
+    if schema_version is None:
+        schema_version = CACHE_SCHEMA_VERSION
+    blob = json.dumps(
+        {"schema": schema_version, "unit": unit_spec(unit)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_unit(unit: WorkUnit) -> dict:
+    """Execute one work unit and return its JSON-serializable payload.
+
+    Module-level (pickled by reference) so it can be dispatched to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker.
+    """
+    if unit.kind == "acceptance":
+        return _execute_acceptance(unit)
+    if unit.kind == "splitting":
+        return _execute_splitting(unit)
+    raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def _execute_acceptance(unit: AcceptanceUnit) -> dict:
+    # Imported lazily: repro.experiments imports repro.engine back.
+    from repro.experiments.algorithms import accept
+
+    generator = TaskSetGenerator(
+        n_tasks=unit.n_tasks,
+        seed=unit.seed,
+        period_min=unit.period_min,
+        period_max=unit.period_max,
+    )
+    total = unit.utilization * unit.n_cores
+    tasksets = generator.generate_many(total, unit.sets_per_point)
+    accepted: Dict[str, int] = {}
+    for name in unit.algorithms:
+        accepted[name] = sum(
+            1
+            for ts in tasksets
+            if accept(name, ts, unit.n_cores, unit.overheads)
+        )
+    return {"accepted": accepted, "total": len(tasksets)}
+
+
+def _execute_splitting(unit: SplittingUnit) -> dict:
+    from repro.experiments.algorithms import build_assignment
+
+    generator = TaskSetGenerator(
+        n_tasks=unit.n_tasks,
+        seed=unit.seed,
+        period_min=unit.period_min,
+        period_max=unit.period_max,
+    )
+    sets_accepted = 0
+    split_tasks_total = 0
+    subtasks_total = 0
+    migrations_per_second_total = 0.0
+    for _ in range(unit.sets_per_point):
+        taskset = generator.generate(unit.utilization * unit.n_cores)
+        assignment = build_assignment(
+            unit.algorithm, taskset, unit.n_cores, unit.overheads
+        )
+        if assignment is None:
+            continue
+        sets_accepted += 1
+        split_tasks_total += assignment.n_split_tasks
+        migrations_per_second = 0.0
+        for split in assignment.split_tasks.values():
+            subtasks_total += len(split.subtasks)
+            migrations_per_second += (
+                split.migration_count_per_job * SEC / split.task.period
+            )
+        migrations_per_second_total += migrations_per_second
+    return {
+        "sets_total": unit.sets_per_point,
+        "sets_accepted": sets_accepted,
+        "split_tasks_total": split_tasks_total,
+        "subtasks_total": subtasks_total,
+        "migrations_per_second_total": migrations_per_second_total,
+    }

@@ -10,11 +10,11 @@ scheduling in the presence of realistic run-time overheads".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.experiments.algorithms import accept
-from repro.model.generator import TaskSetGenerator
+from repro.engine import AcceptanceUnit, ExperimentEngine, ResultCache
 from repro.model.time import MS
 from repro.overhead.model import OverheadModel
 
@@ -50,8 +50,21 @@ class AcceptanceResult:
     ratios: Dict[str, List[float]]
 
     def ratio_at(self, algorithm: str, utilization: float) -> float:
-        index = self.utilizations.index(utilization)
-        return self.ratios[algorithm][index]
+        """Acceptance ratio at the grid point closest to ``utilization``.
+
+        Matches with a tolerance (``math.isclose``) instead of float
+        equality, so values reconstructed by arithmetic (``0.675`` from
+        ``0.6 + 3 * 0.025``) still resolve to their grid point.
+        """
+        for index, candidate in enumerate(self.utilizations):
+            if math.isclose(
+                candidate, utilization, rel_tol=1e-9, abs_tol=1e-9
+            ):
+                return self.ratios[algorithm][index]
+        raise KeyError(
+            f"utilization {utilization!r} is not a grid point of this "
+            f"sweep (grid: {self.utilizations})"
+        )
 
     def weighted_acceptance(self, algorithm: str) -> float:
         """Mean acceptance over the sweep (area under the curve)."""
@@ -93,27 +106,57 @@ class AcceptanceResult:
         return "\n".join(lines)
 
 
-def run_acceptance(config: AcceptanceConfig) -> AcceptanceResult:
-    """Execute the sweep.  Deterministic for a fixed config/seed."""
-    ratios: Dict[str, List[float]] = {name: [] for name in config.algorithms}
-    for point_index, normalized in enumerate(config.utilizations):
-        total = normalized * config.n_cores
-        generator = TaskSetGenerator(
+def acceptance_units(config: AcceptanceConfig) -> List[AcceptanceUnit]:
+    """Decompose a sweep into per-utilization-point work units.
+
+    Seed contract (kept from the original serial loop): point ``i`` uses
+    ``config.seed + 7919 * i``, so units are independent of execution
+    order and process placement.
+    """
+    return [
+        AcceptanceUnit(
+            n_cores=config.n_cores,
             n_tasks=config.n_tasks,
+            sets_per_point=config.sets_per_point,
+            utilization=normalized,
             seed=config.seed + 7919 * point_index,
+            algorithms=tuple(config.algorithms),
+            overheads=config.overheads,
             period_min=config.period_min,
             period_max=config.period_max,
         )
-        tasksets = generator.generate_many(total, config.sets_per_point)
+        for point_index, normalized in enumerate(config.utilizations)
+    ]
+
+
+def assemble_acceptance(
+    config: AcceptanceConfig, payloads: Sequence[dict]
+) -> AcceptanceResult:
+    """Merge per-unit payloads (in unit order) into an AcceptanceResult."""
+    ratios: Dict[str, List[float]] = {name: [] for name in config.algorithms}
+    for payload in payloads:
+        total = payload["total"]
         for name in config.algorithms:
-            accepted = sum(
-                1
-                for ts in tasksets
-                if accept(name, ts, config.n_cores, config.overheads)
-            )
-            ratios[name].append(accepted / len(tasksets))
+            ratios[name].append(payload["accepted"][name] / total)
     return AcceptanceResult(
         config=config,
         utilizations=list(config.utilizations),
         ratios=ratios,
     )
+
+
+def run_acceptance(
+    config: AcceptanceConfig,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> AcceptanceResult:
+    """Execute the sweep.  Deterministic for a fixed config/seed:
+    ``jobs > 1`` and caching change only where units execute, never the
+    result.  Pass an :class:`ExperimentEngine` to share cache/stat
+    counters across several sweeps (the campaign and sensitivity
+    harnesses do)."""
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs, cache=cache)
+    payloads = engine.run(acceptance_units(config))
+    return assemble_acceptance(config, payloads)

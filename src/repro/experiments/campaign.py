@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
+from repro.engine import ExperimentEngine, ResultCache
+from repro.experiments.acceptance import (
+    AcceptanceConfig,
+    acceptance_units,
+    assemble_acceptance,
+)
 from repro.overhead.model import OverheadModel
 
 
@@ -31,15 +36,26 @@ class CampaignRecord:
     acceptance: float
 
 
+#: Valid field names for :meth:`CampaignResult.filtered` criteria.
+_RECORD_FIELDS = tuple(CampaignRecord.__dataclass_fields__)
+
+
 @dataclass
 class CampaignResult:
     records: List[CampaignRecord] = field(default_factory=list)
 
     def filtered(self, **criteria) -> List[CampaignRecord]:
-        out = self.records
-        for key, value in criteria.items():
-            out = [r for r in out if getattr(r, key) == value]
-        return out
+        for key in criteria:
+            if key not in _RECORD_FIELDS:
+                raise ValueError(
+                    f"unknown filter key {key!r}; valid keys: "
+                    f"{', '.join(_RECORD_FIELDS)}"
+                )
+        return [
+            r
+            for r in self.records
+            if all(getattr(r, k) == v for k, v in criteria.items())
+        ]
 
     def mean_acceptance(self, **criteria) -> float:
         rows = self.filtered(**criteria)
@@ -50,11 +66,20 @@ class CampaignResult:
     def pivot(
         self, row_key: str = "algorithm", column_key: str = "n_cores"
     ) -> str:
-        """Text pivot table of mean acceptance."""
-        rows = sorted({getattr(r, row_key) for r in self.records}, key=str)
-        columns = sorted(
-            {getattr(r, column_key) for r in self.records}, key=str
-        )
+        """Text pivot table of mean acceptance.
+
+        Groups in a single pass over the records (sum + count per cell)
+        instead of re-filtering the whole record list for every cell, so
+        the cost is O(records + cells) rather than O(records x cells).
+        """
+        sums: Dict[Tuple[object, object], float] = {}
+        counts: Dict[Tuple[object, object], int] = {}
+        for r in self.records:
+            cell = (getattr(r, row_key), getattr(r, column_key))
+            sums[cell] = sums.get(cell, 0.0) + r.acceptance
+            counts[cell] = counts.get(cell, 0) + 1
+        rows = sorted({cell[0] for cell in sums}, key=str)
+        columns = sorted({cell[1] for cell in sums}, key=str)
         header = row_key + "/" + column_key
         lines = [
             f"{header:>16} " + " ".join(f"{str(c):>8}" for c in columns)
@@ -62,9 +87,8 @@ class CampaignResult:
         for row in rows:
             cells = []
             for column in columns:
-                value = self.mean_acceptance(
-                    **{row_key: row, column_key: column}
-                )
+                n = counts.get((row, column), 0)
+                value = sums[(row, column)] / n if n else 0.0
                 cells.append(f"{value:>8.3f}")
             lines.append(f"{str(row):>16} " + " ".join(cells))
         return "\n".join(lines)
@@ -109,36 +133,69 @@ def run_campaign(
     utilizations: Sequence[float] = (0.7, 0.8, 0.9, 0.95),
     sets_per_point: int = 25,
     seed: int = 404,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> CampaignResult:
-    """Run the full factorial grid; deterministic for fixed arguments."""
-    result = CampaignResult()
+    """Run the full factorial grid; deterministic for fixed arguments.
+
+    The whole grid is decomposed into work units up front and executed
+    through **one** engine pass, so ``jobs > 1`` parallelizes across
+    configurations as well as utilization points.  Record order (and
+    therefore CSV output) is identical to the original nested serial
+    loops for any ``jobs``/``cache`` setting.
+    """
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs, cache=cache)
+
+    # Flatten the grid: one AcceptanceConfig per (cores, tasks, overheads)
+    # cell, preserving the original iteration order.
+    cells: List[Tuple[str, AcceptanceConfig]] = []
     for n_cores in core_counts:
         for n_tasks in task_counts:
             if n_tasks < n_cores:
                 continue
             for overhead_name, model in overhead_specs:
-                config = AcceptanceConfig(
-                    n_cores=n_cores,
-                    n_tasks=n_tasks,
-                    sets_per_point=sets_per_point,
-                    utilizations=list(utilizations),
-                    overheads=model,
-                    algorithms=tuple(algorithms),
-                    seed=seed + 31 * n_cores + 7 * n_tasks,
+                cells.append(
+                    (
+                        overhead_name,
+                        AcceptanceConfig(
+                            n_cores=n_cores,
+                            n_tasks=n_tasks,
+                            sets_per_point=sets_per_point,
+                            utilizations=list(utilizations),
+                            overheads=model,
+                            algorithms=tuple(algorithms),
+                            seed=seed + 31 * n_cores + 7 * n_tasks,
+                        ),
+                    )
                 )
-                sweep = run_acceptance(config)
-                for algorithm in algorithms:
-                    for u, acceptance in zip(
-                        sweep.utilizations, sweep.ratios[algorithm]
-                    ):
-                        result.records.append(
-                            CampaignRecord(
-                                n_cores=n_cores,
-                                n_tasks=n_tasks,
-                                overheads=overhead_name,
-                                algorithm=algorithm,
-                                utilization=u,
-                                acceptance=acceptance,
-                            )
-                        )
+
+    units = []
+    for _, config in cells:
+        units.extend(acceptance_units(config))
+    payloads = engine.run(units)
+
+    result = CampaignResult()
+    offset = 0
+    for overhead_name, config in cells:
+        n_points = len(config.utilizations)
+        sweep = assemble_acceptance(
+            config, payloads[offset : offset + n_points]
+        )
+        offset += n_points
+        for algorithm in algorithms:
+            for u, acceptance in zip(
+                sweep.utilizations, sweep.ratios[algorithm]
+            ):
+                result.records.append(
+                    CampaignRecord(
+                        n_cores=config.n_cores,
+                        n_tasks=config.n_tasks,
+                        overheads=overhead_name,
+                        algorithm=algorithm,
+                        utilization=u,
+                        acceptance=acceptance,
+                    )
+                )
     return result

@@ -11,12 +11,14 @@ how far overheads must grow before the curves move.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.engine import ExperimentEngine, ResultCache
 from repro.experiments.acceptance import (
     AcceptanceConfig,
     AcceptanceResult,
-    run_acceptance,
+    acceptance_units,
+    assemble_acceptance,
 )
 from repro.overhead.model import OverheadModel
 
@@ -48,17 +50,38 @@ def run_overhead_sensitivity(
     base_config: AcceptanceConfig,
     factors: Sequence[float] = (0.0, 1.0, 10.0, 100.0),
     base_model: OverheadModel = None,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
-    """Repeat the acceptance sweep with scaled overhead models."""
+    """Repeat the acceptance sweep with scaled overhead models.
+
+    All factors' sweeps are fanned out through one engine pass, so
+    ``jobs > 1`` parallelizes across factors as well as utilization
+    points; results are identical to the serial per-factor loops.
+    """
     if base_model is None:
         base_model = OverheadModel.paper_core_i7(
             tasks_per_core=max(1, base_config.n_tasks // base_config.n_cores)
         )
-    results: Dict[float, AcceptanceResult] = {}
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs, cache=cache)
+    configs: List[AcceptanceConfig] = []
     for factor in factors:
         model = (
             OverheadModel.zero() if factor == 0.0 else base_model.scaled(factor)
         )
-        config = replace(base_config, overheads=model)
-        results[factor] = run_acceptance(config)
+        configs.append(replace(base_config, overheads=model))
+    units = []
+    for config in configs:
+        units.extend(acceptance_units(config))
+    payloads = engine.run(units)
+    results: Dict[float, AcceptanceResult] = {}
+    offset = 0
+    for factor, config in zip(factors, configs):
+        n_points = len(config.utilizations)
+        results[factor] = assemble_acceptance(
+            config, payloads[offset : offset + n_points]
+        )
+        offset += n_points
     return SensitivityResult(factors=list(factors), results=results)

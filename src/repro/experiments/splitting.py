@@ -10,12 +10,11 @@ the splits induce at run time (migrations per second, analytically
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
 
-from repro.experiments.algorithms import build_assignment
-from repro.model.generator import TaskSetGenerator
-from repro.model.time import MS, SEC
+from repro.engine import ExperimentEngine, ResultCache, SplittingUnit
+from repro.model.time import MS
 from repro.overhead.model import OverheadModel
 
 
@@ -63,34 +62,46 @@ def splitting_statistics(
     model: OverheadModel = OverheadModel.zero(),
     period_min: int = 10 * MS,
     period_max: int = 1000 * MS,
+    jobs: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[SplittingStats]:
-    """Measure split structure produced by ``algorithm`` across utilizations."""
-    rows: List[SplittingStats] = []
-    for point_index, normalized in enumerate(utilizations):
-        stats = SplittingStats(normalized_utilization=normalized)
-        generator = TaskSetGenerator(
+    """Measure split structure produced by ``algorithm`` across utilizations.
+
+    Each utilization point is one work unit (seed contract kept from the
+    original loop: ``seed + 104729 * point_index``), so the result is
+    identical for any ``jobs``/``cache`` setting.
+    """
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs, cache=cache)
+    units = [
+        SplittingUnit(
+            algorithm=algorithm,
+            n_cores=n_cores,
             n_tasks=n_tasks,
+            sets_per_point=sets_per_point,
+            utilization=normalized,
             seed=seed + 104729 * point_index,
+            overheads=model,
             period_min=period_min,
             period_max=period_max,
         )
-        for _ in range(sets_per_point):
-            taskset = generator.generate(normalized * n_cores)
-            stats.sets_total += 1
-            assignment = build_assignment(algorithm, taskset, n_cores, model)
-            if assignment is None:
-                continue
-            stats.sets_accepted += 1
-            stats.split_tasks_total += assignment.n_split_tasks
-            migrations_per_second = 0.0
-            for split in assignment.split_tasks.values():
-                stats.subtasks_total += len(split.subtasks)
-                migrations_per_second += (
-                    split.migration_count_per_job * SEC / split.task.period
-                )
-            stats.migrations_per_second_total += migrations_per_second
-        rows.append(stats)
-    return rows
+        for point_index, normalized in enumerate(utilizations)
+    ]
+    payloads = engine.run(units)
+    return [
+        SplittingStats(
+            normalized_utilization=normalized,
+            sets_accepted=payload["sets_accepted"],
+            sets_total=payload["sets_total"],
+            split_tasks_total=payload["split_tasks_total"],
+            subtasks_total=payload["subtasks_total"],
+            migrations_per_second_total=payload[
+                "migrations_per_second_total"
+            ],
+        )
+        for normalized, payload in zip(utilizations, payloads)
+    ]
 
 
 def splitting_table(rows: List[SplittingStats]) -> str:

@@ -4,12 +4,18 @@ A minimal, deterministic event queue: events fire in (time, insertion
 sequence) order, so simultaneous events are processed in the order they
 were scheduled — which makes every simulation run exactly reproducible.
 Cancellation is O(1) by flagging; cancelled events are skipped on pop.
+
+Performance note: the heap stores ``(time, priority, seq, event)`` tuples
+rather than :class:`Event` objects, so ``heappush``/``heappop`` compare
+plain tuples entirely in C.  ``seq`` is unique, so comparisons never reach
+the event object itself.  Event-object comparisons (``__lt__``) are kept
+only for API compatibility.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class Event:
@@ -48,11 +54,17 @@ class Event:
         return f"Event(t={self.time}, seq={self.seq}{state})"
 
 
+#: Heap entry: ``(time, priority, seq, event_or_None, fn)``.  The event
+#: slot is None for callbacks scheduled through :meth:`schedule_fast`,
+#: which cannot be cancelled and therefore need no Event allocation.
+_Entry = Tuple[int, int, int, Optional[Event], Callable[[int], None]]
+
+
 class EventQueue:
-    """Priority queue of events ordered by (time, sequence)."""
+    """Priority queue of events ordered by (time, priority, sequence)."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self.now = 0
 
@@ -64,39 +76,68 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule event at {time} before now={self.now}"
             )
-        event = Event(time, priority, self._seq, fn)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, fn)
+        heapq.heappush(self._heap, (time, priority, seq, event, fn))
         return event
+
+    def schedule_fast(
+        self, time: int, fn: Callable[[int], None], priority: int = 0
+    ) -> None:
+        """Schedule a callback that will never be cancelled.
+
+        Skips the :class:`Event` allocation entirely — the hot path for
+        the simulator's kernel-op completions and release timers, which
+        are fired exactly once and never revoked.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, None, fn))
 
     def pop_next(self) -> Optional[Event]:
         """Pop the next live event, advancing ``now``; None when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            time, priority, seq, event, fn = heapq.heappop(heap)
+            if event is None:
+                event = Event(time, priority, seq, fn)
+            elif event.cancelled:
                 continue
-            self.now = event.time
+            self.now = time
             return event
         return None
 
     def run_until(self, horizon: int) -> None:
         """Execute events up to and including ``horizon``."""
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head.time > horizon:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if heap[0][0] > horizon:
                 break
-            event = heapq.heappop(self._heap)
-            self.now = event.time
-            event.fn(event.time)
-        self.now = max(self.now, horizon)
+            entry = pop(heap)
+            event = entry[3]
+            if event is not None and event.cancelled:
+                continue
+            time = entry[0]
+            self.now = time
+            entry[4](time)
+        if horizon > self.now:
+            self.now = horizon
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(
+            1
+            for entry in self._heap
+            if entry[3] is None or not entry[3].cancelled
+        )
 
     def peek_time(self) -> Optional[int]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3] is not None and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

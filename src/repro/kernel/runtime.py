@@ -13,7 +13,7 @@ it visits, and the home core whose sleep queue the task returns to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.model.assignment import Assignment, Entry, EntryKind
@@ -53,6 +53,9 @@ class RTTask:
                 f"task {self.task.name}: stage budgets sum to {total}, "
                 f"expected {self.task.wcet}"
             )
+        # Cached aggregate: consulted once per released job on the
+        # simulator hot path.
+        self.total_budget = total
 
     @property
     def name(self) -> str:
@@ -71,7 +74,6 @@ class RTTask:
         return self.local_priority[core]
 
 
-@dataclass
 class Job:
     """One activation (job) of a runtime task.
 
@@ -82,31 +84,59 @@ class Job:
     the paper's ``cnt_swth`` case (3): "the current task is a split task,
     and it has finished its execution".  ``penalty_left`` is cache-reload
     delay that occupies the CPU but consumes neither budget nor work.
+
+    Jobs are the simulator's per-release allocation, so the class uses
+    ``__slots__`` (one is created for every task release of a run).
     """
 
-    rt: RTTask
-    release: int
-    abs_deadline: int
-    seq: int
-    work: int  # actual execution demand of this job (<= sum of budgets)
-    stage_index: int = 0
-    work_left: int = 0
-    stage_budget_left: int = 0
-    penalty_left: int = 0
-    preempt_count: int = 0
-    migrate_count: int = 0
-    finish_time: Optional[int] = None
-    ready_handle: object = field(default=None, repr=False)
+    __slots__ = (
+        "rt",
+        "release",
+        "abs_deadline",
+        "seq",
+        "work",
+        "stage_index",
+        "work_left",
+        "stage_budget_left",
+        "penalty_left",
+        "preempt_count",
+        "migrate_count",
+        "finish_time",
+        "ready_handle",
+    )
 
-    def __post_init__(self) -> None:
-        total_budget = sum(stage.budget for stage in self.rt.stages)
-        if not 0 < self.work <= total_budget:
+    def __init__(
+        self,
+        rt: RTTask,
+        release: int,
+        abs_deadline: int,
+        seq: int,
+        work: int,  # actual execution demand of this job (<= sum of budgets)
+    ) -> None:
+        total_budget = rt.total_budget
+        if not 0 < work <= total_budget:
             raise ValueError(
-                f"job of {self.rt.name}: work {self.work} outside "
-                f"(0, {total_budget}]"
+                f"job of {rt.name}: work {work} outside (0, {total_budget}]"
             )
-        self.work_left = self.work
-        self.stage_budget_left = self.rt.stages[0].budget
+        self.rt = rt
+        self.release = release
+        self.abs_deadline = abs_deadline
+        self.seq = seq
+        self.work = work
+        self.stage_index = 0
+        self.work_left = work
+        self.stage_budget_left = rt.stages[0].budget
+        self.penalty_left = 0
+        self.preempt_count = 0
+        self.migrate_count = 0
+        self.finish_time: Optional[int] = None
+        self.ready_handle: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Job({self.rt.name}/{self.seq}, release={self.release}, "
+            f"work_left={self.work_left})"
+        )
 
     @property
     def name(self) -> str:

@@ -52,6 +52,16 @@ _COMPLETION_PRIORITY = 0
 _RELEASE_PRIORITY = 10
 _OP_PRIORITY = 20
 
+#: Profiling bucket per op kind (hoisted out of the per-op hot path).
+_PROFILE_BUCKET = {
+    "release": "release",
+    "migrate_in": "release",
+    "sched": "sch",
+    "cnt_in": "cnt_swth",
+    "finish": "cnt_swth",
+    "migrate_out": "cnt_swth",
+}
+
 
 @dataclass(frozen=True)
 class DeadlineMiss:
@@ -254,6 +264,12 @@ class KernelSim:
         protocol).  FP policy only; split tasks must not use resources.
         Analyse with
         :func:`repro.analysis.blocking.core_schedulable_with_resources`.
+    profile:
+        If True, time every kernel-op effect with ``perf_counter_ns`` and
+        aggregate per-bucket (count, total ns) into :attr:`profile` — the
+        data :func:`repro.overhead.measure.measure_scheduler_functions`
+        consumes.  Off by default: the two clock reads per op are pure
+        overhead on the simulation hot path.
     """
 
     def __init__(
@@ -271,6 +287,7 @@ class KernelSim:
         record_responses: bool = False,
         tick_ns: int = 0,
         resources: Optional["ResourceModel"] = None,
+        profile: bool = False,
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -286,6 +303,7 @@ class KernelSim:
         if policy not in ("fp", "edf"):
             raise ValueError(f"unknown policy {policy!r}; use 'fp' or 'edf'")
         self.policy = policy
+        self._edf = policy == "edf"
         if sporadic_jitter < 0:
             raise ValueError("sporadic_jitter must be non-negative")
         if not 0.0 <= execution_variation < 1.0:
@@ -337,6 +355,7 @@ class KernelSim:
         self.preemptions = 0
         self.migrations = 0
         self.releases = 0
+        self._profile_enabled = profile
         self.profile: Dict[str, Tuple[int, int]] = {}
         self._current_jobs: Dict[str, Optional[Job]] = {
             rt.name: None for rt in self.rt_tasks
@@ -379,8 +398,8 @@ class KernelSim:
     # ------------------------------------------------------------------
 
     def _work_of(self, rt: RTTask) -> int:
-        total_budget = sum(stage.budget for stage in rt.stages)
-        requested = self.execution_times.get(rt.name, total_budget)
+        total_budget = rt.total_budget
+        requested = self.execution_times.get(rt.task.name, total_budget)
         if self.execution_variation > 0.0:
             factor = self._rng.uniform(1.0 - self.execution_variation, 1.0)
             requested = int(round(requested * factor))
@@ -393,7 +412,7 @@ class KernelSim:
         if self.tick_ns > 0:
             fire = -(-nominal // self.tick_ns) * self.tick_ns
         if fire < self.duration:
-            self.queue.schedule(
+            self.queue.schedule_fast(
                 fire,
                 lambda t, rt=rt, nominal=nominal: self._on_release(
                     rt, t, nominal
@@ -433,14 +452,16 @@ class KernelSim:
             seq=self._job_seq,
             work=self._work_of(rt),
         )
-        self._current_jobs[rt.name] = job
+        name = rt.task.name
+        self._current_jobs[name] = job
         self.releases += 1
-        self.task_stats[rt.name].jobs_released += 1
-        self._log_event(t, "release", rt.name, rt.home_core)
+        self.task_stats[name].jobs_released += 1
+        if self.record_trace:
+            self._log_event(t, "release", name, rt.home_core)
         # Sleep-queue bookkeeping: the timer removes the task from the home
         # core's sleep queue before release() inserts it into the ready queue.
         home = self.cores[rt.home_core]
-        node = self._sleep_nodes.pop(rt.name, None)
+        node = self._sleep_nodes.pop(name, None)
         if node is not None:
             home.sleep.remove(node)
         core = self.cores[job.current_core]
@@ -452,7 +473,7 @@ class KernelSim:
                 effect=lambda t2, job=job, core=core: self._do_release(
                     core, job, t2
                 ),
-                label=f"rls:{job.rt.name}",
+                label=f"rls:{name}" if self.record_trace else "rls",
             ),
             t,
         )
@@ -483,7 +504,10 @@ class KernelSim:
         if executed > 0:
             job.account(executed)
             core.busy_ns += executed
-            self._record(core.index, core.dispatched_at, t, job.name, "exec")
+            if self.record_trace:
+                self._record(
+                    core.index, core.dispatched_at, t, job.name, "exec"
+                )
         if job.chunk_done:
             # The chunk finished exactly at this instant: process the end of
             # chunk before whatever interrupted us.
@@ -494,30 +518,28 @@ class KernelSim:
         op = core.op_queue.popleft()
         if op.kind == "sched":
             op.duration = self._sched_duration(core)
-        end = t + op.duration
-        if op.duration > 0:
-            core.overhead_ns += op.duration
-            self._record(core.index, t, end, op.label, "overhead")
-        self.queue.schedule(
+        duration = op.duration
+        end = t + duration
+        if duration > 0:
+            core.overhead_ns += duration
+            if self.record_trace:
+                self._record(core.index, t, end, op.label, "overhead")
+        self.queue.schedule_fast(
             end,
             lambda t2, core=core, op=op: self._finish_op(core, op, t2),
             priority=_OP_PRIORITY,
         )
 
     def _finish_op(self, core: _Core, op: _Op, t: int) -> None:
-        start = _time.perf_counter_ns()
-        op.effect(t)
-        elapsed = _time.perf_counter_ns() - start
-        bucket = {
-            "release": "release",
-            "migrate_in": "release",
-            "sched": "sch",
-            "cnt_in": "cnt_swth",
-            "finish": "cnt_swth",
-            "migrate_out": "cnt_swth",
-        }.get(op.kind, op.kind)
-        count, total = self.profile.get(bucket, (0, 0))
-        self.profile[bucket] = (count + 1, total + elapsed)
+        if self._profile_enabled:
+            start = _time.perf_counter_ns()
+            op.effect(t)
+            elapsed = _time.perf_counter_ns() - start
+            bucket = _PROFILE_BUCKET.get(op.kind, op.kind)
+            count, total = self.profile.get(bucket, (0, 0))
+            self.profile[bucket] = (count + 1, total + elapsed)
+        else:
+            op.effect(t)
         if core.op_queue:
             self._start_next_op(core, t)
         elif core.needs_sched:
@@ -569,10 +591,14 @@ class KernelSim:
     def _chunk_length(self, job: Job) -> int:
         """CPU time until the next simulation-relevant point of this job:
         chunk end (budget/work) or a critical-section edge."""
-        base = min(job.stage_budget_left, job.work_left)
-        boundary = self._work_to_boundary(job)
-        if boundary is not None:
-            base = min(base, boundary)
+        base = job.stage_budget_left
+        work_left = job.work_left
+        if work_left < base:
+            base = work_left
+        if self.resources is not None:
+            boundary = self._work_to_boundary(job)
+            if boundary is not None and boundary < base:
+                base = boundary
         return job.penalty_left + base
 
     def _active_ceiling(self, core: _Core, job: Job) -> Optional[int]:
@@ -597,14 +623,16 @@ class KernelSim:
     # ------------------------------------------------------------------
 
     def _would_preempt(self, core: _Core) -> bool:
-        if core.running is None or not core.ready:
+        running = core.running
+        if running is None or not core.ready:
             return False
         min_key, _job = core.ready.find_min()
-        running_key = self._key_of(core, core.running)
-        ceiling = self._active_ceiling(core, core.running)
-        if ceiling is not None:
-            # IPCP: the lock holder runs at the resource ceiling.
-            running_key = (min(running_key[0], ceiling), running_key[1])
+        running_key = self._key_of(core, running)
+        if self.resources is not None:
+            ceiling = self._active_ceiling(core, running)
+            if ceiling is not None:
+                # IPCP: the lock holder runs at the resource ceiling.
+                running_key = (min(running_key[0], ceiling), running_key[1])
         return min_key < running_key
 
     def _sched_duration(self, core: _Core) -> int:
@@ -625,10 +653,13 @@ class KernelSim:
                 victim.penalty_left += penalty
                 self.cache_delay_ns += penalty
                 victim.preempt_count += 1
-                self.task_stats[victim.rt.name].preemptions += 1
+                self.task_stats[victim.rt.task.name].preemptions += 1
                 self.preemptions += 1
                 self._ready_insert(core, victim)
-                self._log_event(t, "preempt", victim.rt.name, core.index)
+                if self.record_trace:
+                    self._log_event(
+                        t, "preempt", victim.rt.task.name, core.index
+                    )
             else:
                 return  # current job resumes at kernel exit
         if not core.ready:
@@ -641,14 +672,15 @@ class KernelSim:
             effect=lambda t2, core=core, job=job: self._do_dispatch(
                 core, job, t2
             ),
-            label=f"cnt1:{job.rt.name}",
+            label=f"cnt1:{job.rt.task.name}" if self.record_trace else "cnt1",
         )
         core.op_queue.append(cnt_op)
 
     def _do_dispatch(self, core: _Core, job: Job, t: int) -> None:
         core.running = job
         self.context_switches += 1
-        self._log_event(t, "dispatch", job.rt.name, core.index)
+        if self.record_trace:
+            self._log_event(t, "dispatch", job.rt.task.name, core.index)
 
     # ------------------------------------------------------------------
     # Chunk completion: job finish or budget exhaustion
@@ -661,7 +693,10 @@ class KernelSim:
         if executed > 0:
             job.account(executed)
             core.busy_ns += executed
-            self._record(core.index, core.dispatched_at, t, job.name, "exec")
+            if self.record_trace:
+                self._record(
+                    core.index, core.dispatched_at, t, job.name, "exec"
+                )
         core.completion_event = None
         if not job.chunk_done:
             # A critical-section edge, not the chunk's end.
@@ -714,7 +749,11 @@ class KernelSim:
                 effect=lambda t2, core=core, job=job, done=t: self._do_finish(
                     core, job, t2, completed_at=done
                 ),
-                label=f"cnt2:{job.rt.name}",
+                label=(
+                    f"cnt2:{job.rt.task.name}"
+                    if self.record_trace
+                    else "cnt2"
+                ),
             )
         else:
             op = _Op(
@@ -723,7 +762,9 @@ class KernelSim:
                 effect=lambda t2, core=core, job=job: self._do_migrate_out(
                     core, job, t2
                 ),
-                label=f"mig:{job.rt.name}",
+                label=(
+                    f"mig:{job.rt.task.name}" if self.record_trace else "mig"
+                ),
             )
         if front:
             core.op_queue.appendleft(op)
@@ -734,17 +775,20 @@ class KernelSim:
         self, core: _Core, job: Job, t: int, completed_at: int
     ) -> None:
         job.finish_time = completed_at
-        stats = self.task_stats[job.rt.name]
+        rt = job.rt
+        name = rt.task.name
+        stats = self.task_stats[name]
         stats.jobs_completed += 1
         response = completed_at - job.release
         stats.total_response += response
-        stats.max_response = max(stats.max_response, response)
+        if response > stats.max_response:
+            stats.max_response = response
         if self.record_responses:
             stats.responses.append(response)
         if completed_at > job.abs_deadline:
             self.misses.append(
                 DeadlineMiss(
-                    task=job.rt.name,
+                    task=name,
                     job_seq=job.seq,
                     release=job.release,
                     abs_deadline=job.abs_deadline,
@@ -752,14 +796,15 @@ class KernelSim:
                     kind="late",
                 )
             )
-            self._log_event(completed_at, "miss", job.rt.name, core.index)
-        else:
-            self._log_event(completed_at, "finish", job.rt.name, core.index)
+            if self.record_trace:
+                self._log_event(completed_at, "miss", name, core.index)
+        elif self.record_trace:
+            self._log_event(completed_at, "finish", name, core.index)
         # Back to the sleep queue of the core hosting the first subtask
         # (paper §2, tail subtask rule).
-        home = self.cores[job.rt.home_core]
-        self._sleep_nodes[job.rt.name] = home.sleep.insert(
-            (job.release + job.rt.task.period, job.rt.name), job.rt
+        home = self.cores[rt.home_core]
+        self._sleep_nodes[name] = home.sleep.insert(
+            (job.release + rt.task.period, name), rt
         )
         core.needs_sched = True
         core.free_dispatch = True  # context load was part of cnt2
@@ -770,9 +815,10 @@ class KernelSim:
         job.penalty_left += penalty
         self.cache_delay_ns += penalty
         job.migrate_count += 1
-        self.task_stats[job.rt.name].migrations += 1
+        self.task_stats[job.rt.task.name].migrations += 1
         self.migrations += 1
-        self._log_event(t, "migrate", job.rt.name, stage.core)
+        if self.record_trace:
+            self._log_event(t, "migrate", job.rt.task.name, stage.core)
         destination = self.cores[stage.core]
         self._kernel_enqueue(
             destination,
@@ -782,7 +828,11 @@ class KernelSim:
                 effect=lambda t2, dest=destination, job=job: self._do_migrate_in(
                     dest, job, t2
                 ),
-                label=f"migin:{job.rt.name}",
+                label=(
+                    f"migin:{job.rt.task.name}"
+                    if self.record_trace
+                    else "migin"
+                ),
             ),
             t,
         )
@@ -798,14 +848,14 @@ class KernelSim:
     # ------------------------------------------------------------------
 
     def _key_of(self, core: _Core, job: Job) -> tuple:
-        if self.policy == "edf":
+        if self._edf:
             # Per-stage local deadline: for normal tasks this is the job's
             # absolute deadline; for split tasks the stage's own deadline
             # (C=D bodies carry deadline == budget, so EDF serves them at
             # once — the C=D scheme's defining property).
             offset = job.rt.stages[job.stage_index].deadline_offset
             return (job.release + offset, job.seq)
-        return (job.rt.priority_on(core.index), job.seq)
+        return (job.rt.local_priority[core.index], job.seq)
 
     def _ready_insert(self, core: _Core, job: Job) -> None:
         job.ready_handle = core.ready.insert(self._key_of(core, job), job)

@@ -139,7 +139,9 @@ def measure_scheduler_functions(
     totals: Dict[str, float] = {"release": 0.0, "sch": 0.0, "cnt_swth": 0.0}
     counts: Dict[str, int] = {"release": 0, "sch": 0, "cnt_swth": 0}
     for _ in range(rounds):
-        sim = KernelSim(assignment, OverheadModel.zero(), duration=80 * MS)
+        sim = KernelSim(
+            assignment, OverheadModel.zero(), duration=80 * MS, profile=True
+        )
         start = time.perf_counter_ns()
         sim.run()
         _elapsed = time.perf_counter_ns() - start

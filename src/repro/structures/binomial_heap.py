@@ -97,11 +97,30 @@ class BinomialHeap:
         return self._size > 0
 
     def insert(self, key: Any, value: Any = None) -> HeapHandle:
-        """Insert ``value`` with priority ``key``; return a stable handle."""
+        """Insert ``value`` with priority ``key``; return a stable handle.
+
+        Uses a dedicated single-node fast path instead of the general
+        union: inserting a degree-0 tree is a binary-counter increment —
+        link while the head root has the same degree as the carry, then
+        prepend.  Equivalent to ``_union`` (the new node sorts first among
+        equal degrees), but with no merge bookkeeping on the hot path.
+        """
         node = _BinomialNode(key, value)
         handle = HeapHandle(node)
         node.handle = handle
-        self._merge_root_list(node)
+        head = self._head
+        link = self._link
+        while head is not None and head.degree == node.degree:
+            nxt = head.sibling
+            head.sibling = None
+            if head.key < node.key:
+                link(node, head)
+                node = head
+            else:
+                link(head, node)
+            head = nxt
+        node.sibling = head
+        self._head = node
         self._size += 1
         return handle
 
