@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.analysis.rta import core_schedulable
 from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
 from repro.experiments.algorithms import ALGORITHMS, build_assignment
+from repro.faults import OVERRUN_POLICIES
 from repro.kernel.sim import KernelSim
 from repro.model.generator import TaskSetGenerator
 from repro.model.io import load_taskset, save_taskset
@@ -47,6 +48,56 @@ def _overhead_model(spec: str, tasks_per_core: int) -> OverheadModel:
     )
 
 
+def _parse_algorithms(spec: str) -> tuple:
+    """Split and validate a comma-separated algorithm list.
+
+    Unknown names are a one-line error naming the valid choices, not a
+    traceback from deep inside the sweep.
+    """
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    if not names:
+        raise SystemExit(
+            f"--algorithms needs at least one algorithm; valid choices: "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        )
+    unknown = [name for name in names if name not in ALGORITHMS]
+    if unknown:
+        raise SystemExit(
+            f"unknown algorithm(s) {', '.join(unknown)}; valid choices: "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        )
+    return names
+
+
+def _check_algorithm(name: str) -> str:
+    if name not in ALGORITHMS:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; valid choices: "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        )
+    return name
+
+
+def _check_positive(value: int, flag: str) -> int:
+    if value < 1:
+        raise SystemExit(f"{flag} must be at least 1, got {value}")
+    return value
+
+
+def _load_fault_plan(path):
+    """Parse ``--faults plan.json`` into a FaultPlan (one-line errors)."""
+    if path is None:
+        return None
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_json_file(path)
+    except OSError as exc:
+        raise SystemExit(f"--faults: cannot read {path!r}: {exc}")
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"--faults: {exc}")
+
+
 def _cmd_list_algorithms(_args) -> int:
     width = max(len(name) for name in ALGORITHMS)
     for name, spec in sorted(ALGORITHMS.items()):
@@ -64,6 +115,8 @@ def _cmd_generate(args) -> int:
 
 
 def _prepare(args):
+    _check_algorithm(args.algorithm)
+    _check_positive(args.cores, "--cores")
     taskset = load_taskset(args.tasks).assign_rate_monotonic()
     tasks_per_core = max(1, len(taskset) // args.cores)
     model = _overhead_model(args.overheads, tasks_per_core)
@@ -115,12 +168,16 @@ def _cmd_simulate(args) -> int:
     if assignment is None:
         print(f"{args.algorithm}: REJECTED; nothing to simulate")
         return 1
+    plan = _load_fault_plan(getattr(args, "faults", None))
     sim = KernelSim(
         assignment,
         model,
         duration=args.duration_ms * MS,
         record_trace=args.gantt,
         execution_times={task.name: task.wcet for task in taskset},
+        seed=args.seed,
+        faults=plan,
+        overrun_policy=args.overrun_policy,
     )
     result = sim.run()
     print(
@@ -130,6 +187,17 @@ def _cmd_simulate(args) -> int:
     )
     print(f"scheduler overhead: {100 * result.total_overhead_ratio:.3f}% "
           f"of the platform")
+    if plan is not None:
+        print(result.faults.summary())
+        killed = sum(s.jobs_killed for s in result.task_stats.values())
+        by_kind = {}
+        for miss in result.misses:
+            by_kind[miss.kind] = by_kind.get(miss.kind, 0) + 1
+        misses = " ".join(f"{k}={n}" for k, n in sorted(by_kind.items()))
+        print(
+            f"under faults (policy={args.overrun_policy}): "
+            f"jobs_killed={killed} misses[{misses or 'none'}]"
+        )
     for name in sorted(result.task_stats):
         stats = result.task_stats[name]
         print(
@@ -145,7 +213,8 @@ def _cmd_simulate(args) -> int:
 
 
 def _engine_for(args):
-    """Build the shared ExperimentEngine from --jobs/--cache flags."""
+    """Build the shared ExperimentEngine from the engine flags
+    (--jobs/--cache/--unit-timeout/--retries/--journal/--resume)."""
     from repro.engine import ExperimentEngine
 
     if args.jobs < 1:
@@ -158,11 +227,36 @@ def _engine_for(args):
             raise SystemExit(
                 f"--cache {args.cache!r} exists and is not a directory"
             )
-    return ExperimentEngine(jobs=args.jobs, cache=args.cache)
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        raise SystemExit("--unit-timeout must be positive")
+    if args.retries < 0:
+        raise SystemExit("--retries must be non-negative")
+    if args.resume and args.journal is None:
+        raise SystemExit("--resume requires --journal")
+    return ExperimentEngine(
+        jobs=args.jobs,
+        cache=args.cache,
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        journal=args.journal,
+        resume=args.resume,
+    )
+
+
+def _report_failures(engine) -> None:
+    """One line per unit the engine gave up on (partial results)."""
+    for failure in engine.last_failures:
+        print(
+            f"FAILED unit #{failure.index} [{failure.kind}] after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
 
 
 def _cmd_sweep(args) -> int:
-    algorithms = tuple(args.algorithms.split(","))
+    algorithms = _parse_algorithms(args.algorithms)
+    _check_positive(args.cores, "--cores")
+    _check_positive(args.n_tasks, "--n-tasks")
+    _check_positive(args.sets, "--sets")
     model = _overhead_model(
         args.overheads, max(1, args.n_tasks // args.cores)
     )
@@ -178,13 +272,17 @@ def _cmd_sweep(args) -> int:
     result = run_acceptance(config, engine=engine)
     print(result.as_table())
     print(engine.stats.summary())
-    return 0
+    _report_failures(engine)
+    return 0 if not engine.last_failures else 3
 
 
 def _cmd_breakdown(args) -> int:
     from repro.experiments.breakdown import run_breakdown
 
-    algorithms = tuple(args.algorithms.split(","))
+    algorithms = _parse_algorithms(args.algorithms)
+    _check_positive(args.cores, "--cores")
+    _check_positive(args.n_tasks, "--n-tasks")
+    _check_positive(args.sets, "--sets")
     model = _overhead_model(
         args.overheads, max(1, args.n_tasks // args.cores)
     )
@@ -204,9 +302,14 @@ def _cmd_campaign(args) -> int:
     from repro.experiments.campaign import run_campaign
     from repro.overhead.model import OverheadModel as _OM
 
-    algorithms = tuple(args.algorithms.split(","))
+    algorithms = _parse_algorithms(args.algorithms)
     core_counts = tuple(int(c) for c in args.core_counts.split(","))
     task_counts = tuple(int(c) for c in args.task_counts.split(","))
+    for count in core_counts:
+        _check_positive(count, "--core-counts")
+    for count in task_counts:
+        _check_positive(count, "--task-counts")
+    _check_positive(args.sets, "--sets")
     engine = _engine_for(args)
     result = run_campaign(
         core_counts=core_counts,
@@ -221,10 +324,16 @@ def _cmd_campaign(args) -> int:
     )
     print(result.pivot(row_key="algorithm", column_key="n_cores"))
     print(engine.stats.summary())
+    _report_failures(engine)
+    if result.is_partial:
+        print(
+            f"PARTIAL campaign: {len(result.failed_units)} grid point(s) "
+            f"missing from the records (see failed-unit lines above)"
+        )
     if args.csv:
         result.to_csv(args.csv)
         print(f"\n{len(result.records)} records written to {args.csv}")
-    return 0
+    return 0 if not result.is_partial else 3
 
 
 def _cmd_measure(args) -> int:
@@ -286,6 +395,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--assignment",
         help="simulate a saved assignment JSON instead of re-partitioning",
     )
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="simulation seed (drives fault injection; default: 0)",
+    )
+    simulate.add_argument(
+        "--faults",
+        metavar="FILE",
+        help="fault-plan JSON (see docs/robustness.md); deterministic "
+        "for a fixed --seed",
+    )
+    simulate.add_argument(
+        "--overrun-policy",
+        choices=list(OVERRUN_POLICIES),
+        default="run-on",
+        help="what the kernel does when a job exceeds its nominal WCET "
+        "(default: run-on)",
+    )
     simulate.set_defaults(fn=_cmd_simulate)
 
     def engine_flags(p):
@@ -301,6 +429,33 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="content-addressed result cache directory "
             "(e.g. .repro-cache; off by default)",
+        )
+        p.add_argument(
+            "--unit-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-unit wall-clock timeout; a unit exceeding it is "
+            "retried or reported as failed (default: none)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="retry attempts per failed unit, with exponential "
+            "backoff (default: 0)",
+        )
+        p.add_argument(
+            "--journal",
+            metavar="PATH",
+            help="JSONL checkpoint journal; completed units are appended "
+            "as they finish",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse finished units from --journal and recompute "
+            "only the rest",
         )
 
     sweep = sub.add_parser("sweep", help="acceptance-ratio sweep")

@@ -1,4 +1,4 @@
-"""Parallel, cache-aware experiment engine.
+"""Parallel, cache-aware, fault-tolerant experiment engine.
 
 The paper's evaluation is a large factorial sweep: thousands of generated
 task sets x algorithms x overhead models.  This package turns that sweep
@@ -7,27 +7,34 @@ experiment — and executes them either serially or over a process pool,
 with an optional content-addressed on-disk result cache:
 
 * :mod:`repro.engine.units` — the work-unit dataclasses
-  (:class:`AcceptanceUnit`, :class:`SplittingUnit`), the process-pool-safe
+  (:class:`AcceptanceUnit`, :class:`SplittingUnit`, plus the
+  engine-robustness :class:`ChaosUnit`), the process-pool-safe
   :func:`execute_unit` entry point, and the stable config fingerprint the
   cache keys on;
 * :mod:`repro.engine.cache` — :class:`ResultCache`, a content-addressed
-  JSON store under ``.repro-cache/`` (or any directory);
+  JSON store under ``.repro-cache/`` (or any directory); corrupt entries
+  are quarantined and recomputed, never fatal;
 * :mod:`repro.engine.executor` — :class:`ExperimentEngine`, which resolves
-  cache hits, fans the misses out over ``jobs`` worker processes with
-  chunked dispatch, and merges everything back **in unit order**, so a
-  parallel run is bit-identical to a serial run.
+  cache hits, fans the misses out over ``jobs`` worker processes, and
+  merges everything back **in unit order**, so a parallel run is
+  bit-identical to a serial run.  Robustness options: per-unit wall-clock
+  timeouts, retries with exponential backoff, automatic pool rebuild and
+  serial fallback on :class:`~concurrent.futures.process.BrokenProcessPool`,
+  a JSONL checkpoint journal with ``resume``, and a :class:`UnitFailure`
+  manifest instead of an exception when a unit exhausts its attempts.
 
 Determinism contract: every unit carries its own seed (derived from the
 experiment seed and the unit's position, e.g. ``seed + 7919 *
-point_index``), so results do not depend on which process computed them or
-in which order they finished.
+point_index``), so results do not depend on which process computed them,
+in which order they finished, or how often they were retried or resumed.
 """
 
 from repro.engine.cache import ResultCache
-from repro.engine.executor import EngineStats, ExperimentEngine
+from repro.engine.executor import EngineStats, ExperimentEngine, UnitFailure
 from repro.engine.units import (
     CACHE_SCHEMA_VERSION,
     AcceptanceUnit,
+    ChaosUnit,
     SplittingUnit,
     execute_unit,
     unit_fingerprint,
@@ -37,10 +44,12 @@ from repro.engine.units import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "AcceptanceUnit",
+    "ChaosUnit",
     "SplittingUnit",
     "EngineStats",
     "ExperimentEngine",
     "ResultCache",
+    "UnitFailure",
     "execute_unit",
     "unit_fingerprint",
     "unit_spec",

@@ -12,7 +12,11 @@ full configuration plus the cache schema version.  Consequences:
 * bumping :data:`~repro.engine.units.CACHE_SCHEMA_VERSION` invalidates
   the entire cache at once.
 
-Corrupt or unreadable entries are treated as misses, never as errors.
+Corrupt or unreadable entries are treated as misses, never as errors:
+a truncated or hand-edited file (e.g. a process killed mid-write despite
+the atomic rename, a disk hiccup, or manual tampering) is *quarantined* —
+renamed to ``<key>.json.corrupt`` so it stops shadowing the slot and
+stays available for post-mortem inspection — and the unit is recomputed.
 Writes go through a temporary file + :meth:`~pathlib.Path.replace` so a
 crashed run cannot leave a half-written entry behind.
 """
@@ -36,7 +40,11 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def load(self, key: str) -> Optional[dict]:
-        """Return the cached payload for ``key``, or None on a miss."""
+        """Return the cached payload for ``key``, or None on a miss.
+
+        A corrupt entry (invalid JSON, or JSON that is not an object) is
+        quarantined and reported as a miss — never an error.
+        """
         path = self.path_for(key)
         try:
             text = path.read_text(encoding="utf-8")
@@ -45,8 +53,25 @@ class ResultCache:
         try:
             payload = json.loads(text)
         except ValueError:
+            self._quarantine(path)
             return None  # corrupt entry: recompute rather than fail
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        return payload
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside (``*.json.corrupt``) so it stops
+        shadowing the slot; if even that fails, delete it; if the file
+        is gone already, there is nothing to do."""
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def store(self, key: str, payload: dict) -> None:
         """Persist ``payload`` under ``key`` (atomic rename)."""

@@ -68,7 +68,33 @@ class SplittingUnit:
     kind: str = "splitting"
 
 
-WorkUnit = Union[AcceptanceUnit, SplittingUnit]
+@dataclass(frozen=True)
+class ChaosUnit:
+    """A unit that misbehaves on demand — the engine-robustness harness.
+
+    Used by the tests and the CI fault smoke to exercise the engine's
+    timeout, retry, crash, and fallback paths with *controlled* failures:
+
+    * ``mode="ok"`` — sleep ``sleep_s`` (if any) and return
+      ``{"value": payload_value}``;
+    * ``mode="error"`` — raise ``RuntimeError`` every time;
+    * ``mode="crash"`` — kill the hosting process with ``os._exit`` (a
+      worker crash; **never execute serially**);
+    * ``mode="hang"`` — sleep ``sleep_s`` before returning (set it above
+      the engine's ``unit_timeout`` to simulate a hung worker);
+    * ``mode="crash-once"`` / ``mode="error-once"`` — fail only while
+      the ``marker`` file does not exist (it is created just before the
+      failure), so the first attempt dies and every retry succeeds.
+    """
+
+    mode: str = "ok"
+    payload_value: int = 0
+    sleep_s: float = 0.0
+    marker: Optional[str] = None
+    kind: str = "chaos"
+
+
+WorkUnit = Union[AcceptanceUnit, SplittingUnit, ChaosUnit]
 
 
 def unit_spec(unit: WorkUnit) -> dict:
@@ -105,7 +131,36 @@ def execute_unit(unit: WorkUnit) -> dict:
         return _execute_acceptance(unit)
     if unit.kind == "splitting":
         return _execute_splitting(unit)
+    if unit.kind == "chaos":
+        return _execute_chaos(unit)
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def _execute_chaos(unit: ChaosUnit) -> dict:
+    import os
+    import time as _t
+    from pathlib import Path as _Path
+
+    mode = unit.mode
+    if mode in ("crash-once", "error-once"):
+        marker = _Path(unit.marker) if unit.marker else None
+        if marker is None or marker.exists():
+            mode = "ok"
+        else:
+            marker.touch()
+            mode = mode[: -len("-once")]
+    if mode == "ok":
+        if unit.sleep_s > 0:
+            _t.sleep(unit.sleep_s)
+        return {"value": unit.payload_value}
+    if mode == "error":
+        raise RuntimeError("chaos unit: injected error")
+    if mode == "crash":
+        os._exit(13)  # simulate a worker process dying uncleanly
+    if mode == "hang":
+        _t.sleep(unit.sleep_s)
+        return {"value": unit.payload_value}
+    raise ValueError(f"unknown chaos mode {unit.mode!r}")
 
 
 def _execute_acceptance(unit: AcceptanceUnit) -> dict:

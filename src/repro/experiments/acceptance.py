@@ -49,6 +49,18 @@ class AcceptanceResult:
     utilizations: List[float]
     ratios: Dict[str, List[float]]
 
+    @property
+    def failed_utilizations(self) -> List[float]:
+        """Grid points whose work unit failed (NaN ratios) — non-empty
+        only when the engine degraded gracefully instead of raising."""
+        out = []
+        for index, u in enumerate(self.utilizations):
+            if any(
+                math.isnan(self.ratios[name][index]) for name in self.ratios
+            ):
+                out.append(u)
+        return out
+
     def ratio_at(self, algorithm: str, utilization: float) -> float:
         """Acceptance ratio at the grid point closest to ``utilization``.
 
@@ -130,11 +142,21 @@ def acceptance_units(config: AcceptanceConfig) -> List[AcceptanceUnit]:
 
 
 def assemble_acceptance(
-    config: AcceptanceConfig, payloads: Sequence[dict]
+    config: AcceptanceConfig, payloads: Sequence[Optional[dict]]
 ) -> AcceptanceResult:
-    """Merge per-unit payloads (in unit order) into an AcceptanceResult."""
+    """Merge per-unit payloads (in unit order) into an AcceptanceResult.
+
+    A ``None`` payload — a unit the engine gave up on after exhausting
+    its retries — yields ``NaN`` ratios at that grid point (see
+    :attr:`AcceptanceResult.failed_utilizations`) instead of an
+    exception, so one bad unit cannot sink a whole sweep.
+    """
     ratios: Dict[str, List[float]] = {name: [] for name in config.algorithms}
     for payload in payloads:
+        if payload is None:
+            for name in config.algorithms:
+                ratios[name].append(math.nan)
+            continue
         total = payload["total"]
         for name in config.algorithms:
             ratios[name].append(payload["accepted"][name] / total)

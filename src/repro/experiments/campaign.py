@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -42,7 +43,21 @@ _RECORD_FIELDS = tuple(CampaignRecord.__dataclass_fields__)
 
 @dataclass
 class CampaignResult:
+    """Campaign records, plus the manifest of points that failed.
+
+    ``failed_units`` is non-empty only when the engine exhausted its
+    retries on some work unit and degraded gracefully: the affected
+    (configuration, utilization) points are *absent* from ``records``
+    and listed here instead, so a partial campaign is still usable and
+    the gaps are explicit.
+    """
+
     records: List[CampaignRecord] = field(default_factory=list)
+    failed_units: List[dict] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.failed_units)
 
     def filtered(self, **criteria) -> List[CampaignRecord]:
         for key in criteria:
@@ -184,10 +199,21 @@ def run_campaign(
             config, payloads[offset : offset + n_points]
         )
         offset += n_points
+        for failed_u in sweep.failed_utilizations:
+            result.failed_units.append(
+                {
+                    "n_cores": config.n_cores,
+                    "n_tasks": config.n_tasks,
+                    "overheads": overhead_name,
+                    "utilization": failed_u,
+                }
+            )
         for algorithm in algorithms:
             for u, acceptance in zip(
                 sweep.utilizations, sweep.ratios[algorithm]
             ):
+                if math.isnan(acceptance):
+                    continue  # listed in failed_units instead
                 result.records.append(
                     CampaignRecord(
                         n_cores=config.n_cores,

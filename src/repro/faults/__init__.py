@@ -1,0 +1,45 @@
+"""Deterministic, seeded fault injection for the kernel simulator.
+
+The paper evaluates its scheduler under nominal WCETs; this package asks
+the complementary question — what a semi-partitioned schedule does when
+reality deviates.  It provides:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`TaskFaults`,
+  the declarative fault model (overruns, release jitter, overhead
+  spikes, dropped/late migrations) with JSON round-tripping for the
+  CLI's ``--faults`` flag;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the seeded
+  draw engine threaded through :class:`~repro.kernel.sim.KernelSim`;
+* :mod:`repro.faults.log` — :class:`FaultEvent` / :class:`FaultLog`,
+  the ordered record of every injected fault and policy action, carried
+  on :class:`~repro.kernel.sim.SimulationResult`.
+
+Overrun policies (``KernelSim(overrun_policy=...)``, names in
+:data:`~repro.faults.plan.OVERRUN_POLICIES`):
+
+* ``run-on`` — the default and the pre-fault behaviour: an overrunning
+  job keeps its priority and simply runs longer;
+* ``abort-job`` — budget enforcement: the job is killed the instant it
+  has consumed its nominal demand, counted as an ``aborted`` deadline
+  miss;
+* ``demote`` — the job finishes its excess demand at background
+  priority, below every other task on the core.
+
+Determinism contract: the same simulation seed plus the same plan yields
+bit-identical results — fault log included — regardless of how often or
+where the run executes.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.log import EVENT_KINDS, FaultEvent, FaultLog
+from repro.faults.plan import OVERRUN_POLICIES, FaultPlan, TaskFaults
+
+__all__ = [
+    "EVENT_KINDS",
+    "OVERRUN_POLICIES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "TaskFaults",
+]

@@ -1,0 +1,126 @@
+"""Deterministic fault injection.
+
+The :class:`FaultInjector` owns a dedicated RNG, seeded from the
+simulation seed *and* the plan's own seed, so
+
+* an empty plan never perturbs the simulator's existing random streams
+  (sporadic jitter, execution variation keep their sequences), and
+* the same ``(seed, plan)`` pair draws the identical fault sequence on
+  every run — the determinism contract extends to injected faults.
+
+String seeding (``random.Random(str)``) hashes with SHA-512 and is stable
+across processes and Python versions, unlike ``hash()``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultPlan
+
+#: Migration fates returned by :meth:`FaultInjector.migration_fate`.
+MIGRATION_OK = "ok"
+MIGRATION_DROP = "drop"
+MIGRATION_LATE = "late"
+
+
+class FaultInjector:
+    """Draws faults from a :class:`FaultPlan` and records them."""
+
+    def __init__(self, plan: FaultPlan, seed: int) -> None:
+        self.plan = plan
+        self._rng = random.Random(f"repro-faults:{seed}:{plan.seed}")
+        self.log = FaultLog()
+
+    # ------------------------------------------------------------------
+    # Draw points (each consumes RNG deterministically, in sim order)
+    # ------------------------------------------------------------------
+
+    def draw_work(
+        self, task: str, nominal: int, t: int, core: int
+    ) -> int:
+        """Actual demand for a job whose nominal demand is ``nominal``.
+
+        Returns ``nominal`` unchanged, or an inflated demand (recorded as
+        an ``overrun`` event) when the per-task overrun fault fires.
+        """
+        spec = self.plan.spec_for(task)
+        if spec.overrun_probability <= 0.0 or spec.overrun_factor <= 1.0:
+            return nominal
+        if self._rng.random() >= spec.overrun_probability:
+            return nominal
+        work = max(nominal + 1, int(round(nominal * spec.overrun_factor)))
+        self.log.record(
+            t, "overrun", task, core,
+            f"nominal={nominal} actual={work} "
+            f"factor={spec.overrun_factor:g}",
+        )
+        return work
+
+    def draw_release_jitter(self, task: str) -> int:
+        """Extra delay (ns) before this release timer fires.
+
+        The caller records the event only for releases inside the
+        horizon; the draw itself always happens so the RNG stream does
+        not depend on the horizon.
+        """
+        spec = self.plan.spec_for(task)
+        if spec.release_jitter_ns <= 0:
+            return 0
+        return self._rng.randint(0, spec.release_jitter_ns)
+
+    def spike(self, op_kind: str, duration: int, t: int, core: int) -> int:
+        """Possibly inflate a kernel op's duration (overhead spike)."""
+        plan = self.plan
+        if (
+            plan.overhead_spike_probability <= 0.0
+            or plan.overhead_spike_factor <= 1.0
+            or duration <= 0
+        ):
+            return duration
+        if self._rng.random() >= plan.overhead_spike_probability:
+            return duration
+        spiked = int(round(duration * plan.overhead_spike_factor))
+        self.log.record(
+            t, "overhead_spike", "", core,
+            f"op={op_kind} base={duration} spiked={spiked}",
+        )
+        return spiked
+
+    def migration_fate(self, task: str, t: int, core: int) -> Tuple[str, int]:
+        """Fate of a budget-exhaustion migration: ``(kind, delay_ns)``.
+
+        ``("drop", 0)`` — the migration is lost (job context destroyed);
+        ``("late", d)`` — the subtask arrives ``d`` ns late;
+        ``("ok", 0)`` — the migration proceeds normally.
+        """
+        plan = self.plan
+        if plan.migration_drop_probability > 0.0:
+            if self._rng.random() < plan.migration_drop_probability:
+                self.log.record(t, "migration_drop", task, core)
+                return MIGRATION_DROP, 0
+        if (
+            plan.migration_delay_probability > 0.0
+            and plan.migration_delay_ns > 0
+        ):
+            if self._rng.random() < plan.migration_delay_probability:
+                delay = self._rng.randint(1, plan.migration_delay_ns)
+                self.log.record(
+                    t, "migration_delay", task, core, f"delay={delay}"
+                )
+                return MIGRATION_LATE, delay
+        return MIGRATION_OK, 0
+
+    # ------------------------------------------------------------------
+    # Bookkeeping for the simulator's policy actions
+    # ------------------------------------------------------------------
+
+    def record_jitter(self, t: int, task: str, core: int, delay: int) -> None:
+        self.log.record(t, "release_jitter", task, core, f"delay={delay}")
+
+    def record_policy(
+        self, t: int, action: str, task: str, core: int, detail: str = ""
+    ) -> None:
+        self.log.record(t, action, task, core, detail)

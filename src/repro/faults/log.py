@@ -1,0 +1,88 @@
+"""Fault-event recording.
+
+Every injected fault and every overrun-policy action taken by the
+simulator lands in a :class:`FaultLog` as a :class:`FaultEvent`, in
+simulation order — so two runs with the same seed and the same
+:class:`~repro.faults.plan.FaultPlan` produce bit-identical logs
+(:meth:`FaultLog.as_dicts` is the canonical comparable form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Event kinds a log may contain (documentation; the log itself is open).
+EVENT_KINDS = (
+    "overrun",  # a job's demand was inflated past its nominal C
+    "release_jitter",  # a release timer fired late
+    "overhead_spike",  # a kernel op cost a multiple of its modelled time
+    "migration_drop",  # a budget-exhaustion migration lost the job
+    "migration_delay",  # a migration arrived late at the destination
+    "abort",  # policy action: job killed at nominal C
+    "demote",  # policy action: job demoted to background priority
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or policy action."""
+
+    time: int
+    kind: str
+    task: str  # task name ("" for task-independent faults)
+    core: int  # core index (-1 when not core-bound)
+    detail: str  # compact "key=value" description
+
+    def as_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "task": self.task,
+            "core": self.core,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultLog:
+    """Ordered record of everything the fault layer did to a run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(
+        self, time: int, kind: str, task: str = "", core: int = -1,
+        detail: str = "",
+    ) -> None:
+        self.events.append(FaultEvent(time, kind, task, core, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind, insertion-ordered."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def as_dicts(self) -> List[dict]:
+        """JSON-safe list form — the canonical bit-comparable encoding."""
+        return [event.as_dict() for event in self.events]
+
+    def summary(self) -> str:
+        """One line: ``faults: none`` or ``faults: overrun=3 abort=3 ...``."""
+        if not self.events:
+            return "faults: none"
+        parts = [f"{kind}={n}" for kind, n in self.counts.items()]
+        return "faults: " + " ".join(parts)

@@ -1,0 +1,188 @@
+"""The fault model: what can go wrong, how often, and how badly.
+
+A :class:`FaultPlan` is a declarative, serializable description of the
+deviations a :class:`~repro.kernel.sim.KernelSim` run should inject:
+
+* **execution overruns** — with probability ``overrun_probability`` a job's
+  actual demand is its nominal demand times ``overrun_factor`` (>= 1), so
+  the job needs more CPU than the analysis budgeted for;
+* **release jitter** — each release timer fires up to ``release_jitter_ns``
+  late (uniform), while the job's deadline stays anchored at the nominal
+  arrival, eating into its slack;
+* **overhead spikes** — with probability ``overhead_spike_probability`` a
+  kernel op (release, scheduling pass, context switch) costs
+  ``overhead_spike_factor`` times its modelled duration, emulating
+  interrupt storms or cache-cold kernel paths;
+* **migration faults** — a split task's budget-exhaustion migration is
+  dropped (the in-flight job context is lost and the job is killed) with
+  probability ``migration_drop_probability``, or arrives up to
+  ``migration_delay_ns`` late with probability
+  ``migration_delay_probability``.
+
+Per-task overrides live in ``tasks``; tasks not named there use
+``default``.  An all-defaults plan injects nothing (:attr:`is_empty`), and
+the simulator treats it exactly like no plan at all — the zero-cost
+default path.
+
+Plans are plain data: :meth:`FaultPlan.to_dict` / :meth:`from_dict` /
+:meth:`from_json_file` support the CLI's ``--faults plan.json`` flag, and
+``seed`` is folded into the injector's RNG so the same (simulation seed,
+plan) pair replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+#: Overrun-policy names accepted by the simulator (validated here so the
+#: CLI and KernelSim agree on the vocabulary).
+OVERRUN_POLICIES = ("run-on", "abort-job", "demote")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class TaskFaults:
+    """Per-task fault parameters (all off by default)."""
+
+    overrun_factor: float = 1.0
+    overrun_probability: float = 0.0
+    release_jitter_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.overrun_factor < 1.0:
+            raise ValueError(
+                f"overrun_factor must be >= 1, got {self.overrun_factor!r}"
+            )
+        _check_probability("overrun_probability", self.overrun_probability)
+        if self.release_jitter_ns < 0:
+            raise ValueError(
+                "release_jitter_ns must be non-negative, got "
+                f"{self.release_jitter_ns!r}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            (self.overrun_probability == 0.0 or self.overrun_factor == 1.0)
+            and self.release_jitter_ns == 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded fault-injection configuration."""
+
+    tasks: Dict[str, TaskFaults] = field(default_factory=dict)
+    default: TaskFaults = field(default_factory=TaskFaults)
+    overhead_spike_factor: float = 1.0
+    overhead_spike_probability: float = 0.0
+    migration_drop_probability: float = 0.0
+    migration_delay_probability: float = 0.0
+    migration_delay_ns: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.overhead_spike_factor < 1.0:
+            raise ValueError(
+                "overhead_spike_factor must be >= 1, got "
+                f"{self.overhead_spike_factor!r}"
+            )
+        _check_probability(
+            "overhead_spike_probability", self.overhead_spike_probability
+        )
+        _check_probability(
+            "migration_drop_probability", self.migration_drop_probability
+        )
+        _check_probability(
+            "migration_delay_probability", self.migration_delay_probability
+        )
+        if self.migration_delay_ns < 0:
+            raise ValueError(
+                "migration_delay_ns must be non-negative, got "
+                f"{self.migration_delay_ns!r}"
+            )
+
+    def spec_for(self, task_name: str) -> TaskFaults:
+        """The fault parameters applying to ``task_name``."""
+        return self.tasks.get(task_name, self.default)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.default.is_empty
+            and all(spec.is_empty for spec in self.tasks.values())
+            and (
+                self.overhead_spike_probability == 0.0
+                or self.overhead_spike_factor == 1.0
+            )
+            and self.migration_drop_probability == 0.0
+            and (
+                self.migration_delay_probability == 0.0
+                or self.migration_delay_ns == 0
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        known = set(FaultPlan.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "default" in kwargs:
+            kwargs["default"] = _task_faults_from(kwargs["default"], "default")
+        if "tasks" in kwargs:
+            tasks = kwargs["tasks"]
+            if not isinstance(tasks, dict):
+                raise ValueError("fault-plan 'tasks' must be an object")
+            kwargs["tasks"] = {
+                name: _task_faults_from(spec, f"tasks[{name!r}]")
+                for name, spec in tasks.items()
+            }
+        return FaultPlan(**kwargs)
+
+    @staticmethod
+    def from_json_file(path: Union[str, Path]) -> "FaultPlan":
+        text = Path(path).read_text(encoding="utf-8")
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"fault plan {path}: invalid JSON ({exc})")
+        return FaultPlan.from_dict(data)
+
+
+def _task_faults_from(data, where: str) -> TaskFaults:
+    if isinstance(data, TaskFaults):
+        return data
+    if not isinstance(data, dict):
+        raise ValueError(f"fault-plan {where} must be an object")
+    known = set(TaskFaults.__dataclass_fields__)
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} in fault-plan {where}; "
+            f"valid fields: {sorted(known)}"
+        )
+    return TaskFaults(**data)

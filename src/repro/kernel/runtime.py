@@ -85,6 +85,14 @@ class Job:
     and it has finished its execution".  ``penalty_left`` is cache-reload
     delay that occupies the CPU but consumes neither budget nor work.
 
+    ``nominal_work`` is the demand the analysis budgeted for; fault
+    injection may hand a job ``work > nominal_work`` (an execution
+    overrun), in which case ``work`` may even exceed the summed stage
+    budgets — the *final* stage then absorbs the excess (body-stage
+    budgets still force migrations on time), and the simulator's overrun
+    policy decides what happens at the nominal boundary.  ``demoted``
+    marks a job the ``demote`` policy pushed to background priority.
+
     Jobs are the simulator's per-release allocation, so the class uses
     ``__slots__`` (one is created for every task release of a run).
     """
@@ -95,6 +103,8 @@ class Job:
         "abs_deadline",
         "seq",
         "work",
+        "nominal_work",
+        "demoted",
         "stage_index",
         "work_left",
         "stage_budget_left",
@@ -111,21 +121,39 @@ class Job:
         release: int,
         abs_deadline: int,
         seq: int,
-        work: int,  # actual execution demand of this job (<= sum of budgets)
+        work: int,  # actual execution demand (may exceed budgets on overrun)
+        nominal_work: Optional[int] = None,  # analysed demand (<= budgets)
     ) -> None:
         total_budget = rt.total_budget
-        if not 0 < work <= total_budget:
+        if nominal_work is None:
+            nominal_work = work
+        if not 0 < nominal_work <= total_budget:
             raise ValueError(
-                f"job of {rt.name}: work {work} outside (0, {total_budget}]"
+                f"job of {rt.name}: nominal work {nominal_work} outside "
+                f"(0, {total_budget}]"
+            )
+        if work < nominal_work:
+            raise ValueError(
+                f"job of {rt.name}: work {work} below nominal "
+                f"{nominal_work}"
             )
         self.rt = rt
         self.release = release
         self.abs_deadline = abs_deadline
         self.seq = seq
         self.work = work
+        self.nominal_work = nominal_work
+        self.demoted = False
         self.stage_index = 0
         self.work_left = work
-        self.stage_budget_left = rt.stages[0].budget
+        # The final stage is work-limited, not budget-limited: overrun
+        # demand past the summed budgets runs (or is cut by the overrun
+        # policy) on the tail core.  For nominal jobs this is exactly the
+        # stage budget.
+        if len(rt.stages) == 1:
+            self.stage_budget_left = max(rt.stages[0].budget, work)
+        else:
+            self.stage_budget_left = rt.stages[0].budget
         self.penalty_left = 0
         self.preempt_count = 0
         self.migrate_count = 0
@@ -179,13 +207,27 @@ class Job:
     def work_done(self) -> bool:
         return self.work_left == 0
 
+    @property
+    def executed(self) -> int:
+        """Work units consumed so far (excludes cache penalties)."""
+        return self.work - self.work_left
+
+    @property
+    def over_nominal(self) -> bool:
+        """True once the job has consumed its analysed (nominal) demand."""
+        return self.executed >= self.nominal_work
+
     def advance_stage(self) -> Stage:
         """Move to the next stage; returns it.  Caller handles migration."""
         if self.is_last_stage:
             raise RuntimeError(f"job {self.name} has no further stage")
         self.stage_index += 1
         stage = self.rt.stages[self.stage_index]
-        self.stage_budget_left = stage.budget
+        if self.stage_index == len(self.rt.stages) - 1:
+            # Tail stage: absorb any overrun excess (see class docstring).
+            self.stage_budget_left = max(stage.budget, self.work_left)
+        else:
+            self.stage_budget_left = stage.budget
         return stage
 
     @property

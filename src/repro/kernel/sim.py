@@ -33,6 +33,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.faults.injector import (
+    MIGRATION_DROP,
+    MIGRATION_LATE,
+    FaultInjector,
+)
+from repro.faults.log import FaultLog
+from repro.faults.plan import OVERRUN_POLICIES, FaultPlan
 from repro.kernel.events import Event, EventQueue
 from repro.kernel.runtime import Job, RTTask, build_runtime_tasks
 from repro.model.assignment import Assignment
@@ -51,6 +58,10 @@ from repro.structures.rbtree import RedBlackTree
 _COMPLETION_PRIORITY = 0
 _RELEASE_PRIORITY = 10
 _OP_PRIORITY = 20
+
+#: Ready-queue key prefix of a job demoted to background priority: sorts
+#: after every fixed-priority level and every EDF deadline.
+_BACKGROUND_KEY = 1 << 62
 
 #: Profiling bucket per op kind (hoisted out of the per-op hot path).
 _PROFILE_BUCKET = {
@@ -73,7 +84,9 @@ class DeadlineMiss:
     abs_deadline: int
     detected_at: int
     kind: str  # "late" (finished after deadline), "overrun" (release while
-    # previous job unfinished), "incomplete" (unfinished at horizon)
+    # previous job unfinished), "incomplete" (unfinished at horizon),
+    # "aborted" (killed at nominal C by the abort-job overrun policy),
+    # "lost" (job context destroyed by an injected migration drop)
 
 
 @dataclass
@@ -87,6 +100,9 @@ class TaskStats:
 
     jobs_released: int = 0
     jobs_completed: int = 0
+    #: Jobs terminated by the fault layer (abort-job policy or a dropped
+    #: migration); never counted in ``jobs_completed``.
+    jobs_killed: int = 0
     max_response: int = 0
     total_response: int = 0
     preemptions: int = 0
@@ -127,6 +143,9 @@ class SimulationResult:
     releases: int
     trace: List[tuple]  # (core, start, end, label, kind)
     events: List[tuple]  # (time, type, task, core)
+    #: Every injected fault and overrun-policy action, in simulation
+    #: order; empty when the run had no fault plan.
+    faults: FaultLog = field(default_factory=FaultLog)
 
     @property
     def miss_count(self) -> int:
@@ -270,6 +289,21 @@ class KernelSim:
         data :func:`repro.overhead.measure.measure_scheduler_functions`
         consumes.  Off by default: the two clock reads per op are pure
         overhead on the simulation hot path.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`: injects execution
+        overruns, release jitter, overhead spikes, and dropped/late
+        migrations, all drawn from a dedicated RNG seeded from ``seed``
+        and the plan's own seed.  Every injected fault is recorded in
+        :attr:`SimulationResult.faults`.  ``None`` (or an empty plan)
+        leaves every existing counter and ratio bit-identical to a run
+        without the fault layer.
+    overrun_policy:
+        What happens when a job has consumed its *nominal* demand but an
+        injected overrun left it with work remaining: ``"run-on"`` (the
+        default: keep running at its priority — pre-fault behaviour),
+        ``"abort-job"`` (budget enforcement: kill the job at nominal C
+        and count an ``aborted`` miss), or ``"demote"`` (finish the
+        excess at background priority, below all other tasks).
     """
 
     def __init__(
@@ -288,6 +322,8 @@ class KernelSim:
         tick_ns: int = 0,
         resources: Optional["ResourceModel"] = None,
         profile: bool = False,
+        faults: Optional[FaultPlan] = None,
+        overrun_policy: str = "run-on",
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -340,6 +376,20 @@ class KernelSim:
                         current = ceilings.get(section.resource)
                         if current is None or entry.local_priority < current:
                             ceilings[section.resource] = entry.local_priority
+        if overrun_policy not in OVERRUN_POLICIES:
+            raise ValueError(
+                f"unknown overrun_policy {overrun_policy!r}; use one of "
+                f"{', '.join(OVERRUN_POLICIES)}"
+            )
+        self.overrun_policy = overrun_policy
+        self._enforce_overrun = overrun_policy != "run-on"
+        # An empty plan behaves exactly like no plan: no injector object,
+        # no extra RNG stream, no per-op branches beyond one None check.
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults, seed)
+            if faults is not None and not faults.is_empty
+            else None
+        )
         import random as _random
 
         self._rng = _random.Random(seed)
@@ -391,27 +441,52 @@ class KernelSim:
             releases=self.releases,
             trace=self.trace,
             events=self.events_log,
+            faults=(
+                self._injector.log if self._injector is not None
+                else FaultLog()
+            ),
         )
 
     # ------------------------------------------------------------------
     # Release handling (timer path)
     # ------------------------------------------------------------------
 
-    def _work_of(self, rt: RTTask) -> int:
+    def _work_of(self, rt: RTTask, t: int) -> Tuple[int, int]:
+        """(actual, nominal) execution demand of the job released at ``t``.
+
+        ``actual`` exceeds ``nominal`` only when the fault layer injects
+        an execution overrun.
+        """
         total_budget = rt.total_budget
         requested = self.execution_times.get(rt.task.name, total_budget)
         if self.execution_variation > 0.0:
             factor = self._rng.uniform(1.0 - self.execution_variation, 1.0)
             requested = int(round(requested * factor))
-        return max(1, min(requested, total_budget))
+        nominal = max(1, min(requested, total_budget))
+        if self._injector is not None:
+            actual = self._injector.draw_work(
+                rt.task.name, nominal, t, rt.home_core
+            )
+        else:
+            actual = nominal
+        return actual, nominal
 
     def _schedule_release(self, rt: RTTask, nominal: int) -> None:
-        """Arm the release timer: at the nominal arrival, or — in a
-        tick-driven kernel — at the next tick boundary after it."""
+        """Arm the release timer: at the nominal arrival — possibly
+        pushed back by injected release jitter — or, in a tick-driven
+        kernel, at the next tick boundary after that."""
         fire = nominal
+        jitter = 0
+        if self._injector is not None:
+            jitter = self._injector.draw_release_jitter(rt.name)
+            fire += jitter
         if self.tick_ns > 0:
-            fire = -(-nominal // self.tick_ns) * self.tick_ns
+            fire = -(-fire // self.tick_ns) * self.tick_ns
         if fire < self.duration:
+            if jitter > 0:
+                self._injector.record_jitter(
+                    nominal, rt.name, rt.home_core, jitter
+                )
             self.queue.schedule_fast(
                 fire,
                 lambda t, rt=rt, nominal=nominal: self._on_release(
@@ -445,12 +520,14 @@ class KernelSim:
             self._log_event(t, "overrun", rt.name, rt.home_core)
             return  # the new release is skipped (job dropped)
         self._job_seq += 1
+        work, nominal_work = self._work_of(rt, t)
         job = Job(
             rt=rt,
             release=nominal,
             abs_deadline=nominal + rt.task.deadline,
             seq=self._job_seq,
-            work=self._work_of(rt),
+            work=work,
+            nominal_work=nominal_work,
         )
         name = rt.task.name
         self._current_jobs[name] = job
@@ -519,6 +596,8 @@ class KernelSim:
         if op.kind == "sched":
             op.duration = self._sched_duration(core)
         duration = op.duration
+        if duration > 0 and self._injector is not None:
+            duration = self._injector.spike(op.kind, duration, t, core.index)
         end = t + duration
         if duration > 0:
             core.overhead_ns += duration
@@ -590,11 +669,23 @@ class KernelSim:
 
     def _chunk_length(self, job: Job) -> int:
         """CPU time until the next simulation-relevant point of this job:
-        chunk end (budget/work) or a critical-section edge."""
+        chunk end (budget/work), a critical-section edge, or — under an
+        enforcing overrun policy — the job's nominal-demand boundary."""
         base = job.stage_budget_left
         work_left = job.work_left
         if work_left < base:
             base = work_left
+        if (
+            self._enforce_overrun
+            and not job.demoted
+            and job.work > job.nominal_work
+        ):
+            # Stop exactly when the nominal (analysed) demand is consumed
+            # so the policy can act; 0 means the job resumed right at the
+            # boundary (e.g. suspended there) and must be handled now.
+            boundary = job.nominal_work - (job.work - work_left)
+            if 0 <= boundary < base:
+                base = boundary
         if self.resources is not None:
             boundary = self._work_to_boundary(job)
             if boundary is not None and boundary < base:
@@ -699,6 +790,9 @@ class KernelSim:
                 )
         core.completion_event = None
         if not job.chunk_done:
+            if self._at_overrun_boundary(job):
+                self._on_overrun_boundary(core, job, t)
+                return
             # A critical-section edge, not the chunk's end.
             self._on_section_edge(core, job, t)
             return
@@ -731,6 +825,93 @@ class KernelSim:
         core.completion_event = self.queue.schedule(
             end, lambda t2, core=core: self._on_chunk_done(core, t2)
         )
+
+    # ------------------------------------------------------------------
+    # Overrun policies (fault injection)
+    # ------------------------------------------------------------------
+
+    def _at_overrun_boundary(self, job: Job) -> bool:
+        """True when an enforcing policy must act on this job *now*: it
+        has consumed exactly its nominal demand, has overrun work left,
+        and has not been demoted already."""
+        return (
+            self._enforce_overrun
+            and not job.demoted
+            and job.work > job.nominal_work
+            and job.penalty_left == 0
+            and job.work - job.work_left == job.nominal_work
+        )
+
+    def _on_overrun_boundary(self, core: _Core, job: Job, t: int) -> None:
+        """Apply the overrun policy to a job that just hit nominal C."""
+        core.running = None
+        core.in_kernel = True
+        name = job.rt.task.name
+        if self.overrun_policy == "abort-job":
+            # Budget enforcement: the job dies here.  Mark it finished
+            # immediately so a release at this very instant proceeds
+            # (the kernel op below is cleanup charged to the core).
+            job.finish_time = t
+            self.task_stats[name].jobs_killed += 1
+            self.misses.append(
+                DeadlineMiss(
+                    task=name,
+                    job_seq=job.seq,
+                    release=job.release,
+                    abs_deadline=job.abs_deadline,
+                    detected_at=t,
+                    kind="aborted",
+                )
+            )
+            if self._injector is not None:
+                self._injector.record_policy(
+                    t, "abort", name, core.index,
+                    f"nominal={job.nominal_work} dropped={job.work_left}",
+                )
+            self._log_event(t, "abort", name, core.index)
+            op = _Op(
+                kind="finish",
+                duration=self.model.sch(False) + self.model.cnt2_finish,
+                effect=lambda t2, core=core, job=job: self._do_abort_cleanup(
+                    core, job, t2
+                ),
+                label=f"abrt:{name}" if self.record_trace else "abrt",
+            )
+        else:  # "demote"
+            job.demoted = True
+            if self._injector is not None:
+                self._injector.record_policy(
+                    t, "demote", name, core.index,
+                    f"nominal={job.nominal_work} left={job.work_left}",
+                )
+            self._log_event(t, "demote", name, core.index)
+            # The kernel re-queues the job at background priority (one
+            # ready-queue insert); the scheduling pass that follows via
+            # needs_sched is charged separately, as usual.
+            op = _Op(
+                kind="demote",
+                duration=self.model.ready_op_ns,
+                effect=lambda t2, core=core, job=job: self._do_demote(
+                    core, job, t2
+                ),
+                label=f"dmt:{name}" if self.record_trace else "dmt",
+            )
+        core.op_queue.append(op)
+        self._start_next_op(core, t)
+
+    def _do_abort_cleanup(self, core: _Core, job: Job, t: int) -> None:
+        rt = job.rt
+        name = rt.task.name
+        home = self.cores[rt.home_core]
+        self._sleep_nodes[name] = home.sleep.insert(
+            (job.release + rt.task.period, name), rt
+        )
+        core.needs_sched = True
+        core.free_dispatch = True  # context load was part of cnt2
+
+    def _do_demote(self, core: _Core, job: Job, t: int) -> None:
+        self._ready_insert(core, job)
+        core.needs_sched = True
 
     def _enqueue_chunk_end(
         self, core: _Core, job: Job, t: int, front: bool
@@ -810,32 +991,67 @@ class KernelSim:
         core.free_dispatch = True  # context load was part of cnt2
 
     def _do_migrate_out(self, core: _Core, job: Job, t: int) -> None:
+        name = job.rt.task.name
+        delay = 0
+        if self._injector is not None:
+            fate, delay = self._injector.migration_fate(name, t, core.index)
+            if fate == MIGRATION_DROP:
+                # The migration is lost in flight: the job's context is
+                # destroyed.  Kill the job (a "lost" miss) and return the
+                # task to its home sleep queue so future releases proceed.
+                job.finish_time = t
+                self.task_stats[name].jobs_killed += 1
+                self.misses.append(
+                    DeadlineMiss(
+                        task=name,
+                        job_seq=job.seq,
+                        release=job.release,
+                        abs_deadline=job.abs_deadline,
+                        detected_at=t,
+                        kind="lost",
+                    )
+                )
+                self._log_event(t, "lost", name, core.index)
+                rt = job.rt
+                home = self.cores[rt.home_core]
+                self._sleep_nodes[name] = home.sleep.insert(
+                    (job.release + rt.task.period, name), rt
+                )
+                core.needs_sched = True
+                core.free_dispatch = True  # context load was part of cnt2
+                return
+            if fate != MIGRATION_LATE:
+                delay = 0
         stage = job.advance_stage()
         penalty = self.model.cache.migration_delay(job.rt.task.wss)
         job.penalty_left += penalty
         self.cache_delay_ns += penalty
         job.migrate_count += 1
-        self.task_stats[job.rt.task.name].migrations += 1
+        self.task_stats[name].migrations += 1
         self.migrations += 1
         if self.record_trace:
-            self._log_event(t, "migrate", job.rt.task.name, stage.core)
+            self._log_event(t, "migrate", name, stage.core)
         destination = self.cores[stage.core]
-        self._kernel_enqueue(
-            destination,
-            _Op(
-                kind="migrate_in",
-                duration=0,  # remote insert already paid in cnt2_migrate
-                effect=lambda t2, dest=destination, job=job: self._do_migrate_in(
-                    dest, job, t2
-                ),
-                label=(
-                    f"migin:{job.rt.task.name}"
-                    if self.record_trace
-                    else "migin"
-                ),
+        arrival = _Op(
+            kind="migrate_in",
+            duration=0,  # remote insert already paid in cnt2_migrate
+            effect=lambda t2, dest=destination, job=job: self._do_migrate_in(
+                dest, job, t2
             ),
-            t,
+            label=f"migin:{name}" if self.record_trace else "migin",
         )
+        if delay > 0:
+            # Late migration: the subtask reaches the destination core's
+            # kernel only after the injected in-flight delay.
+            self.queue.schedule_fast(
+                t + delay,
+                lambda t2, dest=destination, op=arrival: self._kernel_enqueue(
+                    dest, op, t2
+                ),
+                priority=_RELEASE_PRIORITY,
+            )
+        else:
+            self._kernel_enqueue(destination, arrival, t)
         core.needs_sched = True
         core.free_dispatch = True  # context load was part of cnt2
 
@@ -848,6 +1064,9 @@ class KernelSim:
     # ------------------------------------------------------------------
 
     def _key_of(self, core: _Core, job: Job) -> tuple:
+        if job.demoted:
+            # Background priority: after every FP level / EDF deadline.
+            return (_BACKGROUND_KEY, job.seq)
         if self._edf:
             # Per-stage local deadline: for normal tasks this is the job's
             # absolute deadline; for split tasks the stage's own deadline

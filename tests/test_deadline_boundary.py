@@ -1,0 +1,177 @@
+"""Boundary-case tests for DeadlineMiss classification.
+
+Every schedule here is computed by hand under zero overheads, so the
+expected miss list (kinds, detection times, deadlines) is exact — these
+tests pin down the *instant semantics* of the classifier:
+
+* a job finishing exactly at its absolute deadline is NOT late;
+* at a release-at-completion instant the completion is processed first
+  (completion events outrank release events), so a back-to-back job of a
+  100%-utilization task is not an "overrun";
+* "overrun" marks the *previous* job still unfinished at a release (the
+  new release is skipped), while "late" marks a job that did finish, but
+  after its deadline — one overloaded job can produce both.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.sim import KernelSim
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.task import Task
+from repro.overhead.model import OverheadModel
+
+
+def _pinned(*tasks: Task) -> Assignment:
+    """All tasks on core 0, priority = argument order (no admission)."""
+    assignment = Assignment(1)
+    for local_priority, task in enumerate(tasks):
+        assignment.add_entry(
+            Entry(
+                kind=EntryKind.NORMAL,
+                task=task,
+                core=0,
+                budget=task.wcet,
+                local_priority=local_priority,
+            )
+        )
+    return assignment
+
+
+def _run(assignment: Assignment, duration: int) -> "SimulationResult":
+    return KernelSim(
+        assignment, OverheadModel.zero(), duration=duration
+    ).run()
+
+
+class TestFinishExactlyAtDeadline:
+    def test_implicit_deadline_boundary(self):
+        # wcet == deadline == period: every job finishes exactly at its
+        # absolute deadline.  "late" requires finish > deadline, so the
+        # schedule is miss-free.
+        result = _run(_pinned(Task("t0", wcet=10, period=10)), 100)
+        assert result.miss_count == 0
+        assert result.task_stats["t0"].jobs_completed == 10
+        assert result.task_stats["t0"].max_response == 10
+
+    def test_constrained_deadline_boundary(self):
+        # deadline < period, finish exactly at the deadline: no miss
+        result = _run(
+            _pinned(Task("t0", wcet=3, period=10, deadline=3)), 100
+        )
+        assert result.miss_count == 0
+        assert result.task_stats["t0"].max_response == 3
+
+    def test_one_unit_past_deadline_is_late(self):
+        # t0 (1,10) delays t1 by one unit: t1 finishes at 4, deadline 3
+        t0 = Task("t0", wcet=1, period=10)
+        t1 = Task("t1", wcet=3, period=10, deadline=3)
+        result = _run(_pinned(t0, t1), 100)
+        late = [m for m in result.misses if m.kind == "late"]
+        assert len(late) == 10  # every one of t1's jobs
+        assert all(m.task == "t1" for m in late)
+        assert late[0].release == 0
+        assert late[0].abs_deadline == 3
+        assert late[0].detected_at == 4  # the completion instant
+        assert result.miss_count == 10  # and nothing else
+
+    def test_exactly_at_deadline_with_interference(self):
+        # same shape, but deadline 4: finish == deadline, no miss
+        t0 = Task("t0", wcet=1, period=10)
+        t1 = Task("t1", wcet=3, period=10, deadline=4)
+        result = _run(_pinned(t0, t1), 100)
+        assert result.miss_count == 0
+        assert result.task_stats["t1"].max_response == 4
+
+
+class TestReleaseAtCompletionInstant:
+    def test_full_utilization_back_to_back(self):
+        # wcet == period: job k completes at exactly the instant job k+1
+        # is released.  Completion events outrank release events, so the
+        # release must see a *finished* predecessor — no "overrun", no
+        # skipped releases, ten completed jobs.
+        result = _run(_pinned(Task("t0", wcet=10, period=10)), 100)
+        stats = result.task_stats["t0"]
+        assert stats.jobs_released == 10
+        assert stats.jobs_completed == 10
+        assert not any(m.kind == "overrun" for m in result.misses)
+        assert result.miss_count == 0
+
+    def test_completion_exactly_at_horizon_counts(self):
+        # the job released at 90 completes at 100 == horizon: processed,
+        # not classified "incomplete"
+        result = _run(_pinned(Task("t0", wcet=10, period=10)), 100)
+        assert not any(m.kind == "incomplete" for m in result.misses)
+
+    def test_deadline_beyond_horizon_is_not_incomplete(self):
+        # the job released at 90 has run 5 of 10 units at horizon 95,
+        # but its deadline (100) lies beyond the horizon: it is still
+        # legitimately in flight, not an "incomplete" miss
+        result = _run(_pinned(Task("t0", wcet=10, period=10)), 95)
+        assert result.miss_count == 0
+        assert result.task_stats["t0"].jobs_completed == 9
+
+    def test_unfinished_within_horizon_is_incomplete(self):
+        # t1 (3,10, D=3) behind t0 (1,10): the job released at 90 has
+        # deadline 93 == horizon and 2 units still to run -> incomplete,
+        # detected at the horizon; all 9 earlier jobs finished at
+        # release+4 > release+3 -> late
+        t0 = Task("t0", wcet=1, period=10)
+        t1 = Task("t1", wcet=3, period=10, deadline=3)
+        result = _run(_pinned(t0, t1), 93)
+        kinds = [m.kind for m in result.misses]
+        assert kinds == ["late"] * 9 + ["incomplete"]
+        last = result.misses[-1]
+        assert last.task == "t1"
+        assert last.release == 90
+        assert last.abs_deadline == 93
+        assert last.detected_at == 93
+
+
+class TestOverrunVersusLate:
+    def test_hand_computed_overload_schedule(self):
+        # t0 (6,10) high priority, t1 (6,12) low, one core, horizon 48.
+        #
+        #   0-6    t0#1        6-10  t1#1 (4 of 6 done)
+        #   10-16  t0#2        t=12: t1#1 unfinished at t1's release
+        #                            -> "overrun" miss, release skipped
+        #   16-18  t1#1 completes at 18 > deadline 12 -> "late" miss
+        #   20-26  t0#3        t=24: t1#2 released (predecessor done)
+        #   26-30  t1#2 (4 of 6 done)
+        #   30-36  t0#4        t=36: t1#2 unfinished -> "overrun" miss
+        #   36-38  t1#2 completes at 38 > deadline 36 -> "late" miss
+        #   40-46  t0#5
+        t0 = Task("t0", wcet=6, period=10)
+        t1 = Task("t1", wcet=6, period=12)
+        result = _run(_pinned(t0, t1), 48)
+
+        assert [(m.kind, m.task, m.detected_at) for m in result.misses] == [
+            ("overrun", "t1", 12),
+            ("late", "t1", 18),
+            ("overrun", "t1", 36),
+            ("late", "t1", 38),
+        ]
+        # both kinds refer to the same underlying jobs
+        overrun1, late1, overrun2, late2 = result.misses
+        assert overrun1.release == late1.release == 0
+        assert overrun1.abs_deadline == late1.abs_deadline == 12
+        assert overrun2.release == late2.release == 24
+        assert overrun2.abs_deadline == late2.abs_deadline == 36
+
+        # skipped releases: t1 gets 2 jobs (t=0, t=24), not 4
+        assert result.task_stats["t1"].jobs_released == 2
+        assert result.task_stats["t1"].jobs_completed == 2
+        assert result.task_stats["t0"].jobs_completed == 5
+        assert result.task_stats["t0"].max_response == 6
+
+    def test_overrun_detected_at_release_not_deadline(self):
+        # the "overrun" miss is stamped at the releasing instant and
+        # carries the *previous* job's release/deadline
+        t0 = Task("t0", wcet=6, period=10)
+        t1 = Task("t1", wcet=6, period=12)
+        result = _run(_pinned(t0, t1), 20)
+        overruns = [m for m in result.misses if m.kind == "overrun"]
+        assert len(overruns) == 1
+        miss = overruns[0]
+        assert miss.detected_at == 12  # t1's second release
+        assert miss.release == 0  # previous job's release
+        assert miss.abs_deadline == 12

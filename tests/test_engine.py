@@ -172,6 +172,34 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.load(key) is None  # corrupt == miss, not error
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        # A truncated/corrupt entry must stop shadowing its slot: it is
+        # renamed to *.json.corrupt, the slot reads as a miss, and a
+        # store() afterwards repopulates it cleanly.
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"truncated": ')
+        assert cache.load(key) is None
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()
+        assert quarantined.read_text() == '{"truncated": '
+        assert cache.entry_count() == 0  # .corrupt files are not entries
+        cache.store(key, {"fresh": 1})
+        assert cache.load(key) == {"fresh": 1}
+        assert cache.entry_count() == 1
+
+    def test_non_object_payload_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "aa" + "1" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        assert cache.load(key) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
     def test_cold_populates_warm_skips_recompute(self, tmp_path):
         config = small_config()
         n_units = len(config.utilizations)

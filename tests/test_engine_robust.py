@@ -1,0 +1,353 @@
+"""Tests for the engine's robustness layer: timeouts, retries, crash
+recovery, serial fallback, checkpoint journals, and graceful degradation.
+
+Controlled failures come from :class:`~repro.engine.units.ChaosUnit` —
+worker crashes are real ``os._exit`` deaths in real pool processes, so
+these tests exercise the same code paths a flaky cluster node would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ChaosUnit, ExperimentEngine, ResultCache
+from repro.engine.executor import _load_journal
+from repro.experiments.acceptance import (
+    AcceptanceConfig,
+    run_acceptance,
+)
+from repro.experiments.campaign import run_campaign
+from repro.overhead.model import OverheadModel
+
+
+def ok(value: int, sleep_s: float = 0.0) -> ChaosUnit:
+    return ChaosUnit(mode="ok", payload_value=value, sleep_s=sleep_s)
+
+
+def small_config(**overrides) -> AcceptanceConfig:
+    defaults = dict(
+        n_cores=2,
+        n_tasks=5,
+        sets_per_point=4,
+        utilizations=[0.6, 0.8, 1.0],
+        seed=7,
+        overheads=OverheadModel.zero(),
+        algorithms=("FFD", "WFD"),
+    )
+    defaults.update(overrides)
+    return AcceptanceConfig(**defaults)
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"unit_timeout": 0.0},
+            {"unit_timeout": -1.0},
+            {"retries": -1},
+            {"backoff_base": -0.1},
+            {"max_pool_failures": 0},
+            {"chunks_per_worker": 0},
+        ],
+    )
+    def test_bad_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentEngine(**kwargs)
+
+
+class TestGracefulDegradation:
+    def test_permanent_error_yields_none_and_manifest(self):
+        engine = ExperimentEngine(retries=1, backoff_base=0.0)
+        results = engine.run([ok(5), ChaosUnit(mode="error"), ok(9)])
+        assert results == [{"value": 5}, None, {"value": 9}]
+        assert len(engine.last_failures) == 1
+        failure = engine.last_failures[0]
+        assert failure.index == 1
+        assert failure.kind == "chaos"
+        assert failure.attempts == 2  # initial try + 1 retry
+        assert "RuntimeError" in failure.error
+        assert engine.stats.failed == 1
+        assert engine.stats.retried == 1
+        assert "FAILED=1" in engine.stats.summary()
+
+    def test_error_once_succeeds_on_retry(self, tmp_path):
+        marker = tmp_path / "tripped"
+        engine = ExperimentEngine(retries=2, backoff_base=0.0)
+        results = engine.run(
+            [ChaosUnit(mode="error-once", payload_value=3,
+                       marker=str(marker))]
+        )
+        assert results == [{"value": 3}]
+        assert not engine.last_failures
+        assert engine.stats.retried == 1
+
+    def test_no_retries_no_manifest_surprises(self):
+        # retries=0 with a journal still goes through the robust path
+        # and degrades instead of raising
+        engine = ExperimentEngine(journal=None, retries=0,
+                                  unit_timeout=30.0)
+        results = engine.run([ChaosUnit(mode="error"), ok(1)])
+        assert results == [None, {"value": 1}]
+        assert engine.last_failures[0].attempts == 1
+
+
+class TestPoolRobustness:
+    def test_worker_crash_is_retried_on_fresh_pool(self, tmp_path):
+        # first attempt: a real worker process dies with os._exit(13);
+        # the wave fails, the pool is rebuilt, the retry succeeds.
+        marker = tmp_path / "crashed"
+        engine = ExperimentEngine(
+            jobs=2, retries=2, backoff_base=0.0
+        )
+        results = engine.run(
+            [
+                ChaosUnit(mode="crash-once", payload_value=7,
+                          marker=str(marker)),
+                ok(1),
+            ]
+        )
+        assert results == [{"value": 7}, {"value": 1}]
+        assert not engine.last_failures
+        assert engine.stats.pool_failures >= 1
+        assert engine.stats.retried >= 1
+        assert "pool-failures" in engine.stats.summary()
+
+    def test_hung_unit_times_out(self):
+        engine = ExperimentEngine(
+            jobs=2, unit_timeout=0.5, retries=1, backoff_base=0.0
+        )
+        results = engine.run(
+            [ChaosUnit(mode="hang", sleep_s=30.0), ok(2)]
+        )
+        assert results[0] is None
+        assert results[1] == {"value": 2}
+        failure = engine.last_failures[0]
+        assert "timed out after 0.5s" in failure.error
+        assert failure.attempts == 2
+
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        # Forkbombed box / cgroup limit: ProcessPoolExecutor cannot even
+        # be constructed.  The engine must finish the run in-process.
+        import repro.engine.executor as executor_mod
+
+        def refuse(*args, **kwargs):
+            raise OSError("Resource temporarily unavailable")
+
+        monkeypatch.setattr(
+            executor_mod, "ProcessPoolExecutor", refuse
+        )
+        engine = ExperimentEngine(jobs=4, retries=1, backoff_base=0.0)
+        results = engine.run([ok(1), ok(2), ok(3)])
+        assert results == [{"value": 1}, {"value": 2}, {"value": 3}]
+        assert not engine.last_failures
+        assert engine.stats.pool_failures == engine.max_pool_failures
+
+    def test_fast_path_survives_broken_pool(self, monkeypatch):
+        # No robustness flags at all: the chunked pool.map path still
+        # may not die with the pool — it recomputes serially.
+        import repro.engine.executor as executor_mod
+
+        def refuse(*args, **kwargs):
+            raise OSError("no forks for you")
+
+        monkeypatch.setattr(
+            executor_mod, "ProcessPoolExecutor", refuse
+        )
+        engine = ExperimentEngine(jobs=4)
+        results = engine.run([ok(1), ok(2)])
+        assert results == [{"value": 1}, {"value": 2}]
+        assert engine.stats.pool_failures == 1
+
+
+class TestJournal:
+    def test_journal_records_every_computed_unit(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        engine = ExperimentEngine(journal=journal)
+        engine.run([ok(1), ok(2)])
+        entries = _load_journal(journal)
+        assert len(entries) == 2
+        assert sorted(
+            entry["value"] for entry in entries.values()
+        ) == [1, 2]
+
+    def test_resume_recomputes_only_unfinished(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        marker = tmp_path / "tripped"
+        units = [
+            ok(1),
+            ChaosUnit(mode="error-once", payload_value=2,
+                      marker=str(marker)),
+            ok(3),
+        ]
+        # First run: the chaos unit fails (no retries) and is absent
+        # from the journal; the two ok units are checkpointed.
+        first = ExperimentEngine(journal=journal)
+        assert first.run(units) == [{"value": 1}, None, {"value": 3}]
+        assert len(first.last_failures) == 1
+
+        # Resumed run: only the failed unit executes (its marker now
+        # exists, so it succeeds); the rest come from the journal.
+        resumed = ExperimentEngine(journal=journal, resume=True)
+        assert resumed.run(units) == [
+            {"value": 1},
+            {"value": 2},
+            {"value": 3},
+        ]
+        assert resumed.stats.journal_hits == 2
+        assert resumed.stats.computed == 1
+        assert not resumed.last_failures
+
+    def test_corrupt_journal_tail_is_skipped(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        engine = ExperimentEngine(journal=journal)
+        engine.run([ok(1), ok(2)])
+        with journal.open("a") as handle:
+            handle.write('{"key": "half-written payl')  # SIGKILL here
+        resumed = ExperimentEngine(journal=journal, resume=True)
+        assert resumed.run([ok(1), ok(2)]) == [
+            {"value": 1},
+            {"value": 2},
+        ]
+        assert resumed.stats.journal_hits == 2
+
+    def test_journal_ignores_wrong_shapes(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        journal.write_text(
+            "\n".join(
+                [
+                    json.dumps([1, 2]),  # not an object
+                    json.dumps({"key": 5, "payload": {}}),  # key not str
+                    json.dumps({"key": "k", "payload": "x"}),  # not dict
+                    "",
+                ]
+            )
+        )
+        assert _load_journal(journal) == {}
+
+    def test_without_resume_journal_is_truncated(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        journal.write_text('{"key": "stale", "payload": {}}\n')
+        engine = ExperimentEngine(journal=journal)
+        engine.run([ok(4)])
+        entries = _load_journal(journal)
+        assert "stale" not in entries
+        assert len(entries) == 1
+
+    def test_cache_hits_are_journaled_too(self, tmp_path):
+        # resuming from the journal must also cover units that came out
+        # of the cache, not just freshly computed ones
+        journal = tmp_path / "run.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        warmup = ExperimentEngine(cache=cache)
+        warmup.run([ok(6)])
+        engine = ExperimentEngine(cache=cache, journal=journal)
+        engine.run([ok(6)])
+        assert engine.stats.cache_hits == 1
+        assert len(_load_journal(journal)) == 1
+
+
+class TestDeterminismAcrossModes:
+    """Same seed => bit-identical results, no matter how units executed."""
+
+    def test_sweep_identical_serial_parallel_resumed(self, tmp_path):
+        config = small_config()
+        serial = run_acceptance(config)
+
+        journal = tmp_path / "sweep.jsonl"
+        parallel_engine = ExperimentEngine(
+            jobs=2, retries=1, journal=journal
+        )
+        parallel = run_acceptance(config, engine=parallel_engine)
+
+        resumed_engine = ExperimentEngine(journal=journal, resume=True)
+        resumed = run_acceptance(config, engine=resumed_engine)
+        assert resumed_engine.stats.computed == 0
+
+        assert parallel.ratios == serial.ratios
+        assert resumed.ratios == serial.ratios
+
+    def test_campaign_csv_identical_serial_parallel_resumed(self, tmp_path):
+        kwargs = dict(
+            core_counts=(2,),
+            task_counts=(5,),
+            algorithms=("FFD",),
+            overhead_specs=(("zero", OverheadModel.zero()),),
+            utilizations=(0.7, 0.9),
+            sets_per_point=3,
+        )
+        serial_csv = run_campaign(**kwargs).to_csv()
+
+        journal = tmp_path / "campaign.jsonl"
+        parallel_csv = run_campaign(
+            engine=ExperimentEngine(jobs=2, retries=1, journal=journal),
+            **kwargs,
+        ).to_csv()
+
+        resumed_engine = ExperimentEngine(journal=journal, resume=True)
+        resumed_csv = run_campaign(engine=resumed_engine, **kwargs).to_csv()
+
+        assert parallel_csv == serial_csv
+        assert resumed_csv == serial_csv
+        assert resumed_engine.stats.computed == 0
+
+
+class TestPartialCampaign:
+    def test_failed_unit_becomes_manifest_not_exception(
+        self, tmp_path, monkeypatch
+    ):
+        # Make exactly one grid point fail permanently; the campaign
+        # must complete with that point listed in failed_units and
+        # absent from the records/CSV.
+        import repro.engine.executor as executor_mod
+        from repro.engine.units import execute_unit as real_execute
+
+        def flaky_execute(unit):
+            if getattr(unit, "utilization", None) == 0.9:
+                raise RuntimeError("injected grid-point failure")
+            return real_execute(unit)
+
+        monkeypatch.setattr(executor_mod, "execute_unit", flaky_execute)
+        engine = ExperimentEngine(journal=tmp_path / "j.jsonl")
+        result = run_campaign(
+            core_counts=(2,),
+            task_counts=(5,),
+            algorithms=("FFD",),
+            overhead_specs=(("zero", OverheadModel.zero()),),
+            utilizations=(0.7, 0.9),
+            sets_per_point=3,
+            engine=engine,
+        )
+        assert result.is_partial
+        assert result.failed_units == [
+            {
+                "n_cores": 2,
+                "n_tasks": 5,
+                "overheads": "zero",
+                "utilization": 0.9,
+            }
+        ]
+        recorded = {r.utilization for r in result.records}
+        assert recorded == {0.7}
+        assert "0.9" not in result.to_csv()
+        assert len(engine.last_failures) == 1
+
+    def test_failed_sweep_point_reports_nan(self, monkeypatch):
+        import repro.engine.executor as executor_mod
+        from repro.engine.units import execute_unit as real_execute
+
+        def flaky_execute(unit):
+            if getattr(unit, "utilization", None) == 0.8:
+                raise RuntimeError("boom")
+            return real_execute(unit)
+
+        monkeypatch.setattr(executor_mod, "execute_unit", flaky_execute)
+        engine = ExperimentEngine(retries=0, unit_timeout=60.0)
+        result = run_acceptance(small_config(), engine=engine)
+        assert result.failed_utilizations == [0.8]
+        import math
+
+        assert math.isnan(result.ratio_at("FFD", 0.8))
+        assert not math.isnan(result.ratio_at("FFD", 0.6))

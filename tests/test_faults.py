@@ -1,0 +1,502 @@
+"""Tests for the deterministic fault-injection layer (repro.faults).
+
+The schedules here are computed by hand with zero overheads and small
+integer times, like the kernel-sim tests; the fault probabilities are
+mostly 1.0 so the expected behaviour is exact, not statistical.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultLog,
+    FaultPlan,
+    TaskFaults,
+)
+from repro.kernel.sim import KernelSim
+from repro.model.assignment import Assignment, Entry, EntryKind
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS, US
+from repro.overhead.model import OverheadModel
+from repro.partition.heuristics import partition_first_fit_decreasing
+from repro.semipart.fpts import fpts_partition
+
+
+def _single_core_assignment(*specs) -> Assignment:
+    ts = TaskSet(
+        [Task(f"t{i}", wcet=c, period=p) for i, (c, p) in enumerate(specs)]
+    ).assign_rate_monotonic()
+    assignment = partition_first_fit_decreasing(ts, 1)
+    assert assignment is not None
+    return assignment
+
+
+def _split_assignment() -> Assignment:
+    """3 x (6,10) on 2 cores: forces one split (body 4 on c0, tail 2 on c1)."""
+    ts = TaskSet(
+        [
+            Task("a", wcet=6 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=10 * MS),
+            Task("c", wcet=6 * MS, period=10 * MS),
+        ]
+    ).assign_rate_monotonic()
+    assignment = fpts_partition(ts, 2)
+    assert assignment is not None and assignment.n_split_tasks == 1
+    return assignment
+
+
+def _overrun_plan(factor=2.0, probability=1.0, **kwargs) -> FaultPlan:
+    return FaultPlan(
+        default=TaskFaults(
+            overrun_factor=factor, overrun_probability=probability
+        ),
+        **kwargs,
+    )
+
+
+class TestFaultPlanValidation:
+    def test_defaults_are_empty(self):
+        assert TaskFaults().is_empty
+        assert FaultPlan().is_empty
+
+    def test_overrun_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TaskFaults(overrun_factor=0.5)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_probability_out_of_range_rejected(self, p):
+        with pytest.raises(ValueError):
+            TaskFaults(overrun_probability=p)
+        with pytest.raises(ValueError):
+            FaultPlan(overhead_spike_probability=p)
+        with pytest.raises(ValueError):
+            FaultPlan(migration_drop_probability=p)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            TaskFaults(release_jitter_ns=-1)
+
+    def test_negative_migration_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(migration_delay_ns=-5)
+
+    def test_probability_without_effect_is_empty(self):
+        # probability > 0 but factor 1.0 injects nothing
+        assert TaskFaults(overrun_probability=0.5).is_empty
+        assert FaultPlan(overhead_spike_probability=0.5).is_empty
+        assert FaultPlan(
+            migration_delay_probability=0.5, migration_delay_ns=0
+        ).is_empty
+
+    def test_non_empty_variants(self):
+        assert not _overrun_plan().is_empty
+        assert not FaultPlan(
+            default=TaskFaults(release_jitter_ns=10)
+        ).is_empty
+        assert not FaultPlan(migration_drop_probability=0.1).is_empty
+        assert not FaultPlan(
+            overhead_spike_factor=2.0, overhead_spike_probability=0.1
+        ).is_empty
+
+    def test_spec_for_override_and_default(self):
+        special = TaskFaults(overrun_factor=3.0, overrun_probability=1.0)
+        plan = FaultPlan(tasks={"hot": special})
+        assert plan.spec_for("hot") is special
+        assert plan.spec_for("other") is plan.default
+
+    def test_dict_roundtrip(self):
+        plan = FaultPlan(
+            tasks={"t0": TaskFaults(overrun_factor=2.0,
+                                    overrun_probability=0.3)},
+            default=TaskFaults(release_jitter_ns=500),
+            overhead_spike_factor=4.0,
+            overhead_spike_probability=0.05,
+            migration_drop_probability=0.01,
+            migration_delay_probability=0.1,
+            migration_delay_ns=1000,
+            seed=99,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan field"):
+            FaultPlan.from_dict({"wcet_inflation": 2.0})
+
+    def test_unknown_task_field_rejected(self):
+        with pytest.raises(ValueError, match="valid fields"):
+            FaultPlan.from_dict({"default": {"jitters": 5}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict([1, 2])
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"tasks": [1]})
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"default": 7})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"default": {"overrun_factor": 2.0,
+                         "overrun_probability": 1.0}, "seed": 3}
+        ))
+        plan = FaultPlan.from_json_file(path)
+        assert plan.seed == 3
+        assert plan.default.overrun_factor == 2.0
+
+    def test_from_json_file_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            FaultPlan.from_json_file(path)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_stream(self):
+        plan = _overrun_plan(probability=0.5, seed=7)
+        a = FaultInjector(plan, seed=42)
+        b = FaultInjector(plan, seed=42)
+        draws_a = [a.draw_work("t0", 100, t, 0) for t in range(200)]
+        draws_b = [b.draw_work("t0", 100, t, 0) for t in range(200)]
+        assert draws_a == draws_b
+        assert a.log.as_dicts() == b.log.as_dicts()
+
+    def test_different_sim_seed_different_stream(self):
+        plan = _overrun_plan(probability=0.5)
+        a = FaultInjector(plan, seed=1)
+        b = FaultInjector(plan, seed=2)
+        draws_a = [a.draw_work("t0", 100, t, 0) for t in range(200)]
+        draws_b = [b.draw_work("t0", 100, t, 0) for t in range(200)]
+        assert draws_a != draws_b
+
+    def test_different_plan_seed_different_stream(self):
+        a = FaultInjector(_overrun_plan(probability=0.5, seed=1), seed=9)
+        b = FaultInjector(_overrun_plan(probability=0.5, seed=2), seed=9)
+        draws_a = [a.draw_work("t0", 100, t, 0) for t in range(200)]
+        draws_b = [b.draw_work("t0", 100, t, 0) for t in range(200)]
+        assert draws_a != draws_b
+
+    def test_overrun_inflates_by_at_least_one(self):
+        # factor 1.0000001 on tiny work still adds a unit when it fires
+        plan = _overrun_plan(factor=1.0000001, probability=1.0)
+        injector = FaultInjector(plan, seed=0)
+        assert injector.draw_work("t0", 5, 0, 0) == 6
+
+    def test_empty_probabilities_draw_nothing(self):
+        injector = FaultInjector(FaultPlan(), seed=0)
+        assert injector.draw_work("t0", 10, 0, 0) == 10
+        assert injector.draw_release_jitter("t0") == 0
+        assert injector.spike("sch", 100, 0, 0) == 100
+        assert injector.migration_fate("t0", 0, 0) == ("ok", 0)
+        assert not injector.log
+
+
+class TestEmptyPlanZeroCost:
+    def test_empty_plan_identical_to_no_plan(self):
+        model = OverheadModel.paper_core_i7(2)
+
+        def run(plan):
+            return KernelSim(
+                _split_assignment(), model, duration=100 * MS,
+                seed=5, faults=plan,
+            ).run()
+
+        base = run(None)
+        empty = run(FaultPlan())
+        assert empty.misses == base.misses
+        assert empty.busy_ns == base.busy_ns
+        assert empty.overhead_ns == base.overhead_ns
+        assert empty.context_switches == base.context_switches
+        assert empty.preemptions == base.preemptions
+        assert empty.migrations == base.migrations
+        assert empty.releases == base.releases
+        assert not empty.faults
+        assert empty.faults.summary() == "faults: none"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="overrun_policy"):
+            KernelSim(
+                _single_core_assignment((2, 10)),
+                OverheadModel.zero(),
+                duration=100,
+                overrun_policy="panic",
+            )
+
+
+class TestOverrunPolicies:
+    def _run(self, policy, duration=100):
+        return KernelSim(
+            _single_core_assignment((2, 10)),
+            OverheadModel.zero(),
+            duration=duration,
+            faults=_overrun_plan(factor=2.0, probability=1.0),
+            overrun_policy=policy,
+        ).run()
+
+    def test_run_on_executes_full_overrun(self):
+        result = self._run("run-on")
+        stats = result.task_stats["t0"]
+        # every job doubled: 4 units instead of 2, still within the period
+        assert result.miss_count == 0
+        assert stats.jobs_completed == 10
+        assert stats.max_response == 4
+        assert result.busy_ns[0] == 10 * 4
+        assert len(result.faults.of_kind("overrun")) == 10
+        assert stats.jobs_killed == 0
+
+    def test_abort_job_kills_at_nominal(self):
+        result = self._run("abort-job")
+        stats = result.task_stats["t0"]
+        # each job is cut at its nominal C=2 and reported as aborted
+        assert stats.jobs_completed == 0
+        assert stats.jobs_killed == 10
+        assert result.busy_ns[0] == 10 * 2
+        assert [m.kind for m in result.misses] == ["aborted"] * 10
+        assert len(result.faults.of_kind("abort")) == 10
+
+    def test_abort_releases_keep_coming(self):
+        # killing a job must not wedge the task: all 10 releases happen
+        result = self._run("abort-job")
+        assert result.task_stats["t0"].jobs_released == 10
+
+    def test_demote_lets_job_finish_in_slack(self):
+        result = self._run("demote")
+        stats = result.task_stats["t0"]
+        # demoted to background, but nothing competes: still finishes at 4
+        assert result.miss_count == 0
+        assert stats.jobs_completed == 10
+        assert stats.jobs_killed == 0
+        assert stats.max_response == 4
+        assert len(result.faults.of_kind("demote")) == 10
+
+    def test_demote_yields_to_lower_priority_nominal_work(self):
+        # t0 (2,10) overruns to 6; t1 (3,10) is lower priority.
+        # run-on: t0 hogs 0..6, t1 runs 6..9          -> t1 response 9
+        # demote: t0 runs 0..2, t1 runs 2..5, t0 5..9 -> t1 response 5
+        assignment = _single_core_assignment((2, 10), (3, 10))
+        plan = FaultPlan(
+            tasks={"t0": TaskFaults(overrun_factor=3.0,
+                                    overrun_probability=1.0)}
+        )
+
+        def run(policy):
+            return KernelSim(
+                assignment, OverheadModel.zero(), duration=100,
+                faults=plan, overrun_policy=policy,
+            ).run()
+
+        run_on = run("run-on")
+        demote = run("demote")
+        assert run_on.task_stats["t1"].max_response == 9
+        assert demote.task_stats["t1"].max_response == 5
+        assert demote.task_stats["t0"].max_response == 9
+        assert demote.miss_count == 0
+        assert demote.task_stats["t0"].jobs_completed == 10
+
+
+class TestReleaseJitter:
+    def test_deadline_stays_anchored_at_nominal(self):
+        plan = FaultPlan(default=TaskFaults(release_jitter_ns=3))
+        result = KernelSim(
+            _single_core_assignment((2, 10)),
+            OverheadModel.zero(),
+            duration=100,
+            seed=11,
+            faults=plan,
+        ).run()
+        stats = result.task_stats["t0"]
+        assert stats.jobs_released == 10
+        assert result.miss_count == 0
+        jitters = [
+            int(e.detail.split("=")[1])
+            for e in result.faults.of_kind("release_jitter")
+        ]
+        assert jitters and all(1 <= j <= 3 for j in jitters)
+        # response is measured from the *nominal* release, so the worst
+        # observed jitter shows up 1:1 in the response time
+        assert stats.max_response == 2 + max(jitters)
+
+    def test_large_jitter_can_cause_misses(self):
+        # deadline 4 < period: jitter 3 pushes some finishes past it
+        ts = TaskSet(
+            [Task("t0", wcet=2, period=10, deadline=4)]
+        ).assign_rate_monotonic()
+        assignment = partition_first_fit_decreasing(ts, 1)
+        plan = FaultPlan(default=TaskFaults(release_jitter_ns=3), seed=1)
+        result = KernelSim(
+            assignment, OverheadModel.zero(), duration=200, seed=2,
+            faults=plan,
+        ).run()
+        jitters = [
+            int(e.detail.split("=")[1])
+            for e in result.faults.of_kind("release_jitter")
+        ]
+        expected_late = sum(1 for j in jitters if 2 + j > 4)
+        assert expected_late > 0
+        assert [m.kind for m in result.misses] == ["late"] * expected_late
+
+
+class TestOverheadSpikes:
+    def test_spike_every_op_doubles_overhead_exactly(self):
+        model = OverheadModel.paper_core_i7(2)
+        assignment = _single_core_assignment((2 * MS, 10 * MS))
+        base = KernelSim(assignment, model, duration=100 * MS).run()
+        plan = FaultPlan(
+            overhead_spike_factor=2.0, overhead_spike_probability=1.0
+        )
+        spiked = KernelSim(
+            _single_core_assignment((2 * MS, 10 * MS)), model,
+            duration=100 * MS, faults=plan,
+        ).run()
+        assert spiked.overhead_ns == [2 * x for x in base.overhead_ns]
+        assert len(spiked.faults.of_kind("overhead_spike")) > 0
+        # busy time (real work) is untouched by overhead spikes
+        assert spiked.busy_ns == base.busy_ns
+
+
+class TestMigrationFaults:
+    def _run(self, plan, duration=100 * MS):
+        return KernelSim(
+            _split_assignment(), OverheadModel.zero(), duration=duration,
+            faults=plan,
+        ).run()
+
+    def test_baseline_migrates_every_job(self):
+        base = self._run(None)
+        assert base.migrations == 10
+        assert base.miss_count == 0
+
+    def test_dropped_migration_kills_the_job(self):
+        result = self._run(FaultPlan(migration_drop_probability=1.0))
+        split_name = next(
+            name for name, s in result.task_stats.items() if s.jobs_killed
+        )
+        stats = result.task_stats[split_name]
+        assert result.migrations == 0
+        assert stats.jobs_killed == 10
+        assert stats.jobs_completed == 0
+        assert [m.kind for m in result.misses] == ["lost"] * 10
+        assert all(m.task == split_name for m in result.misses)
+        assert len(result.faults.of_kind("migration_drop")) == 10
+        # future releases of the split task still proceed
+        assert stats.jobs_released == 10
+
+    def test_late_migration_delays_but_preserves_the_job(self):
+        base = self._run(None)
+        plan = FaultPlan(
+            migration_delay_probability=1.0, migration_delay_ns=50 * US
+        )
+        result = self._run(plan)
+        assert result.migrations == base.migrations
+        delays = result.faults.of_kind("migration_delay")
+        assert len(delays) == result.migrations
+        split_name = delays[0].task
+        # every tail stage arrived late: responses strictly worse
+        assert (
+            result.task_stats[split_name].total_response
+            > base.task_stats[split_name].total_response
+        )
+        # no job was lost
+        killed = sum(s.jobs_killed for s in result.task_stats.values())
+        assert killed == 0
+
+
+class TestLogDeterminism:
+    def _plan(self):
+        return FaultPlan(
+            default=TaskFaults(
+                overrun_factor=1.5,
+                overrun_probability=0.3,
+                release_jitter_ns=100 * US,
+            ),
+            overhead_spike_factor=3.0,
+            overhead_spike_probability=0.1,
+            migration_drop_probability=0.05,
+            migration_delay_probability=0.2,
+            migration_delay_ns=50 * US,
+            seed=4,
+        )
+
+    def _run(self, seed):
+        return KernelSim(
+            _split_assignment(), OverheadModel.paper_core_i7(2),
+            duration=200 * MS, seed=seed, faults=self._plan(),
+        ).run()
+
+    def test_same_seed_bit_identical_logs(self):
+        a = self._run(seed=13)
+        b = self._run(seed=13)
+        assert a.faults.as_dicts() == b.faults.as_dicts()
+        assert a.misses == b.misses
+        assert a.busy_ns == b.busy_ns
+        assert a.overhead_ns == b.overhead_ns
+
+    def test_different_seed_different_log(self):
+        a = self._run(seed=13)
+        b = self._run(seed=14)
+        assert a.faults.as_dicts() != b.faults.as_dicts()
+
+    def test_summary_counts(self):
+        log = FaultLog()
+        log.record(0, "overrun", "t0", 0)
+        log.record(5, "overrun", "t1", 0)
+        log.record(9, "abort", "t0", 0)
+        assert log.summary() == "faults: overrun=2 abort=1"
+        assert log.counts == {"overrun": 2, "abort": 1}
+        assert len(log.of_kind("overrun")) == 2
+
+
+class TestCliFaultFlags:
+    @pytest.fixture
+    def workload_file(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps({
+            "tasks": [
+                {"name": "video", "wcet_us": 2000, "period_us": 10000},
+                {"name": "audio", "wcet_us": 2000, "period_us": 10000},
+            ]
+        }))
+        return path
+
+    def test_simulate_with_faults(self, workload_file, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "default": {"overrun_factor": 2.0, "overrun_probability": 1.0},
+        }))
+        code = main([
+            "simulate", "--tasks", str(workload_file), "--cores", "2",
+            "--duration-ms", "100", "--faults", str(plan_file),
+            "--overrun-policy", "abort-job", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "policy=abort-job" in out
+        assert "jobs_killed=" in out
+        assert code == 2  # aborted jobs count as misses
+
+    def test_bad_fault_plan_is_one_line_error(self, workload_file, tmp_path):
+        from repro.cli import main
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({"bogus_knob": 1}))
+        with pytest.raises(SystemExit, match="unknown fault-plan field"):
+            main([
+                "simulate", "--tasks", str(workload_file),
+                "--faults", str(plan_file),
+            ])
+
+    def test_missing_fault_plan_file(self, workload_file, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="cannot read"):
+            main([
+                "simulate", "--tasks", str(workload_file),
+                "--faults", str(tmp_path / "nope.json"),
+            ])
