@@ -11,6 +11,8 @@ Exposes the library's main workflows to non-Python users::
                    --algorithms FP-TS,FFD,WFD
     repro measure  [--rounds 2000]
     repro generate --n-tasks 12 --utilization 3.2 --seed 7 --out workload.json
+    repro verify   --trials 100 --seed 3 [--jobs 4] [--out verify-failures]
+    repro verify   --replay verify-failures/<repro>.json
 
 Task files are JSON (see :mod:`repro.model.io`).
 """
@@ -350,6 +352,107 @@ def _cmd_measure(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import (
+        TrialFailure,
+        Scenario,
+        full_check,
+        load_repro,
+        run_differential_suite,
+        run_harness,
+        shrink_scenario,
+        write_repro,
+    )
+
+    if args.replay:
+        scenario = load_repro(args.replay)
+        violations = full_check(scenario)
+        if violations:
+            print(
+                f"REPLAY {args.replay}: {len(violations)} violation(s)"
+            )
+            for violation in violations:
+                print(f"  {violation}")
+            return 2
+        print(f"replay {args.replay}: scenario is clean")
+        return 0
+
+    _check_positive(args.trials, "--trials")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+
+    exit_code = 0
+    if not args.skip_differential:
+        suite = run_differential_suite(
+            seed=args.seed,
+            trials=min(50, max(10, args.trials // 5)),
+            jobs=max(2, args.jobs),
+        )
+        for pair, diffs in suite.items():
+            if diffs:
+                exit_code = 2
+                print(f"differential {pair}: FAIL")
+                for diff in diffs[:5]:
+                    print(f"  {diff}")
+            else:
+                print(f"differential {pair}: ok")
+
+    if args.jobs == 1:
+        report = run_harness(args.trials, args.seed, log=print)
+        failures = report.failures
+    else:
+        from repro.engine import ExperimentEngine
+        from repro.engine.units import VerifyUnit
+
+        chunk = max(1, -(-args.trials // (args.jobs * 4)))
+        units = [
+            VerifyUnit(start=start, count=min(chunk, args.trials - start),
+                       seed=args.seed)
+            for start in range(0, args.trials, chunk)
+        ]
+        engine = ExperimentEngine(jobs=args.jobs)
+        payloads = engine.run(units)
+        failures = []
+        for payload in payloads:
+            if payload is None:
+                print("verify: engine lost a trial chunk")
+                exit_code = 2
+                continue
+            for failure in payload["failures"]:
+                failures.append(
+                    TrialFailure(
+                        index=failure["index"],
+                        scenario=Scenario.from_dict(failure["scenario"]),
+                        violations=list(failure["violations"]),
+                    )
+                )
+        failures.sort(key=lambda f: f.index)
+
+    print(
+        f"harness: {args.trials} trial(s), seed {args.seed}, "
+        f"{len(failures)} failure(s)"
+    )
+    for failure in failures:
+        exit_code = 2
+        shrunk = shrink_scenario(failure.scenario)
+        violations = shrunk.violations or failure.violations
+        path = write_repro(
+            shrunk.scenario,
+            violations,
+            out_dir=args.out,
+            original=failure.scenario,
+        )
+        print(
+            f"trial {failure.index}: shrunk "
+            f"{len(failure.scenario.tasks)} -> "
+            f"{len(shrunk.scenario.tasks)} task(s) in "
+            f"{shrunk.evaluations} evaluation(s); repro: {path}"
+        )
+        for violation in violations[:3]:
+            print(f"  {violation}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -495,6 +598,38 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--csv", help="write long-format CSV here")
     engine_flags(campaign)
     campaign.set_defaults(fn=_cmd_campaign)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: invariant oracles, metamorphic "
+        "harness, cross-implementation checks",
+    )
+    verify.add_argument("--trials", type=int, default=100)
+    verify.add_argument("--seed", type=int, default=3)
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan harness trials out over worker processes "
+        "(default: 1, serial; the failure set is identical)",
+    )
+    verify.add_argument(
+        "--out",
+        default="verify-failures",
+        help="directory for shrunk JSON repros (default: verify-failures)",
+    )
+    verify.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run one saved repro instead of the harness",
+    )
+    verify.add_argument(
+        "--skip-differential",
+        action="store_true",
+        help="run only the random harness (skip the four differential "
+        "pairs)",
+    )
+    verify.set_defaults(fn=_cmd_verify)
 
     return parser
 

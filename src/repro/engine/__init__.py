@@ -36,6 +36,7 @@ from repro.engine.units import (
     AcceptanceUnit,
     ChaosUnit,
     SplittingUnit,
+    VerifyUnit,
     execute_unit,
     unit_fingerprint,
     unit_spec,
@@ -46,6 +47,7 @@ __all__ = [
     "AcceptanceUnit",
     "ChaosUnit",
     "SplittingUnit",
+    "VerifyUnit",
     "EngineStats",
     "ExperimentEngine",
     "ResultCache",

@@ -94,7 +94,25 @@ class ChaosUnit:
     kind: str = "chaos"
 
 
-WorkUnit = Union[AcceptanceUnit, SplittingUnit, ChaosUnit]
+@dataclass(frozen=True)
+class VerifyUnit:
+    """A contiguous slice of verification-harness trials.
+
+    Executing it runs trials ``start .. start + count - 1`` of the
+    :mod:`repro.verify.harness` (each trial derives its own RNG from
+    ``seed`` and its index, so slicing is order-independent) and returns
+    the failing trials as JSON payloads — scenario plus violation
+    strings.  Shrinking happens in the parent process, not here: a unit
+    payload must be cheap, cacheable raw data.
+    """
+
+    start: int
+    count: int
+    seed: int
+    kind: str = "verify"
+
+
+WorkUnit = Union[AcceptanceUnit, SplittingUnit, ChaosUnit, VerifyUnit]
 
 
 def unit_spec(unit: WorkUnit) -> dict:
@@ -133,7 +151,20 @@ def execute_unit(unit: WorkUnit) -> dict:
         return _execute_splitting(unit)
     if unit.kind == "chaos":
         return _execute_chaos(unit)
+    if unit.kind == "verify":
+        return _execute_verify(unit)
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def _execute_verify(unit: VerifyUnit) -> dict:
+    from repro.verify.harness import run_trial
+
+    failures = []
+    for index in range(unit.start, unit.start + unit.count):
+        failure = run_trial(index, unit.seed)
+        if failure is not None:
+            failures.append(failure.as_dict())
+    return {"trials": unit.count, "failures": failures}
 
 
 def _execute_chaos(unit: ChaosUnit) -> dict:

@@ -556,7 +556,7 @@ class KernelSim:
         )
 
     def _do_release(self, core: _Core, job: Job, t: int) -> None:
-        self._ready_insert(core, job)
+        self._ready_insert(core, job, t)
         core.needs_sched = True
 
     # ------------------------------------------------------------------
@@ -746,7 +746,7 @@ class KernelSim:
                 victim.preempt_count += 1
                 self.task_stats[victim.rt.task.name].preemptions += 1
                 self.preemptions += 1
-                self._ready_insert(core, victim)
+                self._ready_insert(core, victim, t)
                 if self.record_trace:
                     self._log_event(
                         t, "preempt", victim.rt.task.name, core.index
@@ -910,7 +910,7 @@ class KernelSim:
         core.free_dispatch = True  # context load was part of cnt2
 
     def _do_demote(self, core: _Core, job: Job, t: int) -> None:
-        self._ready_insert(core, job)
+        self._ready_insert(core, job, t)
         core.needs_sched = True
 
     def _enqueue_chunk_end(
@@ -1056,7 +1056,7 @@ class KernelSim:
         core.free_dispatch = True  # context load was part of cnt2
 
     def _do_migrate_in(self, core: _Core, job: Job, t: int) -> None:
-        self._ready_insert(core, job)
+        self._ready_insert(core, job, t)
         core.needs_sched = True
 
     # ------------------------------------------------------------------
@@ -1076,8 +1076,16 @@ class KernelSim:
             return (job.release + offset, job.seq)
         return (job.rt.local_priority[core.index], job.seq)
 
-    def _ready_insert(self, core: _Core, job: Job) -> None:
+    def _ready_insert(
+        self, core: _Core, job: Job, t: Optional[int] = None
+    ) -> None:
         job.ready_handle = core.ready.insert(self._key_of(core, job), job)
+        # Every ready-queue insert is a kernel-visible state change; the
+        # verification layer reconstructs per-core ready sets from these
+        # events, so — unlike the other event kinds — the label carries
+        # the *job* name (task/seq), matching the exec-trace labels.
+        if self.record_trace and t is not None:
+            self.events_log.append((t, "ready", job.name, core.index))
 
     def _record(
         self, core: int, start: int, end: int, label: str, kind: str

@@ -1,0 +1,245 @@
+"""Greedy shrinking of failing verification scenarios.
+
+Given a scenario on which a predicate (by default
+:func:`~repro.verify.harness.full_check`) reports violations, the
+shrinker repeatedly tries simplifications — drop a task, halve the
+horizon, strip stochastic configuration, round task parameters to coarse
+values — keeping a candidate only if it *still fails*.  The loop runs to
+a fixpoint (or an evaluation budget), so the surviving scenario is
+locally minimal: removing any single task or simplification re-breaks
+the repro.
+
+Minimal scenarios are written as JSON repros to ``verify-failures/`` and
+replayed with ``repro verify --replay <file>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.model.time import MS, US
+from repro.verify.scenario import Scenario, ScenarioTask
+
+#: Default output directory for shrunk repros (ISSUE/CI contract).
+DEFAULT_FAILURE_DIR = "verify-failures"
+
+Predicate = Callable[[Scenario], bool]
+
+
+def _cost(scenario: Scenario) -> Tuple[int, int, int, int]:
+    """Lexicographic size of a scenario (smaller = simpler)."""
+    complexity = (
+        int(scenario.faults is not None)
+        + int(scenario.tick_ns != 0)
+        + int(scenario.sporadic_jitter != 0)
+        + int(scenario.execution_variation != 0.0)
+        + int(scenario.overrun_policy != "run-on")
+        + int(scenario.overheads != "zero")
+    )
+    magnitude = sum(t.wcet + t.period for t in scenario.tasks)
+    return (
+        len(scenario.tasks),
+        scenario.duration_factor,
+        complexity,
+        magnitude,
+    )
+
+
+def _round_down(value: int, granularity: int, minimum: int) -> int:
+    return max(minimum, (value // granularity) * granularity)
+
+
+def _task_candidates(task: ScenarioTask) -> List[ScenarioTask]:
+    """Simpler variants of one task (still a valid constrained task)."""
+    candidates: List[ScenarioTask] = []
+    deadline = task.deadline or task.period
+    for period in (
+        _round_down(task.period, 10 * MS, 10 * MS),
+        _round_down(task.period, MS, MS),
+    ):
+        if period != task.period and period >= task.wcet:
+            candidates.append(
+                ScenarioTask(
+                    name=task.name,
+                    wcet=task.wcet,
+                    period=period,
+                    deadline=min(deadline, period) if task.deadline else 0,
+                    wss=task.wss,
+                )
+            )
+    for wcet in (
+        1,
+        task.wcet // 2,
+        _round_down(task.wcet, MS, 1),
+        _round_down(task.wcet, 100 * US, 1),
+    ):
+        if 0 < wcet < task.wcet:
+            candidates.append(
+                ScenarioTask(
+                    name=task.name,
+                    wcet=wcet,
+                    period=task.period,
+                    deadline=task.deadline,
+                    wss=task.wss,
+                )
+            )
+    if task.wss != 64 * 1024:
+        candidates.append(
+            ScenarioTask(
+                name=task.name,
+                wcet=task.wcet,
+                period=task.period,
+                deadline=task.deadline,
+                wss=64 * 1024,
+            )
+        )
+    return candidates
+
+
+def _simplifications(scenario: Scenario) -> List[Scenario]:
+    """One round of candidate simplifications, simplest-first."""
+    candidates: List[Scenario] = []
+    tasks = scenario.tasks
+    # Drop each task (keep at least one).
+    if len(tasks) > 1:
+        for index in range(len(tasks)):
+            candidates.append(
+                scenario.replaced(
+                    tasks=tasks[:index] + tasks[index + 1:]
+                )
+            )
+    # Halve the horizon.
+    if scenario.duration_factor > 1:
+        candidates.append(
+            scenario.replaced(
+                duration_factor=max(1, scenario.duration_factor // 2)
+            )
+        )
+    # Strip stochastic / fault configuration, one knob at a time.
+    if scenario.faults is not None:
+        candidates.append(scenario.replaced(faults=None))
+    if scenario.overrun_policy != "run-on":
+        candidates.append(scenario.replaced(overrun_policy="run-on"))
+    if scenario.tick_ns:
+        candidates.append(scenario.replaced(tick_ns=0))
+    if scenario.sporadic_jitter:
+        candidates.append(scenario.replaced(sporadic_jitter=0))
+    if scenario.execution_variation:
+        candidates.append(scenario.replaced(execution_variation=0.0))
+    if scenario.overheads != "zero":
+        candidates.append(scenario.replaced(overheads="zero"))
+    # Round individual task parameters.
+    for index, task in enumerate(tasks):
+        for replacement in _task_candidates(task):
+            candidates.append(
+                scenario.replaced(
+                    tasks=tasks[:index] + (replacement,) + tasks[index + 1:]
+                )
+            )
+    return candidates
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing scenario."""
+
+    scenario: Scenario
+    evaluations: int = 0
+    rounds: int = 0
+    #: Violations of the final (minimal) scenario.
+    violations: List[str] = field(default_factory=list)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    failing: Optional[Predicate] = None,
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while ``failing`` stays true.
+
+    ``failing`` defaults to "``full_check`` reports any violation".  The
+    input scenario is assumed failing; if it is not, it is returned
+    unchanged (zero evaluations confirm it, by contract with callers who
+    already hold the violation list).
+    """
+    from repro.verify.harness import full_check
+
+    if failing is None:
+        failing = lambda s: bool(full_check(s))  # noqa: E731
+    result = ShrinkResult(scenario=scenario)
+    current = scenario
+    improved = True
+    while improved and result.evaluations < max_evaluations:
+        improved = False
+        result.rounds += 1
+        for candidate in _simplifications(current):
+            if _cost(candidate) >= _cost(current):
+                continue
+            if result.evaluations >= max_evaluations:
+                break
+            result.evaluations += 1
+            try:
+                still_failing = failing(candidate)
+            except Exception:
+                # A candidate the pipeline cannot even build is not a
+                # simplification of *this* failure.
+                continue
+            if still_failing:
+                current = candidate
+                improved = True
+                break  # restart the pass from the simpler scenario
+    result.scenario = current
+    result.violations = full_check(current)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Repro files
+# ----------------------------------------------------------------------
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "-", text).strip("-").lower() or "x"
+
+
+def repro_path(scenario: Scenario, out_dir) -> Path:
+    digest = hashlib.sha256(
+        scenario.to_json().encode("utf-8")
+    ).hexdigest()[:12]
+    name = f"{_slug(scenario.algorithm)}-{len(scenario.tasks)}tasks-{digest}"
+    return Path(out_dir) / f"{name}.json"
+
+
+def write_repro(
+    scenario: Scenario,
+    violations: List[str],
+    out_dir=DEFAULT_FAILURE_DIR,
+    original: Optional[Scenario] = None,
+) -> Path:
+    """Write a replayable JSON repro; returns its path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = repro_path(scenario, out)
+    payload = {
+        "scenario": scenario.to_dict(),
+        "violations": list(violations),
+    }
+    if original is not None:
+        payload["original_scenario"] = original.to_dict()
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_repro(path) -> Scenario:
+    """Load the scenario from a repro file (or a bare scenario JSON)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "scenario" in data:
+        data = data["scenario"]
+    return Scenario.from_dict(data)

@@ -6,32 +6,58 @@ matter what:
 * zero-overhead simulation of an accepted assignment never misses;
 * trace invariants hold under every overhead/stochastic configuration;
 * time accounting never exceeds the horizon.
+
+Trial count is tunable: ``REPRO_FUZZ_TRIALS=200 pytest -m fuzz`` runs a
+deeper sweep (trials only ever extend the seeded sequence, so trial ``k``
+is the same workload at every trial count).  Any failure is routed
+through the shrinker and written to ``verify-failures/`` as a minimal
+replayable repro (``repro verify --replay <file>``).
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
-from repro.experiments.algorithms import ALGORITHMS, build_assignment
-from repro.kernel.sim import KernelSim
-from repro.model.generator import TaskSetGenerator
 from repro.model.time import MS
-from repro.overhead.model import OverheadModel
-from repro.trace.validate import validate_trace
 
 _CONSTRUCTIVE = ["FP-TS", "C=D", "FFD", "WFD", "BFD", "P-EDF", "SPA2"]
+_TRIALS = int(os.environ.get("REPRO_FUZZ_TRIALS", "30"))
 
 
-@pytest.mark.parametrize("trial", range(30))
+def _fail_with_repro(scenario, violations, trial):
+    """Shrink a failing scenario, persist a replayable repro, fail."""
+    from repro.verify import DEFAULT_FAILURE_DIR, shrink_scenario, write_repro
+
+    shrunk = shrink_scenario(scenario)
+    path = write_repro(
+        shrunk.scenario,
+        shrunk.violations or violations,
+        out_dir=DEFAULT_FAILURE_DIR,
+        original=scenario,
+    )
+    pytest.fail(
+        f"fuzz trial {trial}: {len(violations)} violation(s): "
+        f"{violations[:3]}\nminimal repro: {path}"
+    )
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("trial", range(_TRIALS))
 def test_fuzz_pipeline(trial):
+    from repro.verify import Scenario, ScenarioTask, check_scenario
+
     rng = random.Random(9000 + trial)
     n_cores = rng.choice([2, 4])
     n_tasks = rng.randint(4, 12)
     normalized = rng.uniform(0.3, 0.95)
     algorithm = rng.choice(_CONSTRUCTIVE)
     method = rng.choice(["uunifast", "randfixedsum"])
+
+    from repro.model.generator import TaskSetGenerator
+
     generator = TaskSetGenerator(
         n_tasks=n_tasks,
         seed=rng.randint(0, 10**6),
@@ -40,44 +66,40 @@ def test_fuzz_pipeline(trial):
         method=method,
     )
     taskset = generator.generate(normalized * n_cores)
-    assignment = build_assignment(
-        algorithm, taskset, n_cores, OverheadModel.zero()
+    tasks = tuple(
+        ScenarioTask(
+            name=task.name,
+            wcet=task.wcet,
+            period=task.period,
+            deadline=task.deadline,
+            wss=task.wss,
+        )
+        for task in taskset
     )
-    if assignment is None:
-        return
-    assignment.validate()
-
-    # Zero-overhead worst-case simulation must be clean for FP-side
-    # algorithms under "fp" and EDF-side under "edf".
     policy = "edf" if algorithm in ("C=D", "P-EDF") else "fp"
-    horizon = 8 * max(task.period for task in taskset)
-    clean = KernelSim(
-        assignment,
-        OverheadModel.zero(),
-        duration=horizon,
-        record_trace=True,
-        policy=policy,
-    ).run()
-    assert clean.miss_count == 0, (algorithm, trial, clean.misses[:2])
-    assert validate_trace(clean.trace, assignment) == []
 
-    # A stochastic, overhead-laden run may miss (overheads were not in the
-    # analysis) but must never break structural invariants or accounting.
-    stochastic = KernelSim(
-        assignment,
-        OverheadModel.paper_core_i7(max(1, n_tasks // n_cores)),
-        duration=horizon,
-        record_trace=True,
+    # Zero-overhead worst-case run: must be miss-free (the "clean-miss"
+    # oracle) and satisfy every registered invariant checker.
+    base = Scenario(
+        tasks=tasks,
+        n_cores=n_cores,
+        algorithm=algorithm,
         policy=policy,
+        overheads="zero",
+        duration_factor=8,
+    )
+    violations = check_scenario(base)
+    if violations:
+        _fail_with_repro(base, violations, trial)
+
+    # A stochastic, overhead-laden run may miss (overheads were not in
+    # the analysis) but must never break an invariant or the accounting.
+    stochastic = base.replaced(
+        overheads="paper",
         sporadic_jitter=rng.choice([0, MS]),
         execution_variation=rng.choice([0.0, 0.4]),
-        seed=trial,
-    ).run()
-    assert validate_trace(stochastic.trace, assignment) == []
-    for core in range(n_cores):
-        assert (
-            stochastic.busy_ns[core] + stochastic.overhead_ns[core]
-            <= horizon
-        )
-    for name, stats in stochastic.task_stats.items():
-        assert stats.jobs_completed <= stats.jobs_released
+        sim_seed=trial,
+    )
+    violations = check_scenario(stochastic)
+    if violations:
+        _fail_with_repro(stochastic, violations, trial)

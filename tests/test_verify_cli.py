@@ -1,0 +1,97 @@
+"""The ``repro verify`` CLI: exit codes, replay, and repro emission."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.kernel.sim import KernelSim
+from repro.model.time import MS
+from repro.verify import Scenario, ScenarioTask
+
+
+def _preemption_scenario() -> Scenario:
+    return Scenario(
+        tasks=(
+            ScenarioTask(name="short", wcet=1 * MS, period=10 * MS),
+            ScenarioTask(name="long", wcet=15 * MS, period=40 * MS),
+        ),
+        n_cores=1,
+        algorithm="FFD",
+        duration_factor=2,
+    )
+
+
+def test_verify_exits_zero_on_clean_harness(tmp_path, capsys):
+    code = main(
+        [
+            "verify",
+            "--trials", "6",
+            "--seed", "3",
+            "--skip-differential",
+            "--out", str(tmp_path / "failures"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "harness: 6 trial(s)" in out
+    assert not (tmp_path / "failures").exists()
+
+
+def test_verify_parallel_harness_matches_serial(tmp_path, capsys):
+    code = main(
+        [
+            "verify",
+            "--trials", "6",
+            "--seed", "3",
+            "--jobs", "2",
+            "--skip-differential",
+            "--out", str(tmp_path / "failures"),
+        ]
+    )
+    assert code == 0
+    assert "0 failure(s)" in capsys.readouterr().out
+
+
+def test_verify_replay_clean_scenario(tmp_path, capsys):
+    repro = tmp_path / "clean.json"
+    repro.write_text(_preemption_scenario().to_json(), encoding="utf-8")
+    code = main(["verify", "--replay", str(repro)])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_verify_replay_failing_scenario(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr(
+        KernelSim, "_would_preempt", lambda self, core: False
+    )
+    repro = tmp_path / "failing.json"
+    repro.write_text(_preemption_scenario().to_json(), encoding="utf-8")
+    code = main(["verify", "--replay", str(repro)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "violation(s)" in out
+    assert "preemption-order" in out
+
+
+def test_verify_broken_kernel_writes_shrunk_repro(
+    tmp_path, capsys, monkeypatch
+):
+    """End-to-end CLI acceptance: a broken kernel turns into exit code 2
+    plus a small replayable repro file under --out."""
+    monkeypatch.setattr(
+        KernelSim, "_would_preempt", lambda self, core: False
+    )
+    out_dir = tmp_path / "failures"
+    code = main(
+        [
+            "verify",
+            "--trials", "4",
+            "--seed", "3",
+            "--skip-differential",
+            "--out", str(out_dir),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 2
+    repros = list(out_dir.glob("*.json"))
+    assert repros, out
+    assert "repro:" in out

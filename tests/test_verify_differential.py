@@ -1,0 +1,43 @@
+"""Differential cross-checks: two independent computations of the same
+quantity must agree.  One dedicated test per pair."""
+
+from __future__ import annotations
+
+from repro.verify import (
+    DIFFERENTIAL_PAIRS,
+    empty_plan_vs_no_plan,
+    run_differential_suite,
+    serial_vs_parallel,
+    sim_vs_oracle,
+    tick_vs_event,
+)
+
+
+def test_sim_vs_oracle():
+    """Response-time analysis and the event simulator agree on single-core
+    FP schedulability (implicit-deadline synchronous-release task sets)."""
+    assert sim_vs_oracle(trials=12, seed=101) == []
+
+
+def test_serial_vs_parallel():
+    """The experiment engine returns bit-identical payloads serially and
+    over a process pool."""
+    assert serial_vs_parallel(seed=5, jobs=2) == []
+
+
+def test_empty_plan_vs_no_plan():
+    """An empty FaultPlan is observationally identical to no plan, at
+    full-result granularity (trace, events, counters, stats)."""
+    assert empty_plan_vs_no_plan(seed=2) == []
+
+
+def test_tick_vs_event():
+    """With periods quantized to the tick, tick-driven release scanning
+    reproduces the event-driven schedule exactly."""
+    assert tick_vs_event(seed=4) == []
+
+
+def test_suite_covers_all_pairs():
+    report = run_differential_suite(seed=1, trials=5, jobs=2)
+    assert set(report) == set(DIFFERENTIAL_PAIRS)
+    assert all(diffs == [] for diffs in report.values())

@@ -1,0 +1,123 @@
+"""The shrinker: greedy minimization, repro files, and the headline
+acceptance scenario — a deliberately broken kernel yields a tiny repro."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kernel.sim import KernelSim
+from repro.model.time import MS
+from repro.verify import (
+    Scenario,
+    ScenarioTask,
+    full_check,
+    load_repro,
+    run_trial,
+    shrink_scenario,
+    write_repro,
+)
+
+
+def _many_task_scenario(n=6):
+    return Scenario(
+        tasks=tuple(
+            ScenarioTask(name=f"t{i}", wcet=(i + 1) * MS, period=40 * MS)
+            for i in range(n)
+        ),
+        n_cores=2,
+        algorithm="FFD",
+        duration_factor=8,
+        overheads="paper",
+        sporadic_jitter=MS,
+        execution_variation=0.3,
+        overrun_policy="demote",
+    )
+
+
+def test_synthetic_predicate_shrinks_to_one_task():
+    """A failure that only needs task t2 shrinks to exactly that task,
+    with every stochastic knob stripped."""
+    scenario = _many_task_scenario()
+    result = shrink_scenario(
+        scenario,
+        failing=lambda s: any(t.name == "t2" for t in s.tasks),
+    )
+    assert [t.name for t in result.scenario.tasks] == ["t2"]
+    assert result.scenario.sporadic_jitter == 0
+    assert result.scenario.execution_variation == 0.0
+    assert result.scenario.overrun_policy == "run-on"
+    assert result.scenario.overheads == "zero"
+    assert result.evaluations > 0
+
+
+def test_shrink_respects_evaluation_budget():
+    scenario = _many_task_scenario()
+    result = shrink_scenario(
+        scenario, failing=lambda s: True, max_evaluations=5
+    )
+    assert result.evaluations <= 5
+
+
+def test_shrink_keeps_nonfailing_scenario_unchanged():
+    scenario = _many_task_scenario(3)
+    result = shrink_scenario(scenario, failing=lambda s: False)
+    assert result.scenario == scenario
+
+
+def test_write_and_load_repro_roundtrip(tmp_path):
+    scenario = _many_task_scenario(2)
+    path = write_repro(
+        scenario,
+        ["example: violation"],
+        out_dir=tmp_path,
+        original=_many_task_scenario(6),
+    )
+    assert path.parent == tmp_path
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["violations"] == ["example: violation"]
+    assert len(payload["original_scenario"]["tasks"]) == 6
+    assert load_repro(path) == scenario
+
+
+def test_load_repro_accepts_bare_scenario_json(tmp_path):
+    scenario = _many_task_scenario(2)
+    path = tmp_path / "bare.json"
+    path.write_text(scenario.to_json(), encoding="utf-8")
+    assert load_repro(path) == scenario
+
+
+def test_broken_kernel_shrinks_to_small_repro(tmp_path, monkeypatch):
+    """The ISSUE acceptance criterion: break ``KernelSim._would_preempt``
+    and the pipeline must produce a shrunk repro of at most 6 tasks whose
+    violations name the preemption order."""
+    monkeypatch.setattr(
+        KernelSim, "_would_preempt", lambda self, core: False
+    )
+    failure = None
+    for index in range(10):
+        failure = run_trial(index, seed=3)
+        if failure is not None:
+            break
+    assert failure is not None, "broken kernel never caught in 10 trials"
+    assert any(
+        v.startswith(("preemption-order:", "clean-miss:"))
+        for v in failure.violations
+    )
+
+    result = shrink_scenario(failure.scenario, max_evaluations=120)
+    assert len(result.scenario.tasks) <= 6
+    assert result.violations, "shrunk scenario no longer fails"
+    path = write_repro(
+        result.scenario,
+        result.violations,
+        out_dir=tmp_path,
+        original=failure.scenario,
+    )
+
+    # The repro replays: still failing under the bug...
+    assert full_check(load_repro(path))
+    # ...and (undoing the bug) clean on the real kernel.
+    monkeypatch.undo()
+    assert full_check(load_repro(path)) == []
