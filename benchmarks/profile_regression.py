@@ -1,0 +1,229 @@
+"""Profile-regression harness: gate the observability layer's reports.
+
+Runs a *fixed, fully seeded* pair of simulations with the metrics layer
+attached, assembles the ``repro profile`` report, and gates it two ways:
+
+1. **Against the committed golden baseline**
+   (``benchmarks/results/GOLDEN_profile.json``): every ``sim_*`` metric
+   — per-primitive kernel-op counts and simulated-time costs, queue-op
+   counts by N, release/preemption/migration tallies — must match
+   **exactly** (``compare_reports(..., wall_tolerance=None)``).  The
+   golden file was produced on a different machine, so its absolute
+   wall-clock numbers are never gated; only their deterministic event
+   counts are.
+
+2. **Run-vs-rerun on this machine**: the scenario is executed twice in
+   this process and the two reports compared at the full contract
+   (default ±20 % on wall-clock nanosecond totals, exact on everything
+   deterministic).  This is the check that catches a wall-clock
+   measurement path going wrong (e.g. a timer accidentally spanning the
+   whole run), with both sides measured on the same silicon.  Timing
+   noise is real: the comparison is retried a few times and only a
+   *persistent* drift fails.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/profile_regression.py
+    PYTHONPATH=src python benchmarks/profile_regression.py --update-golden
+    PYTHONPATH=src python benchmarks/profile_regression.py --out report.json
+
+Exit codes: 0 = within contract; 1 = regression (simulated-time mismatch
+against golden, or persistent wall-clock drift); 2 = missing/unreadable
+golden baseline (run ``--update-golden`` first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.experiments.algorithms import build_assignment
+from repro.kernel.sim import KernelSim
+from repro.metrics import MetricsRegistry, build_report, compare_reports
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO_ROOT / "benchmarks" / "results" / "GOLDEN_profile.json"
+
+#: Fixed scenario descriptor embedded in the report; compare_reports
+#: requires it to match exactly, so a harness change that alters the
+#: workload invalidates the golden loudly instead of half-matching.
+SCENARIO = {
+    "mode": "regression",
+    "harness": "benchmarks/profile_regression.py",
+    "workloads": ["partitioned-4task", "split-3x0.6"],
+    "cores": 2,
+    "algorithm": "FP-TS",
+    "overheads": "paper",
+    "duration_ms": 400,
+    "seed": 11,
+}
+
+
+def _workloads():
+    partitioned = TaskSet(
+        [
+            Task("a", wcet=2 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=20 * MS),
+            Task("c", wcet=5 * MS, period=25 * MS),
+            Task("d", wcet=9 * MS, period=50 * MS),
+        ]
+    ).assign_rate_monotonic()
+    splitting = TaskSet(
+        [
+            Task("s1", wcet=6 * MS, period=10 * MS),
+            Task("s2", wcet=6 * MS, period=10 * MS),
+            Task("s3", wcet=6 * MS, period=10 * MS),
+        ]
+    ).assign_rate_monotonic()
+    return [partitioned, splitting]
+
+
+def build_fresh_report() -> dict:
+    """One full instrumented pass over the fixed workloads."""
+    registry = MetricsRegistry()
+    summary = {"releases": 0, "misses": 0, "migrations": 0, "preemptions": 0}
+    for taskset in _workloads():
+        assignment = build_assignment(
+            SCENARIO["algorithm"],
+            taskset,
+            SCENARIO["cores"],
+            OverheadModel.zero(),
+        )
+        if assignment is None:
+            raise RuntimeError("regression workload failed to partition")
+        result = KernelSim(
+            assignment,
+            OverheadModel.paper_core_i7(SCENARIO["cores"]),
+            duration=SCENARIO["duration_ms"] * MS,
+            seed=SCENARIO["seed"],
+            metrics=registry,
+        ).run()
+        summary["releases"] += result.releases
+        summary["misses"] += len(result.misses)
+        summary["migrations"] += result.migrations
+        summary["preemptions"] += result.preemptions
+    return build_report(registry, SCENARIO, summary)
+
+
+def _dump(report: dict, path: pathlib.Path) -> None:
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile report regression gate"
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help=f"rewrite {GOLDEN_PATH.relative_to(REPO_ROOT)} and exit",
+    )
+    parser.add_argument(
+        "--golden",
+        type=pathlib.Path,
+        default=GOLDEN_PATH,
+        help="golden baseline to compare against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="relative wall-clock tolerance for the same-machine "
+        "run-vs-rerun check (default: 0.20)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="rerun attempts before a wall-clock drift counts as real "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        help="also write the fresh report here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = build_fresh_report()
+    if args.out:
+        _dump(fresh, args.out)
+        print(f"profile report -> {args.out}")
+
+    if args.update_golden:
+        args.golden.parent.mkdir(parents=True, exist_ok=True)
+        _dump(fresh, args.golden)
+        print(f"golden baseline -> {args.golden}")
+        return 0
+
+    if not args.golden.exists():
+        print(
+            f"ERROR: no golden baseline at {args.golden}; run "
+            "profile_regression.py --update-golden and commit the result",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        golden = json.loads(args.golden.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        print(f"ERROR: unreadable golden baseline: {exc}", file=sys.stderr)
+        return 2
+
+    # Gate 1: simulated-time behaviour vs the committed baseline.
+    sim_diffs = compare_reports(golden, fresh, wall_tolerance=None)
+    if sim_diffs:
+        print(
+            f"FAIL: {len(sim_diffs)} simulated-time discrepancy(ies) "
+            "against the golden baseline:"
+        )
+        for diff in sim_diffs:
+            print(f"  - {diff}")
+        print(
+            "If the simulator change is intentional, refresh the baseline "
+            "with --update-golden."
+        )
+        return 1
+    print("golden baseline: all simulated-time metrics match exactly")
+
+    # Gate 2: same-machine wall-clock stability (run vs rerun).
+    wall_diffs = []
+    for attempt in range(1 + max(args.retries, 0)):
+        rerun = build_fresh_report()
+        wall_diffs = compare_reports(
+            fresh, rerun, wall_tolerance=args.tolerance
+        )
+        if not wall_diffs:
+            break
+        print(
+            f"wall-clock drift on attempt {attempt + 1} "
+            f"({len(wall_diffs)} series); retrying"
+        )
+        fresh = rerun
+    if wall_diffs:
+        print(
+            f"FAIL: wall-clock totals drifted beyond "
+            f"{args.tolerance:.0%} across "
+            f"{1 + max(args.retries, 0)} run pairs:"
+        )
+        for diff in wall_diffs:
+            print(f"  - {diff}")
+        return 1
+    print(
+        f"run-vs-rerun: wall-clock totals stable within "
+        f"{args.tolerance:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

@@ -10,6 +10,10 @@ Exposes the library's main workflows to non-Python users::
     repro sweep    --cores 4 --n-tasks 12 --sets 50 --overheads paper \
                    --algorithms FP-TS,FFD,WFD
     repro measure  [--rounds 2000]
+    repro profile  --tasks workload.json --cores 4 --algorithm FP-TS \
+                   --duration-ms 1000 [--format json|prom] [--out report.json]
+    repro profile  --sets 8 --n-tasks 12 --utilization 0.75 --cores 4 \
+                   --jobs 4 [--format json|prom]
     repro generate --n-tasks 12 --utilization 3.2 --seed 7 --out workload.json
     repro verify   --trials 100 --seed 3 [--jobs 4] [--out verify-failures]
     repro verify   --replay verify-failures/<repro>.json
@@ -352,6 +356,153 @@ def _cmd_measure(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Run a metrics-instrumented scenario (or sweep) and emit a report.
+
+    Single mode (``--tasks``): one in-process simulation.  Sweep mode
+    (no ``--tasks``): ``--sets`` generated scenarios fanned out through
+    the experiment engine (``--jobs``), whose metric shards are merged
+    in the parent — the merged ``sim_*`` metrics equal a serial run's.
+    """
+    import json as _json
+
+    from repro.kernel.sim import KernelSim as _KernelSim
+    from repro.metrics import MetricsRegistry, build_report
+
+    _check_positive(args.cores, "--cores")
+    _check_positive(args.duration_ms, "--duration-ms")
+    registry = MetricsRegistry()
+    lost_units = False
+    if args.tasks:
+        taskset, model, assignment = _prepare(args)
+        if assignment is None:
+            print(
+                f"{args.algorithm}: REJECTED (not schedulable on "
+                f"{args.cores} cores); nothing to profile",
+                file=sys.stderr,
+            )
+            return 1
+        plan = _load_fault_plan(args.faults)
+        result = _KernelSim(
+            assignment,
+            model,
+            duration=args.duration_ms * MS,
+            execution_times={task.name: task.wcet for task in taskset},
+            seed=args.seed,
+            faults=plan,
+            overrun_policy=args.overrun_policy,
+            metrics=registry,
+        ).run()
+        scenario = {
+            "mode": "single",
+            "tasks": args.tasks,
+            "cores": args.cores,
+            "algorithm": args.algorithm,
+            "overheads": args.overheads,
+            "duration_ms": args.duration_ms,
+            "seed": args.seed,
+            "overrun_policy": args.overrun_policy,
+            "faults": args.faults,
+        }
+        summary = {
+            "releases": result.releases,
+            "misses": result.miss_count,
+            "preemptions": result.preemptions,
+            "migrations": result.migrations,
+            "context_switches": result.context_switches,
+            "overhead_ratio": result.total_overhead_ratio,
+            "rejected_sets": 0,
+            "profiled_sets": 1,
+        }
+    else:
+        from repro.engine.units import ProfileUnit
+
+        _check_positive(args.sets, "--sets")
+        _check_positive(args.n_tasks, "--n-tasks")
+        if args.utilization <= 0:
+            raise SystemExit("--utilization must be positive")
+        model = _overhead_model(
+            args.overheads, max(1, args.n_tasks // args.cores)
+        )
+        units = [
+            ProfileUnit(
+                n_cores=args.cores,
+                n_tasks=args.n_tasks,
+                utilization=args.utilization,
+                seed=args.seed + 7919 * index,
+                algorithm=_check_algorithm(args.algorithm),
+                overheads=model,
+                duration_ms=args.duration_ms,
+                overrun_policy=args.overrun_policy,
+            )
+            for index in range(args.sets)
+        ]
+        engine = _engine_for(args)
+        payloads = engine.run(units)
+        _report_failures(engine)
+        summary = {
+            "releases": 0,
+            "misses": 0,
+            "preemptions": 0,
+            "migrations": 0,
+            "context_switches": 0,
+            "rejected_sets": 0,
+            "profiled_sets": 0,
+        }
+        for payload in payloads:
+            if payload is None:
+                lost_units = True
+                continue
+            if payload["rejected"]:
+                summary["rejected_sets"] += 1
+                continue
+            summary["profiled_sets"] += 1
+            registry.merge(MetricsRegistry.from_dict(payload["metrics"]))
+            for key in (
+                "releases",
+                "misses",
+                "preemptions",
+                "migrations",
+                "context_switches",
+            ):
+                summary[key] += payload["summary"][key]
+        scenario = {
+            "mode": "sweep",
+            "sets": args.sets,
+            "n_tasks": args.n_tasks,
+            "utilization": args.utilization,
+            "cores": args.cores,
+            "algorithm": args.algorithm,
+            "overheads": args.overheads,
+            "duration_ms": args.duration_ms,
+            "seed": args.seed,
+            "overrun_policy": args.overrun_policy,
+        }
+        if summary["profiled_sets"] == 0:
+            print(
+                "profile: every generated scenario was rejected; "
+                "no metrics collected",
+                file=sys.stderr,
+            )
+            return 1
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        report = build_report(registry, scenario, summary)
+        text = _json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+        print(
+            f"profile: {summary['profiled_sets']} scenario(s), "
+            f"{len(registry)} metric series -> {args.out}"
+        )
+    else:
+        print(text, end="")
+    return 3 if lost_units else 0
+
+
 def _cmd_verify(args) -> int:
     from repro.verify import (
         TrialFailure,
@@ -576,6 +727,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     measure.add_argument("--rounds", type=int, default=2000)
     measure.set_defaults(fn=_cmd_measure)
+
+    profile = sub.add_parser(
+        "profile",
+        help="metrics-instrumented simulation: per-primitive overhead "
+        "anatomy (rls/sch/cnt1/cnt2), queue-op cost by N, simulator "
+        "self-profile",
+    )
+    profile.add_argument(
+        "--tasks",
+        help="task-set JSON file (single-scenario mode; omit to profile "
+        "a generated sweep)",
+    )
+    profile.add_argument("--cores", type=int, default=4)
+    profile.add_argument("--algorithm", default="FP-TS")
+    profile.add_argument(
+        "--overheads", default="paper", help="zero | paper | paper*<factor>"
+    )
+    profile.add_argument("--duration-ms", type=int, default=1000)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--faults",
+        metavar="FILE",
+        help="fault-plan JSON to profile under (single mode only)",
+    )
+    profile.add_argument(
+        "--overrun-policy",
+        choices=list(OVERRUN_POLICIES),
+        default="run-on",
+    )
+    profile.add_argument(
+        "--sets",
+        type=int,
+        default=4,
+        help="generated scenarios in sweep mode (default: 4)",
+    )
+    profile.add_argument("--n-tasks", type=int, default=12)
+    profile.add_argument(
+        "--utilization",
+        type=float,
+        default=0.75,
+        help="normalized per-core utilization of generated sets "
+        "(default: 0.75)",
+    )
+    profile.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="json: full profile report; prom: Prometheus text "
+        "exposition of the raw metrics (default: json)",
+    )
+    profile.add_argument(
+        "--out", metavar="FILE", help="write the report here instead of stdout"
+    )
+    engine_flags(profile)
+    profile.set_defaults(fn=_cmd_profile)
 
     breakdown = sub.add_parser(
         "breakdown", help="breakdown-utilization distributions"

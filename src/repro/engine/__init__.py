@@ -35,6 +35,7 @@ from repro.engine.units import (
     CACHE_SCHEMA_VERSION,
     AcceptanceUnit,
     ChaosUnit,
+    ProfileUnit,
     SplittingUnit,
     VerifyUnit,
     execute_unit,
@@ -46,6 +47,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "AcceptanceUnit",
     "ChaosUnit",
+    "ProfileUnit",
     "SplittingUnit",
     "VerifyUnit",
     "EngineStats",

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.units import WorkUnit, execute_unit, unit_fingerprint
+from repro.metrics.registry import active as _metrics_active
 
 
 @dataclass(frozen=True)
@@ -147,6 +148,14 @@ class ExperimentEngine:
         Load the journal before executing and treat every unit whose
         fingerprint appears there as already done — an interrupted
         campaign recomputes only unfinished units.
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricsRegistry` (a
+        disabled one counts as absent).  Every ``run()`` folds its
+        engine counters into it (``engine_units_total``,
+        ``engine_cache_hits_total``, ...) and observes the run's wall
+        time in the ``wall_engine_run_ms`` histogram.  Purely
+        observational: payloads, ordering, and failure handling are
+        unaffected.
     """
 
     def __init__(
@@ -160,6 +169,7 @@ class ExperimentEngine:
         max_pool_failures: int = 3,
         journal: Union[str, Path, None] = None,
         resume: bool = False,
+        metrics=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -188,6 +198,7 @@ class ExperimentEngine:
         self.last_failures: List[UnitFailure] = []
         self._journal_ready = False
         self._journal_seen: Dict[str, dict] = {}
+        self.metrics = _metrics_active(metrics)
 
     # ------------------------------------------------------------------
     # Journal (checkpoint/resume)
@@ -269,8 +280,31 @@ class ExperimentEngine:
         self.stats.units += len(units)
         self.stats.computed += len(computed)
         self.stats.failed += len(self.last_failures)
-        self.stats.wall_s += time.perf_counter() - start
+        wall_s = time.perf_counter() - start
+        self.stats.wall_s += wall_s
+        if self.metrics is not None:
+            self._record_run_metrics(units, computed, wall_s)
         return results
+
+    def _record_run_metrics(
+        self, units: Sequence[WorkUnit], computed: List[int], wall_s: float
+    ) -> None:
+        """Fold one run's engine counters into the attached registry."""
+        metrics = self.metrics
+        metrics.counter("engine_runs_total").inc()
+        metrics.counter("engine_units_total").inc(len(units))
+        metrics.counter("engine_computed_total").inc(len(computed))
+        metrics.counter("engine_failed_total").inc(len(self.last_failures))
+        metrics.gauge("engine_jobs").set(self.jobs)
+        for stat_name in ("cache_hits", "cache_misses", "journal_hits",
+                          "retried", "pool_failures"):
+            value = getattr(self.stats, stat_name)
+            gauge = metrics.gauge(f"engine_{stat_name}")
+            gauge.set(max(gauge.value, value))
+        metrics.histogram(
+            "wall_engine_run_ms",
+            bounds=(1, 10, 100, 1_000, 10_000, 60_000, 600_000),
+        ).observe(int(wall_s * 1000))
 
     # ------------------------------------------------------------------
     # Fast path: chunked pool.map (no timeout/retry/journal)

@@ -95,6 +95,33 @@ class ChaosUnit:
 
 
 @dataclass(frozen=True)
+class ProfileUnit:
+    """One metrics-instrumented simulation of a generated scenario.
+
+    Executing it generates a task set (``seed``), partitions it with
+    ``algorithm``, runs a :class:`~repro.kernel.sim.KernelSim` with a
+    fresh :class:`~repro.metrics.registry.MetricsRegistry` attached, and
+    returns the registry snapshot plus a headline summary.  Snapshots
+    are plain dicts, so shards from worker processes merge losslessly in
+    the parent (``MetricsRegistry.from_dict(...)`` + ``merge``) — the
+    merged registry's ``sim_*`` metrics equal a serial run's exactly.
+    Rejected (unschedulable) scenarios return ``{"rejected": True}``.
+    """
+
+    n_cores: int
+    n_tasks: int
+    utilization: float  # normalized (U/m)
+    seed: int
+    algorithm: str
+    overheads: OverheadModel
+    duration_ms: int
+    overrun_policy: str = "run-on"
+    period_min: int = 10 * MS
+    period_max: int = 1000 * MS
+    kind: str = "profile"
+
+
+@dataclass(frozen=True)
 class VerifyUnit:
     """A contiguous slice of verification-harness trials.
 
@@ -112,7 +139,9 @@ class VerifyUnit:
     kind: str = "verify"
 
 
-WorkUnit = Union[AcceptanceUnit, SplittingUnit, ChaosUnit, VerifyUnit]
+WorkUnit = Union[
+    AcceptanceUnit, SplittingUnit, ChaosUnit, VerifyUnit, ProfileUnit
+]
 
 
 def unit_spec(unit: WorkUnit) -> dict:
@@ -153,7 +182,50 @@ def execute_unit(unit: WorkUnit) -> dict:
         return _execute_chaos(unit)
     if unit.kind == "verify":
         return _execute_verify(unit)
+    if unit.kind == "profile":
+        return _execute_profile(unit)
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def _execute_profile(unit: ProfileUnit) -> dict:
+    from repro.experiments.algorithms import build_assignment
+    from repro.kernel.sim import KernelSim
+    from repro.metrics.registry import MetricsRegistry
+
+    generator = TaskSetGenerator(
+        n_tasks=unit.n_tasks,
+        seed=unit.seed,
+        period_min=unit.period_min,
+        period_max=unit.period_max,
+    )
+    taskset = generator.generate(unit.utilization * unit.n_cores)
+    assignment = build_assignment(
+        unit.algorithm, taskset, unit.n_cores, unit.overheads
+    )
+    if assignment is None:
+        return {"rejected": True, "metrics": None, "summary": None}
+    registry = MetricsRegistry()
+    result = KernelSim(
+        assignment,
+        unit.overheads,
+        duration=unit.duration_ms * MS,
+        execution_times={task.name: task.wcet for task in taskset},
+        seed=unit.seed,
+        overrun_policy=unit.overrun_policy,
+        metrics=registry,
+    ).run()
+    return {
+        "rejected": False,
+        "metrics": registry.as_dict(),
+        "summary": {
+            "releases": result.releases,
+            "misses": result.miss_count,
+            "preemptions": result.preemptions,
+            "migrations": result.migrations,
+            "context_switches": result.context_switches,
+            "overhead_ratio": result.total_overhead_ratio,
+        },
+    }
 
 
 def _execute_verify(unit: VerifyUnit) -> dict:

@@ -235,12 +235,20 @@ class Job:
         return self.finish_time is not None
 
 
-def build_runtime_tasks(assignment: Assignment) -> List[RTTask]:
+def build_runtime_tasks(
+    assignment: Assignment, metrics=None
+) -> List[RTTask]:
     """Derive the runtime task table from an assignment.
 
     Uses the *raw* entry budgets: the analysis-side inflation (overhead
     accounting) never reaches the simulator, which injects overheads as
     explicit kernel execution instead.
+
+    ``metrics`` (an active :class:`~repro.metrics.registry.
+    MetricsRegistry` or ``None``) receives task-table shape gauges —
+    how many tasks, how many of them split, and the total stage count —
+    the static context every per-primitive measurement is read against
+    (the paper reports overheads *as a function of* these).
     """
     by_task: Dict[str, List[Entry]] = {}
     for entry in assignment.entries():
@@ -286,4 +294,12 @@ def build_runtime_tasks(assignment: Assignment) -> List[RTTask]:
             )
         )
     runtime.sort(key=lambda rt: rt.name)
+    if metrics is not None:
+        metrics.gauge("sim_task_table_tasks").set(len(runtime))
+        metrics.gauge("sim_task_table_split_tasks").set(
+            sum(1 for rt in runtime if rt.is_split)
+        )
+        metrics.gauge("sim_task_table_stages").set(
+            sum(len(rt.stages) for rt in runtime)
+        )
     return runtime

@@ -42,10 +42,17 @@ from repro.faults.log import FaultLog
 from repro.faults.plan import OVERRUN_POLICIES, FaultPlan
 from repro.kernel.events import Event, EventQueue
 from repro.kernel.runtime import Job, RTTask, build_runtime_tasks
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.registry import active as _metrics_active
 from repro.model.assignment import Assignment
 from repro.model.resources import ResourceModel
 from repro.overhead.model import OverheadModel
 from repro.structures.binomial_heap import BinomialHeap
+from repro.structures.instrumented import (
+    InstrumentedHeap,
+    InstrumentedTree,
+    _StatsCollection,
+)
 from repro.structures.rbtree import RedBlackTree
 
 #: Same-instant event ordering (lower runs first):
@@ -304,6 +311,24 @@ class KernelSim:
         ``"abort-job"`` (budget enforcement: kill the job at nominal C
         and count an ``aborted`` miss), or ``"demote"`` (finish the
         excess at background priority, below all other tasks).
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricsRegistry`.  When
+        given (and enabled), the run records the paper's overhead
+        anatomy into it: per-primitive kernel-op counts and simulated-
+        time costs (``sim_kernel_ops_total{op=...}`` and friends), queue
+        operations timed individually through the instrumented ready/
+        sleep structures and keyed by the per-core task count N
+        (``wall_queue_op_ns{queue=...,n=...}`` — the paper's δ/θ-vs-N
+        measurement), plus wall-clock self-profiling of the simulator's
+        own handlers.  Observation never perturbs the simulation: the
+        :class:`SimulationResult` is bit-identical with ``metrics=None``,
+        a disabled registry, or an enabled one (pinned by
+        ``tests/test_profile_cli.py`` and the golden-trace suite).
+        ``None`` (the default) keeps the hot path at a single attribute
+        check per kernel op.  A registry shared across several runs
+        aggregates them; per-run queue-op counts stay per-run because
+        the sim resets its instrumented-structure counters at the start
+        of every :meth:`run`.
     """
 
     def __init__(
@@ -324,6 +349,7 @@ class KernelSim:
         profile: bool = False,
         faults: Optional[FaultPlan] = None,
         overrun_policy: str = "run-on",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -333,7 +359,8 @@ class KernelSim:
         self.record_trace = record_trace
         self.queue = EventQueue()
         self.cores = [_Core(i) for i in range(assignment.n_cores)]
-        self.rt_tasks = build_runtime_tasks(assignment)
+        self._metrics = _metrics_active(metrics)
+        self.rt_tasks = build_runtime_tasks(assignment, metrics=self._metrics)
         self.offsets = release_offsets or {}
         self.execution_times = execution_times or {}
         if policy not in ("fp", "edf"):
@@ -405,8 +432,43 @@ class KernelSim:
         self.preemptions = 0
         self.migrations = 0
         self.releases = 0
-        self._profile_enabled = profile
+        # Wall-clock self-profiling runs for an explicit profile=True and
+        # whenever a metrics registry is attached (the registry flush
+        # consumes the same buckets).
+        self._profile_enabled = profile or self._metrics is not None
         self.profile: Dict[str, Tuple[int, int]] = {}
+        # Per-op-kind accumulators (plain dicts on the hot path; flushed
+        # into the registry once, after the run).
+        self._op_counts: Dict[str, int] = {}
+        self._op_sim_ns: Dict[str, int] = {}
+        #: (queue, N) -> shared op-stats collection; the instrumented
+        #: structures of every core with per-core task count N feed it.
+        self._queue_stats: Dict[Tuple[str, int], _StatsCollection] = {}
+        if self._metrics is not None:
+            n_by_core = {
+                core_assignment.core: len(core_assignment.entries)
+                for core_assignment in assignment.cores
+            }
+            for core in self.cores:
+                n = n_by_core.get(core.index, 0)
+                ready_stats = self._queue_stats.setdefault(
+                    ("ready", n), _StatsCollection()
+                )
+                sleep_stats = self._queue_stats.setdefault(
+                    ("sleep", n), _StatsCollection()
+                )
+                core.ready = InstrumentedHeap(
+                    stats=ready_stats,
+                    histogram=self._metrics.histogram(
+                        "wall_queue_op_ns", queue="ready", n=n
+                    ),
+                )
+                core.sleep = InstrumentedTree(
+                    stats=sleep_stats,
+                    histogram=self._metrics.histogram(
+                        "wall_queue_op_ns", queue="sleep", n=n
+                    ),
+                )
         self._current_jobs: Dict[str, Optional[Job]] = {
             rt.name: None for rt in self.rt_tasks
         }
@@ -422,11 +484,18 @@ class KernelSim:
         """Execute the simulation and return the results."""
         if self._finished:
             raise RuntimeError("KernelSim instances are single-use")
+        if self._metrics is not None:
+            # Per-simulation counters: shared stats collections must not
+            # leak an earlier run's totals into this run's op counts.
+            for stats in self._queue_stats.values():
+                stats.reset()
         for rt in self.rt_tasks:
             offset = self.offsets.get(rt.name, 0)
             self._schedule_release(rt, offset)
         self.queue.run_until(self.duration)
         self._finalize()
+        if self._metrics is not None:
+            self._flush_metrics()
         self._finished = True
         return SimulationResult(
             duration=self.duration,
@@ -598,6 +667,12 @@ class KernelSim:
         duration = op.duration
         if duration > 0 and self._injector is not None:
             duration = self._injector.spike(op.kind, duration, t, core.index)
+        if self._metrics is not None:
+            # Charged (post-spike) cost: what the core actually lost.
+            self._op_counts[op.kind] = self._op_counts.get(op.kind, 0) + 1
+            self._op_sim_ns[op.kind] = (
+                self._op_sim_ns.get(op.kind, 0) + duration
+            )
         end = t + duration
         if duration > 0:
             core.overhead_ns += duration
@@ -1096,6 +1171,70 @@ class KernelSim:
     def _log_event(self, t: int, kind: str, task: str, core: int) -> None:
         if self.record_trace:
             self.events_log.append((t, kind, task, core))
+
+    def _flush_metrics(self) -> None:
+        """Record this run's observations into the attached registry.
+
+        One pass at end-of-run: the hot path only bumps plain dicts and
+        the instrumented-structure stats; everything registry-shaped
+        happens here.  ``sim_*`` metrics are functions of simulated time
+        only (deterministic for a fixed scenario); ``wall_*`` metrics
+        are wall-clock self-measurements.
+        """
+        metrics = self._metrics
+        assert metrics is not None
+        for kind in sorted(self._op_counts):
+            metrics.counter("sim_kernel_ops_total", op=kind).inc(
+                self._op_counts[kind]
+            )
+            metrics.counter("sim_kernel_op_ns_total", op=kind).inc(
+                self._op_sim_ns[kind]
+            )
+        metrics.counter("sim_releases_total").inc(self.releases)
+        metrics.counter("sim_preemptions_total").inc(self.preemptions)
+        metrics.counter("sim_migrations_total").inc(self.migrations)
+        metrics.counter("sim_context_switches_total").inc(
+            self.context_switches
+        )
+        metrics.counter("sim_cache_delay_ns_total").inc(self.cache_delay_ns)
+        miss_kinds: Dict[str, int] = {}
+        for miss in self.misses:
+            miss_kinds[miss.kind] = miss_kinds.get(miss.kind, 0) + 1
+        for kind in sorted(miss_kinds):
+            metrics.counter("sim_deadline_misses_total", kind=kind).inc(
+                miss_kinds[kind]
+            )
+        completed = killed = 0
+        for stats in self.task_stats.values():
+            completed += stats.jobs_completed
+            killed += stats.jobs_killed
+        metrics.counter("sim_jobs_completed_total").inc(completed)
+        metrics.counter("sim_jobs_killed_total").inc(killed)
+        for core in self.cores:
+            metrics.counter("sim_core_busy_ns_total", core=core.index).inc(
+                core.busy_ns
+            )
+            metrics.counter(
+                "sim_core_overhead_ns_total", core=core.index
+            ).inc(core.overhead_ns)
+        # Queue-operation counts by (queue, op, N) — the deterministic
+        # half of the paper's Table-1 δ/θ measurement (the wall-clock
+        # half streams into wall_queue_op_ns histograms live).
+        for (queue, n), stats in sorted(self._queue_stats.items()):
+            for op_name, op_stats in sorted(stats.ops.items()):
+                metrics.counter(
+                    "sim_queue_ops_total", queue=queue, op=op_name, n=n
+                ).inc(op_stats.count)
+        # Wall-clock self-profile of the simulator's own handlers
+        # (release / scheduling / context-switch effect functions).
+        for bucket in sorted(self.profile):
+            count, total_ns = self.profile[bucket]
+            metrics.counter("wall_handler_calls_total", bucket=bucket).inc(
+                count
+            )
+            metrics.counter("wall_handler_ns_total", bucket=bucket).inc(
+                total_ns
+            )
 
     def _finalize(self) -> None:
         """Account partial progress at the horizon and residual misses."""

@@ -1,0 +1,47 @@
+"""Observability layer: metrics registry, profile reports, regression gate.
+
+``repro.metrics`` gives the repository a first-class way to observe
+itself, following the measurement methodology of the paper's Section 3
+(and of LITMUS^RT's Feather-Trace overhead tracing): lightweight
+instruments threaded through the simulator, structures, and experiment
+engine, recording per-primitive event counts and costs keyed by the
+paper's taxonomy (``rls``, ``sch``, ``cnt1``, ``cnt2``, queue ops δ/θ
+by N) — **zero-cost when disabled**.
+
+See ``docs/observability.md`` for the metric taxonomy and the
+golden-baseline update workflow.
+"""
+
+from repro.metrics.registry import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active,
+)
+from repro.metrics.report import (
+    DEFAULT_WALL_TOLERANCE,
+    PRIMITIVE_OF_OP,
+    PROFILE_SCHEMA_VERSION,
+    build_report,
+    compare_reports,
+    primitive_anatomy,
+    queue_op_curves,
+)
+
+__all__ = [
+    "DEFAULT_NS_BUCKETS",
+    "DEFAULT_WALL_TOLERANCE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PRIMITIVE_OF_OP",
+    "PROFILE_SCHEMA_VERSION",
+    "active",
+    "build_report",
+    "compare_reports",
+    "primitive_anatomy",
+    "queue_op_curves",
+]

@@ -1,0 +1,445 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The observability layer's data model, shaped after the paper's Section-3
+measurement discipline: every quantity the simulator observes about
+itself is either
+
+* a **counter** — a monotonically increasing total (events, simulated
+  nanoseconds charged, cache hits);
+* a **gauge** — a last-written level (task-table size, queue occupancy
+  at some instant); or
+* a **histogram** — a fixed-bucket distribution of per-event samples
+  (wall-clock nanoseconds of one queue operation), carrying bucket
+  counts plus exact ``count``/``sum``/``max`` aggregates.
+
+Metrics are keyed by name plus a sorted label set (Prometheus-style), so
+the same instrument can be partitioned by the paper's taxonomy — e.g.
+``sim_kernel_ops_total{op="release"}`` or
+``wall_queue_op_ns{n="4", queue="ready"}``.
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  The simulator holds ``None`` instead of
+   a registry and guards every record site with one attribute check; a
+   registry constructed with ``enabled=False`` is treated exactly like
+   ``None`` by every instrumented component.
+2. **Deterministic serialization.**  :meth:`MetricsRegistry.as_dict`
+   orders metrics by (name, labels) and
+   :meth:`MetricsRegistry.canonical_json` is byte-stable, so snapshots
+   can be compared, cached, and committed as golden baselines.
+3. **Mergeable shards.**  Worker processes return registry snapshots as
+   plain dicts; :meth:`MetricsRegistry.merge` folds them together such
+   that a sharded run aggregates to exactly the serial run (counters and
+   histogram buckets add; gauges keep the maximum).
+
+Naming convention (relied on by the regression harness): metrics whose
+name starts with ``sim_`` are *simulated-time* quantities — fully
+deterministic for a fixed scenario and compared exactly; names starting
+with ``wall_`` are wall-clock self-measurements — machine- and run-
+dependent, compared within a tolerance band only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds for wall-clock samples, in
+#: nanoseconds.  Spans one queue operation (~100 ns in CPython) up to a
+#: pathological 1 ms stall; samples beyond the last bound land in the
+#: implicit +Inf bucket.
+DEFAULT_NS_BUCKETS: Tuple[int, ...] = (
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    1_000_000,
+)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, object]) -> LabelsKey:
+    """Canonical (sorted, stringified) form of a label mapping."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_text(labels: LabelsKey) -> str:
+    """Prometheus-style ``{k="v",...}`` rendering (empty for no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "counter",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A last-written level (merge keeps the maximum across shards)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A fixed-bucket distribution with exact count/sum/max aggregates.
+
+    ``bounds`` are inclusive upper bucket edges; a sample larger than
+    every bound is counted in the implicit overflow (+Inf) bucket.
+    Bucket counts are *non-cumulative* in memory (simpler merging); the
+    Prometheus exposition cumulates them on the way out.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "buckets", "count", "sum", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey = (),
+        bounds: Sequence[int] = DEFAULT_NS_BUCKETS,
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name}: bounds must be non-empty and sorted"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[int, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.max = 0
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (same bounds required)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge bounds "
+                f"{other.bounds} into {self.bounds}"
+            )
+        self.count += other.count
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+        for index, value in enumerate(other.buckets):
+            self.buckets[index] += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+        }
+
+
+Metric = object  # Counter | Gauge | Histogram (3.9-compatible alias)
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    ``counter()``/``gauge()``/``histogram()`` are get-or-create: the
+    first call with a given (name, labels) pair creates the instrument,
+    later calls return the same object, so hot paths can cache the
+    instrument once and call ``inc``/``observe`` directly.
+
+    A registry constructed with ``enabled=False`` still works as a data
+    container, but every instrumented component in the repository
+    (``KernelSim``, ``ExperimentEngine``, the profile CLI) treats it
+    exactly like ``metrics=None``: nothing is recorded and the observed
+    system's behaviour is bit-identical to an uninstrumented run.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[Tuple[str, LabelsKey], Metric] = {}
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, _labels_key(labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, _labels_key(labels))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[int] = DEFAULT_NS_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, key[1], bounds)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name}{_labels_text(key[1])} already registered "
+                f"as {type(metric).__name__}"
+            )
+        return metric
+
+    def _get(self, cls, name: str, labels: LabelsKey):
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name}{_labels_text(labels)} already registered "
+                f"as {type(metric).__name__}"
+            )
+        return metric
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def value(self, name: str, **labels):
+        """Current value of a counter/gauge (None if never recorded)."""
+        metric = self._metrics.get((name, _labels_key(labels)))
+        if metric is None:
+            return None
+        return metric.value
+
+    def sum_of(self, name: str) -> int:
+        """Total over every label combination of a counter family."""
+        total = 0
+        for (metric_name, _labels), metric in self._metrics.items():
+            if metric_name == name and isinstance(metric, Counter):
+                total += metric.value
+        return total
+
+    def reset(self) -> None:
+        """Drop every recorded metric (per-simulation reuse)."""
+        self._metrics.clear()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s metrics into this registry (returns self).
+
+        Counters and histograms add; gauges keep the maximum (the only
+        order-independent choice, which is what shard merging needs).
+        Merging is associative and commutative, so any grouping of
+        worker shards aggregates to the serial run's registry.
+        """
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                self._metrics[key] = _copy_metric(metric)
+            elif isinstance(metric, Counter):
+                mine.inc(metric.value)
+            elif isinstance(metric, Gauge):
+                if metric.value > mine.value:
+                    mine.set(metric.value)
+            else:
+                mine.merge(metric)
+        return self
+
+    @staticmethod
+    def merged(shards: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry holding the fold of every shard."""
+        result = MetricsRegistry()
+        for shard in shards:
+            result.merge(shard)
+        return result
+
+    # -- serialization ---------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON-safe snapshot (metrics sorted by key)."""
+        return {
+            "metrics": [
+                self._metrics[key].as_dict()
+                for key in sorted(self._metrics)
+            ]
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot."""
+        registry = MetricsRegistry()
+        entries = data.get("metrics", [])
+        if not isinstance(entries, list):
+            raise ValueError("metrics snapshot: 'metrics' must be a list")
+        for entry in entries:
+            kind = entry.get("type")
+            name = entry.get("name")
+            if not isinstance(name, str):
+                raise ValueError(f"metrics snapshot: bad name {name!r}")
+            labels = entry.get("labels", {})
+            if kind == "counter":
+                registry.counter(name, **labels).inc(int(entry["value"]))
+            elif kind == "gauge":
+                registry.gauge(name, **labels).set(entry["value"])
+            elif kind == "histogram":
+                histogram = registry.histogram(
+                    name, bounds=entry["bounds"], **labels
+                )
+                histogram.buckets = [int(b) for b in entry["buckets"]]
+                histogram.count = int(entry["count"])
+                histogram.sum = entry["sum"]
+                histogram.max = entry["max"]
+            else:
+                raise ValueError(
+                    f"metrics snapshot: unknown metric type {kind!r}"
+                )
+        return registry
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON rendering (golden-baseline comparisons)."""
+        return json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (one ``# TYPE`` line per family).
+
+        Histograms follow the standard cumulative-``le`` convention with
+        ``_bucket``/``_sum``/``_count`` series.
+        """
+        lines: List[str] = []
+        seen_type: Dict[str, str] = {}
+        for metric in self:
+            if isinstance(metric, Counter):
+                family, kind = metric.name, "counter"
+            elif isinstance(metric, Gauge):
+                family, kind = metric.name, "gauge"
+            else:
+                family, kind = metric.name, "histogram"
+            if family not in seen_type:
+                seen_type[family] = kind
+                lines.append(f"# TYPE {family} {kind}")
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{metric.name}{_labels_text(metric.labels)} "
+                    f"{metric.value}"
+                )
+                continue
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.buckets):
+                cumulative += count
+                bucket_labels = metric.labels + (("le", str(bound)),)
+                lines.append(
+                    f"{metric.name}_bucket{_labels_text(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            inf_labels = metric.labels + (("le", "+Inf"),)
+            lines.append(
+                f"{metric.name}_bucket{_labels_text(inf_labels)} "
+                f"{metric.count}"
+            )
+            lines.append(
+                f"{metric.name}_sum{_labels_text(metric.labels)} "
+                f"{metric.sum}"
+            )
+            lines.append(
+                f"{metric.name}_count{_labels_text(metric.labels)} "
+                f"{metric.count}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _copy_metric(metric):
+    """Deep-enough copy so merging never aliases a shard's instruments."""
+    if isinstance(metric, Counter):
+        copy = Counter(metric.name, metric.labels)
+        copy.value = metric.value
+        return copy
+    if isinstance(metric, Gauge):
+        copy = Gauge(metric.name, metric.labels)
+        copy.value = metric.value
+        return copy
+    copy = Histogram(metric.name, metric.labels, metric.bounds)
+    copy.buckets = list(metric.buckets)
+    copy.count = metric.count
+    copy.sum = metric.sum
+    copy.max = metric.max
+    return copy
+
+
+def active(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Normalize an optional registry: disabled behaves exactly like None.
+
+    Every instrumented component funnels its ``metrics`` argument through
+    this helper, so "disabled" has a single definition repository-wide.
+    """
+    if registry is not None and registry.enabled:
+        return registry
+    return None

@@ -23,20 +23,29 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.structures.instrumented import InstrumentedHeap, InstrumentedTree
 
 
 @dataclass
 class QueueMeasurement:
-    """Max/mean cost of one queue operation at a given queue length."""
+    """Max/mean cost of one queue operation at a given queue length.
+
+    ``ready_op_counts`` / ``sleep_op_counts`` are the exact per-operation
+    counts of the measured (post-warmup) phase.  Unlike the timings they
+    are fully deterministic — a fixed ``rounds`` performs a fixed
+    scheduler-shaped operation mix — so regression tests can pin them
+    (and catch counters accumulating across measurement runs).
+    """
 
     n: int
     ready_max_ns: int
     ready_mean_ns: float
     sleep_max_ns: int
     sleep_mean_ns: float
+    ready_op_counts: Optional[Dict[str, int]] = None
+    sleep_op_counts: Optional[Dict[str, int]] = None
 
     @property
     def ready_max_us(self) -> float:
@@ -108,6 +117,8 @@ def measure_queue_operations(
         ready_mean_ns=ready_mean,
         sleep_max_ns=sleep_max,
         sleep_mean_ns=sleep_mean,
+        ready_op_counts=heap.stats.op_counts(),
+        sleep_op_counts=tree.stats.op_counts(),
     )
 
 

@@ -6,13 +6,30 @@ counts (N = 4 and N = 64).  These wrappers reproduce that measurement on our
 own structures: every operation is timed with ``time.perf_counter_ns`` and
 aggregated into per-operation statistics (count, max, total), so the bench
 harness can report the same table shape the paper prints.
+
+Two integration points beyond the standalone micro-benchmark:
+
+* a wrapper can be built around a *shared* :class:`_StatsCollection`
+  (several queues aggregating into one collection, e.g. all ready queues
+  of one simulated platform) and/or a metrics **histogram** — any object
+  with an ``observe(elapsed_ns)`` method, in practice a
+  :class:`repro.metrics.registry.Histogram` — which receives every
+  individual operation duration;
+* **op counters are per-simulation, not per-process**: callers that
+  reuse a wrapper (or a shared collection) across runs must call
+  :meth:`reset` between them.  :class:`~repro.kernel.sim.KernelSim`
+  does this at the start of every profiled run, so two identical
+  simulations in one process report identical per-run operation counts
+  instead of the second run seeing the first run's totals accumulated
+  on top (the Table-1 δ/θ count regression in
+  ``tests/test_instrumented_reset.py`` pins this).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.structures.binomial_heap import BinomialHeap, HeapHandle
 from repro.structures.rbtree import RedBlackTree
@@ -60,28 +77,59 @@ class _StatsCollection:
             return 0.0
         return max(stat.max_us for stat in self.ops.values())
 
+    def op_counts(self) -> Dict[str, int]:
+        """Deterministic per-operation counts (sorted by name)."""
+        return {name: self.ops[name].count for name in sorted(self.ops)}
+
     def reset(self) -> None:
         self.ops.clear()
 
 
-class InstrumentedHeap:
+class _InstrumentedBase:
+    """Shared timing plumbing for the two queue wrappers."""
+
+    __slots__ = ("stats", "_histogram")
+
+    def __init__(
+        self,
+        stats: Optional[_StatsCollection] = None,
+        histogram: Optional[Any] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else _StatsCollection()
+        self._histogram = histogram
+
+    def reset(self) -> None:
+        """Forget accumulated op statistics (per-simulation semantics)."""
+        self.stats.reset()
+
+    def _timed(self, name: str, fn, *args):
+        start = time.perf_counter_ns()
+        result = fn(*args)
+        elapsed = time.perf_counter_ns() - start
+        self.stats.stat(name).record(elapsed)
+        if self._histogram is not None:
+            self._histogram.observe(elapsed)
+        return result
+
+
+class InstrumentedHeap(_InstrumentedBase):
     """A :class:`BinomialHeap` that times every queue operation."""
 
-    def __init__(self) -> None:
+    __slots__ = ("_heap",)
+
+    def __init__(
+        self,
+        stats: Optional[_StatsCollection] = None,
+        histogram: Optional[Any] = None,
+    ) -> None:
+        super().__init__(stats, histogram)
         self._heap = BinomialHeap()
-        self.stats = _StatsCollection()
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def __bool__(self) -> bool:
         return bool(self._heap)
-
-    def _timed(self, name: str, fn, *args):
-        start = time.perf_counter_ns()
-        result = fn(*args)
-        self.stats.stat(name).record(time.perf_counter_ns() - start)
-        return result
 
     def insert(self, key: Any, value: Any = None) -> HeapHandle:
         return self._timed("insert", self._heap.insert, key, value)
@@ -102,24 +150,24 @@ class InstrumentedHeap:
         self._heap.check_invariants()
 
 
-class InstrumentedTree:
+class InstrumentedTree(_InstrumentedBase):
     """A :class:`RedBlackTree` that times every queue operation."""
 
-    def __init__(self) -> None:
+    __slots__ = ("_tree",)
+
+    def __init__(
+        self,
+        stats: Optional[_StatsCollection] = None,
+        histogram: Optional[Any] = None,
+    ) -> None:
+        super().__init__(stats, histogram)
         self._tree = RedBlackTree()
-        self.stats = _StatsCollection()
 
     def __len__(self) -> int:
         return len(self._tree)
 
     def __bool__(self) -> bool:
         return bool(self._tree)
-
-    def _timed(self, name: str, fn, *args):
-        start = time.perf_counter_ns()
-        result = fn(*args)
-        self.stats.stat(name).record(time.perf_counter_ns() - start)
-        return result
 
     def insert(self, key: Any, value: Any = None):
         return self._timed("insert", self._tree.insert, key, value)

@@ -9,6 +9,22 @@ from repro.model.taskset import TaskSet
 from repro.model.time import MS
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def simple_taskset() -> TaskSet:
     """Three 0.6-utilization tasks: classic semi-partitioning motivator."""

@@ -1,0 +1,188 @@
+"""Golden-trace regression suite.
+
+Each scenario runs a fully seeded :class:`KernelSim` and snapshots the
+*byte-exact* canonical output — the full
+:func:`~repro.verify.result_to_canonical` document plus every
+deterministic ``sim_*`` metric series — against a committed JSON file
+under ``tests/golden/``.  Any behavioural change to the simulator
+(event ordering, overhead charging, queue discipline, fault handling)
+shows up as a byte diff here before it shows up in a paper figure.
+
+The three scenarios cover the simulator's three qualitatively different
+regimes:
+
+* ``normal`` — a partitioned task set, no splitting, no faults;
+* ``split_migration`` — three 0.6-utilization tasks on two cores, which
+  forces a task split and exercises the body→tail budget-exhaustion
+  migration path every period;
+* ``fault_overrun`` — a deterministic execution overrun injected via a
+  :class:`FaultPlan` under the ``demote`` policy, exercising the
+  overrun detection and re-queue path.
+
+Snapshots are serialized with ``sort_keys=True`` and compact separators
+so the comparison is byte-stable across Python versions and dict
+insertion orders.  To regenerate after an *intentional* behaviour
+change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.algorithms import build_assignment
+from repro.faults.plan import FaultPlan, TaskFaults
+from repro.kernel.sim import KernelSim
+from repro.metrics import MetricsRegistry
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+from repro.verify import result_to_canonical
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _partitioned_taskset() -> TaskSet:
+    """Fits on two cores without splitting."""
+    return TaskSet(
+        [
+            Task("a", wcet=2 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=20 * MS),
+            Task("c", wcet=5 * MS, period=25 * MS),
+            Task("d", wcet=9 * MS, period=50 * MS),
+        ]
+    ).assign_rate_monotonic()
+
+
+def _splitting_taskset() -> TaskSet:
+    """Three 0.6-utilization tasks on two cores: one must split."""
+    return TaskSet(
+        [
+            Task("a", wcet=6 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=10 * MS),
+            Task("c", wcet=6 * MS, period=10 * MS),
+        ]
+    ).assign_rate_monotonic()
+
+
+def _simulate(taskset, faults=None, overrun_policy="run-on"):
+    assignment = build_assignment(
+        "FP-TS", taskset, 2, OverheadModel.zero()
+    )
+    assert assignment is not None
+    registry = MetricsRegistry()
+    result = KernelSim(
+        assignment,
+        OverheadModel.paper_core_i7(2),
+        duration=100 * MS,
+        record_trace=True,
+        seed=11,
+        faults=faults,
+        overrun_policy=overrun_policy,
+        metrics=registry,
+    ).run()
+    return result, registry
+
+
+def _sim_metrics(registry: MetricsRegistry) -> list:
+    """Only the ``sim_*`` series: deterministic, snapshot-safe.
+
+    ``wall_*`` families measure real nanoseconds and would never be
+    byte-stable.
+    """
+    return [
+        entry
+        for entry in registry.as_dict()["metrics"]
+        if entry["name"].startswith("sim_")
+    ]
+
+
+def _scenario_normal() -> dict:
+    result, registry = _simulate(_partitioned_taskset())
+    assert result.migrations == 0, "scenario must stay partitioned"
+    return {
+        "result": result_to_canonical(result),
+        "sim_metrics": _sim_metrics(registry),
+    }
+
+
+def _scenario_split_migration() -> dict:
+    result, registry = _simulate(_splitting_taskset())
+    assert result.migrations > 0, "scenario must exercise body->tail"
+    return {
+        "result": result_to_canonical(result),
+        "sim_metrics": _sim_metrics(registry),
+    }
+
+
+def _scenario_fault_overrun() -> dict:
+    plan = FaultPlan(
+        tasks={
+            "b": TaskFaults(overrun_factor=1.6, overrun_probability=1.0)
+        },
+        seed=3,
+    )
+    result, registry = _simulate(
+        _partitioned_taskset(), faults=plan, overrun_policy="demote"
+    )
+    assert result.faults.as_dicts(), "scenario must log injected faults"
+    return {
+        "result": result_to_canonical(result),
+        "sim_metrics": _sim_metrics(registry),
+    }
+
+
+SCENARIOS = {
+    "normal": _scenario_normal,
+    "split_migration": _scenario_split_migration,
+    "fault_overrun": _scenario_fault_overrun,
+}
+
+
+def _snapshot_bytes(payload: dict) -> bytes:
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("ascii")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trace(name, update_golden):
+    fresh = _snapshot_bytes(SCENARIOS[name]())
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_bytes(fresh)
+        pytest.skip(f"golden snapshot {path.name} updated")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        "pytest tests/test_golden_traces.py --update-golden"
+    )
+    golden = path.read_bytes()
+    if golden != fresh:
+        golden_doc = json.loads(golden)
+        fresh_doc = json.loads(fresh)
+        changed = [
+            key
+            for key in golden_doc["result"]
+            if golden_doc["result"][key] != fresh_doc["result"][key]
+        ]
+        if golden_doc["sim_metrics"] != fresh_doc["sim_metrics"]:
+            changed.append("sim_metrics")
+        pytest.fail(
+            f"golden trace {name!r} drifted in: {changed}. If the "
+            "simulator change is intentional, rerun with --update-golden."
+        )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_is_deterministic(name):
+    """Two in-process runs must produce identical snapshot bytes —
+    the precondition for the golden comparison to be meaningful."""
+    assert _snapshot_bytes(SCENARIOS[name]()) == _snapshot_bytes(
+        SCENARIOS[name]()
+    )

@@ -1,0 +1,243 @@
+"""Property tests for the metrics registry and its aggregation laws.
+
+Three families of properties, all load-bearing for the observability
+layer's correctness claims:
+
+* **algebra** — registry merging is associative and commutative (with
+  gauges folded by max, the only order-independent choice), so *any*
+  grouping of worker shards aggregates identically;
+* **accounting** — the counters the simulator flushes equal the event
+  counts the :class:`SimulationResult` itself reports; the registry is
+  a view of the run, never an independent tally that can drift;
+* **sharding** — executing :class:`ProfileUnit` shards and merging the
+  snapshots equals one serial pass over the same seeds, including
+  through the real :class:`ExperimentEngine` process pool (``sim_*``
+  series compared exactly; ``wall_*`` series are machine-dependent and
+  excluded, as everywhere else).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.engine import ExperimentEngine, ProfileUnit, execute_unit
+from repro.experiments.algorithms import build_assignment
+from repro.kernel.sim import KernelSim
+from repro.metrics import DEFAULT_NS_BUCKETS, MetricsRegistry
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+
+FUZZ_TRIALS = int(os.environ.get("REPRO_FUZZ_TRIALS", "30"))
+
+
+def _random_registry(rng: random.Random) -> MetricsRegistry:
+    """A registry with a random mix of instruments and samples."""
+    registry = MetricsRegistry()
+    for _ in range(rng.randrange(1, 6)):
+        registry.counter(
+            rng.choice(("sim_events_total", "sim_ops_total")),
+            op=rng.choice(("release", "sched", "finish")),
+        ).inc(rng.randrange(0, 1000))
+    for _ in range(rng.randrange(0, 4)):
+        registry.gauge(
+            "sim_level", core=rng.randrange(2)
+        ).set(rng.randrange(0, 100))
+    histogram = registry.histogram(
+        "wall_op_ns", queue=rng.choice(("ready", "sleep"))
+    )
+    for _ in range(rng.randrange(0, 50)):
+        histogram.observe(rng.randrange(0, 2_000_000))
+    return registry
+
+
+@pytest.mark.fuzz
+def test_merge_is_associative_and_commutative():
+    for trial in range(FUZZ_TRIALS):
+        rng = random.Random(9000 + trial)
+        a, b, c = (_random_registry(rng) for _ in range(3))
+        left = MetricsRegistry.merged(
+            [MetricsRegistry.merged([a, b]), c]
+        )
+        right = MetricsRegistry.merged(
+            [a, MetricsRegistry.merged([b, c])]
+        )
+        assert left == right
+        assert MetricsRegistry.merged([a, b]) == MetricsRegistry.merged(
+            [b, a]
+        )
+        shuffled = [a, b, c]
+        rng.shuffle(shuffled)
+        assert MetricsRegistry.merged(shuffled) == left
+
+
+@pytest.mark.fuzz
+def test_histogram_merge_preserves_aggregates():
+    """Merging shards must see exactly the union of the samples."""
+    for trial in range(FUZZ_TRIALS):
+        rng = random.Random(17000 + trial)
+        samples = [rng.randrange(0, 2_000_000) for _ in range(200)]
+        split = rng.randrange(0, len(samples))
+        whole = MetricsRegistry()
+        for value in samples:
+            whole.histogram("wall_x_ns").observe(value)
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for value in samples[:split]:
+            left.histogram("wall_x_ns").observe(value)
+        for value in samples[split:]:
+            right.histogram("wall_x_ns").observe(value)
+        merged = MetricsRegistry.merged([left, right])
+        assert merged == whole
+        histogram = merged.histogram("wall_x_ns")
+        assert histogram.count == len(samples)
+        assert histogram.sum == sum(samples)
+        assert histogram.max == max(samples)
+        assert sum(histogram.buckets) == len(samples)
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("wall_x_ns", bounds=(10, 20)).observe(5)
+    b.histogram("wall_x_ns", bounds=(10, 30)).observe(5)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_roundtrip_through_dict_is_lossless():
+    rng = random.Random(4242)
+    registry = _random_registry(rng)
+    assert MetricsRegistry.from_dict(registry.as_dict()) == registry
+    assert (
+        MetricsRegistry.from_dict(registry.as_dict()).canonical_json()
+        == registry.canonical_json()
+    )
+
+
+def test_counters_equal_simulation_event_counts():
+    """The flushed registry is a faithful view of the run's own tallies."""
+    taskset = TaskSet(
+        [
+            Task("a", wcet=6 * MS, period=10 * MS),
+            Task("b", wcet=6 * MS, period=10 * MS),
+            Task("c", wcet=6 * MS, period=10 * MS),
+        ]
+    ).assign_rate_monotonic()
+    assignment = build_assignment("FP-TS", taskset, 2, OverheadModel.zero())
+    assert assignment is not None
+    registry = MetricsRegistry()
+    result = KernelSim(
+        assignment,
+        OverheadModel.paper_core_i7(2),
+        duration=150 * MS,
+        seed=5,
+        metrics=registry,
+    ).run()
+    assert registry.value("sim_releases_total") == result.releases
+    assert registry.value("sim_preemptions_total") == result.preemptions
+    assert registry.value("sim_migrations_total") == result.migrations
+    assert (
+        registry.value("sim_context_switches_total")
+        == result.context_switches
+    )
+    assert registry.value("sim_cache_delay_ns_total") == result.cache_delay_ns
+    assert registry.sum_of("sim_deadline_misses_total") == len(result.misses)
+    completed = sum(
+        stats.jobs_completed for stats in result.task_stats.values()
+    )
+    assert registry.value("sim_jobs_completed_total") == completed
+    for core in range(2):
+        assert (
+            registry.value("sim_core_busy_ns_total", core=core)
+            == result.busy_ns[core]
+        )
+        assert (
+            registry.value("sim_core_overhead_ns_total", core=core)
+            == result.overhead_ns[core]
+        )
+    # Every kernel op the simulator charged is attributed to exactly one
+    # op kind, and queue-op counts come from the same run.
+    assert registry.sum_of("sim_kernel_ops_total") > 0
+    assert registry.sum_of("sim_queue_ops_total") > 0
+
+
+def _profile_units(seeds) -> list:
+    return [
+        ProfileUnit(
+            n_cores=2,
+            n_tasks=6,
+            utilization=0.7,
+            seed=seed,
+            algorithm="FP-TS",
+            overheads=OverheadModel.paper_core_i7(2),
+            duration_ms=100,
+        )
+        for seed in seeds
+    ]
+
+
+def _sim_entries(registry: MetricsRegistry) -> list:
+    return [
+        entry
+        for entry in registry.as_dict()["metrics"]
+        if entry["name"].startswith("sim_")
+    ]
+
+
+def _merge_payloads(payloads) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for payload in payloads:
+        if payload.get("metrics"):
+            registry.merge(MetricsRegistry.from_dict(payload["metrics"]))
+    return registry
+
+
+@pytest.mark.slow
+def test_sharded_profile_merge_equals_serial():
+    """20 seeds, grouped arbitrarily, merge to the serial registry."""
+    units = _profile_units(range(20))
+    payloads = [execute_unit(unit) for unit in units]
+    serial = _merge_payloads(payloads)
+    assert any(not p["rejected"] for p in payloads)
+    rng = random.Random(77)
+    for _ in range(5):
+        shuffled = payloads[:]
+        rng.shuffle(shuffled)
+        split = rng.randrange(1, len(shuffled))
+        shard_a = _merge_payloads(shuffled[:split])
+        shard_b = _merge_payloads(shuffled[split:])
+        assert MetricsRegistry.merged([shard_a, shard_b]) == serial
+
+
+def test_engine_records_its_own_run_metrics():
+    registry = MetricsRegistry()
+    engine = ExperimentEngine(jobs=1, metrics=registry)
+    units = _profile_units(range(2))
+    engine.run(units)
+    assert registry.value("engine_runs_total") == 1
+    assert registry.value("engine_units_total") == len(units)
+    assert registry.value("engine_computed_total") == len(units)
+    assert registry.value("engine_failed_total") == 0
+    # Disabled registry: engine records nothing, run still works.
+    disabled = MetricsRegistry(enabled=False)
+    ExperimentEngine(jobs=1, metrics=disabled).run(_profile_units([5]))
+    assert len(disabled) == 0
+
+
+@pytest.mark.slow
+def test_engine_pool_shards_match_serial_sim_metrics():
+    """The real process pool produces the same sim_* aggregate as a
+    serial engine run over identical units."""
+    units = _profile_units(range(8))
+    serial_engine = ExperimentEngine(jobs=1)
+    pooled_engine = ExperimentEngine(jobs=2)
+    serial = serial_engine.run(units)
+    pooled = pooled_engine.run(units)
+    assert not serial_engine.stats.failed
+    assert not pooled_engine.stats.failed
+    assert _sim_entries(_merge_payloads(serial)) == _sim_entries(
+        _merge_payloads(pooled)
+    )
