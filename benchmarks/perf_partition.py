@@ -1,0 +1,216 @@
+"""Performance harness for the incremental analysis engine.
+
+Runs the paper's default E3 acceptance sweep (4 cores, 12 tasks,
+normalized utilization 0.600..1.000 in 0.025 steps, paper-calibrated
+overheads, FP-TS + FFD + WFD) twice — once on the incremental per-core
+analysis contexts (:mod:`repro.analysis.incremental`) and once on the
+from-scratch reference contexts — and writes ``BENCH_partition.json``
+at the repo root with:
+
+* per-mode wall-clock time and the incremental/scratch speedup;
+* per-mode analysis work counters (fixed-point iterations, probes,
+  budget searches) from :data:`repro.analysis.STATS`, republished as
+  the ``ana_*`` metric family;
+* the acceptance counts of both modes, which **must be identical** —
+  the harness exits non-zero on any divergence (CI runs it with
+  ``--quick`` as a smoke gate; ``repro verify`` carries the stronger
+  bit-identical assignment comparison).
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_partition.py [--quick]
+
+Notes on honesty: the scratch baseline is the *deduplicated* from-scratch
+context (each budget probed once, as the incremental engine does), so the
+recorded speedup isolates memoization + warm starts and does not take
+credit for the duplicate-probe bugfix, which benefits both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.analysis import STATS
+from repro.experiments.algorithms import build_assignment
+from repro.metrics import MetricsRegistry, record_analysis_stats
+from repro.model.generator import TaskSetGenerator
+from repro.model.time import MS
+from repro.overhead.model import OverheadModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_partition.json"
+
+N_CORES = 4
+N_TASKS = 12
+ALGORITHMS = ("FP-TS", "FFD", "WFD")
+SEED = 2011
+
+
+def _grid() -> list:
+    return [round(0.600 + 0.025 * i, 3) for i in range(17)]
+
+
+def _tasksets(sets_per_point: int) -> list:
+    """The sweep's workloads: ``(utilization_point, taskset)`` pairs,
+    seeded like the E3 engine sweep (one independent stream per set)."""
+    out = []
+    index = 0
+    for point in _grid():
+        for _ in range(sets_per_point):
+            generator = TaskSetGenerator(
+                n_tasks=N_TASKS,
+                seed=SEED + 7919 * index,
+                period_min=10 * MS,
+                period_max=1000 * MS,
+            )
+            out.append((point, generator.generate(point * N_CORES)))
+            index += 1
+    return out
+
+
+def run_sweep(
+    workloads: list,
+    model: OverheadModel,
+    incremental: bool,
+    repeats: int = 1,
+) -> dict:
+    """One full sweep in one analysis mode: best-of-``repeats`` wall
+    time, work counters (single pass — deterministic), and per-algorithm
+    acceptance counts keyed by grid point."""
+    accepts = {alg: {} for alg in ALGORITHMS}
+    walls = []
+    stats = None
+    for repeat in range(repeats):
+        if repeat == 0:
+            STATS.reset()
+        t0 = time.perf_counter()
+        for point, taskset in workloads:
+            for alg in ALGORITHMS:
+                assignment = build_assignment(
+                    alg, taskset, N_CORES, model, incremental=incremental
+                )
+                if repeat == 0:
+                    key = f"{point:.3f}"
+                    accepts[alg][key] = accepts[alg].get(key, 0) + (
+                        1 if assignment is not None else 0
+                    )
+        walls.append(time.perf_counter() - t0)
+        if repeat == 0:
+            stats = STATS.snapshot()
+            STATS.reset()
+    return {
+        "mode": "incremental" if incremental else "scratch",
+        "wall_s": round(min(walls), 4),
+        "analysis_stats": stats,
+        "accepts": accepts,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer task sets per grid point (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default=str(OUTPUT_PATH), help="where to write the JSON"
+    )
+    args = parser.parse_args(argv)
+
+    sets_per_point = 5 if args.quick else 25
+    repeats = 2 if args.quick else 3
+    model = OverheadModel.paper_core_i7(3)
+    workloads = _tasksets(sets_per_point)
+    print(
+        f"acceptance sweep: {len(workloads)} task sets x "
+        f"{len(ALGORITHMS)} algorithms, both analysis modes ...",
+        flush=True,
+    )
+
+    # Warm the shared per-set overhead-inflation memo so neither timed
+    # arm pays it and run order cannot bias the comparison.
+    from repro.overhead.accounting import inflate_taskset
+
+    for _point, taskset in workloads:
+        inflate_taskset(taskset, model)
+
+    scratch = run_sweep(workloads, model, incremental=False, repeats=repeats)
+    print(
+        f"  scratch     {scratch['wall_s']}s "
+        f"({scratch['analysis_stats']['fixpoint_iterations']} fixed-point "
+        f"iterations)"
+    )
+    incremental = run_sweep(workloads, model, incremental=True, repeats=repeats)
+    print(
+        f"  incremental {incremental['wall_s']}s "
+        f"({incremental['analysis_stats']['fixpoint_iterations']} fixed-point "
+        f"iterations)"
+    )
+
+    if scratch["accepts"] != incremental["accepts"]:
+        print(
+            "FAIL: incremental and from-scratch analysis disagree on "
+            "acceptance — analysis engines diverged",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = (
+        round(scratch["wall_s"] / incremental["wall_s"], 2)
+        if incremental["wall_s"]
+        else None
+    )
+    iteration_ratio = (
+        round(
+            scratch["analysis_stats"]["fixpoint_iterations"]
+            / incremental["analysis_stats"]["fixpoint_iterations"],
+            2,
+        )
+        if incremental["analysis_stats"]["fixpoint_iterations"]
+        else None
+    )
+    print(f"  speedup {speedup}x wall, {iteration_ratio}x fewer iterations")
+
+    registry = MetricsRegistry()
+    record_analysis_stats(
+        registry, scratch["analysis_stats"], mode="scratch"
+    )
+    record_analysis_stats(
+        registry, incremental["analysis_stats"], mode="incremental"
+    )
+
+    payload = {
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+            "quick": args.quick,
+        },
+        "scenario": {
+            "n_cores": N_CORES,
+            "n_tasks": N_TASKS,
+            "algorithms": list(ALGORITHMS),
+            "utilization_grid": _grid(),
+            "sets_per_point": sets_per_point,
+            "seed": SEED,
+            "overheads": "paper_core_i7(3)",
+        },
+        "scratch": scratch,
+        "incremental": incremental,
+        "identical_acceptance": True,
+        "speedup": speedup,
+        "fixpoint_iteration_ratio": iteration_ratio,
+        "metrics": registry.as_dict(),
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

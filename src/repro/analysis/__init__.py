@@ -14,6 +14,16 @@ from repro.analysis.rta import (
     order_entries,
     response_time,
 )
+from repro.analysis.incremental import (
+    STATS,
+    AnalysisStats,
+    CoreAnalysisContext,
+    EdfCoreContext,
+    EdfScratchContext,
+    ScratchRtaContext,
+    make_edf_context,
+    make_rta_context,
+)
 from repro.analysis.bounds import (
     liu_layland_bound,
     liu_layland_schedulable,
@@ -50,6 +60,14 @@ __all__ = [
     "entry_response_time",
     "order_entries",
     "response_time",
+    "STATS",
+    "AnalysisStats",
+    "CoreAnalysisContext",
+    "EdfCoreContext",
+    "EdfScratchContext",
+    "ScratchRtaContext",
+    "make_edf_context",
+    "make_rta_context",
     "liu_layland_bound",
     "liu_layland_schedulable",
     "hyperbolic_schedulable",

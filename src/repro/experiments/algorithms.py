@@ -38,7 +38,8 @@ from repro.semipart.fpts import FptsConfig, fpts_partition
 from repro.semipart.pdms import PdmsConfig, pdms_hpts_partition
 from repro.semipart.spa import spa1_partition, spa2_partition
 
-PartitionFn = Callable[[TaskSet, int, OverheadModel], Optional[Assignment]]
+# (taskset, n_cores, model, incremental=True) -> assignment or None
+PartitionFn = Callable[..., Optional[Assignment]]
 
 
 @dataclass(frozen=True)
@@ -52,26 +53,35 @@ class AlgorithmSpec:
 
 
 def _with_inflation(
-    partition: Callable[[TaskSet, int], Optional[Assignment]],
+    partition: Callable[..., Optional[Assignment]],
 ) -> PartitionFn:
     def run(
-        taskset: TaskSet, n_cores: int, model: OverheadModel
+        taskset: TaskSet,
+        n_cores: int,
+        model: OverheadModel,
+        incremental: bool = True,
     ) -> Optional[Assignment]:
         inflated = inflate_taskset(taskset, model)
-        return partition(inflated, n_cores)
+        return partition(inflated, n_cores, incremental=incremental)
 
     return run
 
 
-def _global_edf(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
+def _global_edf(
+    taskset: TaskSet, n_cores: int, incremental: bool = True
+) -> Optional[Assignment]:
     """GFB acceptance; returns a placeholder assignment (global scheduling
-    produces no partition — simulate with :class:`repro.kernel.GlobalSim`)."""
+    produces no partition — simulate with :class:`repro.kernel.GlobalSim`).
+    ``incremental`` is accepted for registry uniformity (no per-core
+    analysis to memoize)."""
     if global_edf_gfb_schedulable(taskset, n_cores):
         return Assignment(n_cores)
     return None
 
 
-def _global_rm(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
+def _global_rm(
+    taskset: TaskSet, n_cores: int, incremental: bool = True
+) -> Optional[Assignment]:
     """RM-US acceptance; placeholder assignment as for ``_global_edf``."""
     if global_rm_us_schedulable(taskset, n_cores):
         return Assignment(n_cores)
@@ -79,27 +89,42 @@ def _global_rm(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
 
 
 def _fpts(
-    taskset: TaskSet, n_cores: int, model: OverheadModel
+    taskset: TaskSet,
+    n_cores: int,
+    model: OverheadModel,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     inflated = inflate_taskset(taskset, model)
     max_wss = max((task.wss for task in taskset), default=0)
     return fpts_partition(
-        inflated, n_cores, FptsConfig.from_model(model, cpmd_wss=max_wss)
+        inflated,
+        n_cores,
+        FptsConfig.from_model(model, cpmd_wss=max_wss),
+        incremental=incremental,
     )
 
 
 def _cd_split(
-    taskset: TaskSet, n_cores: int, model: OverheadModel
+    taskset: TaskSet,
+    n_cores: int,
+    model: OverheadModel,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     inflated = inflate_taskset(taskset, model)
     max_wss = max((task.wss for task in taskset), default=0)
     return cd_split_partition(
-        inflated, n_cores, CdSplitConfig.from_model(model, cpmd_wss=max_wss)
+        inflated,
+        n_cores,
+        CdSplitConfig.from_model(model, cpmd_wss=max_wss),
+        incremental=incremental,
     )
 
 
 def _pdms(
-    taskset: TaskSet, n_cores: int, model: OverheadModel
+    taskset: TaskSet,
+    n_cores: int,
+    model: OverheadModel,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     from repro.overhead.accounting import (
         migration_in_overhead,
@@ -112,7 +137,9 @@ def _pdms(
         split_cost=migration_in_overhead(model, max_wss),
         split_cost_out=migration_out_overhead(model),
     )
-    return pdms_hpts_partition(inflated, n_cores, config)
+    return pdms_hpts_partition(
+        inflated, n_cores, config, incremental=incremental
+    )
 
 
 ALGORITHMS: Dict[str, AlgorithmSpec] = {
@@ -217,8 +244,13 @@ def build_assignment(
     taskset: TaskSet,
     n_cores: int,
     model: OverheadModel = OverheadModel.zero(),
+    incremental: bool = True,
 ) -> Optional[Assignment]:
-    """Run ``algorithm`` and return its assignment (None = rejected)."""
+    """Run ``algorithm`` and return its assignment (None = rejected).
+
+    ``incremental=False`` forces the from-scratch analysis contexts in
+    the partitioners (the differential reference; identical result).
+    """
     try:
         spec = ALGORITHMS[algorithm]
     except KeyError:
@@ -226,7 +258,7 @@ def build_assignment(
             f"unknown algorithm {algorithm!r}; choose from "
             f"{sorted(ALGORITHMS)}"
         ) from None
-    return spec.fn(taskset, n_cores, model)
+    return spec.fn(taskset, n_cores, model, incremental=incremental)
 
 
 def accept(
@@ -234,6 +266,16 @@ def accept(
     taskset: TaskSet,
     n_cores: int,
     model: OverheadModel = OverheadModel.zero(),
+    incremental: bool = True,
 ) -> bool:
     """True iff the overhead-aware analysis accepts the task set."""
-    return build_assignment(algorithm, taskset, n_cores, model) is not None
+    return (
+        build_assignment(
+            taskset=taskset,
+            algorithm=algorithm,
+            n_cores=n_cores,
+            model=model,
+            incremental=incremental,
+        )
+        is not None
+    )

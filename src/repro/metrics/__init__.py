@@ -28,6 +28,7 @@ from repro.metrics.report import (
     compare_reports,
     primitive_anatomy,
     queue_op_curves,
+    record_analysis_stats,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "compare_reports",
     "primitive_anatomy",
     "queue_op_curves",
+    "record_analysis_stats",
 ]

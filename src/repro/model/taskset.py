@@ -33,6 +33,8 @@ class TaskSet:
             raise ValueError(f"duplicate task name {task.name!r}")
         self._tasks.append(task)
         self._by_name[task.name] = task
+        # Derived-set memos (overhead inflation) are stale now.
+        self.__dict__.pop("_inflate_cache", None)
 
     def __len__(self) -> int:
         return len(self._tasks)

@@ -105,17 +105,31 @@ def inflate_taskset(
     Tasks whose inflated WCET would exceed their deadline are inflated to
     exactly ``deadline`` (they will then simply fail the schedulability
     test, which is the correct verdict).
+
+    Results are memoized on the task set (tasks are immutable and
+    :meth:`~repro.model.taskset.TaskSet.add` drops the memo), so the
+    registry's per-algorithm runs share one inflation per model instead
+    of recomputing an identical copy each time.
     """
     if model.is_zero and not charge_cache:
         return taskset
+    cache = taskset.__dict__.setdefault("_inflate_cache", {})
+    key = (model, charge_cache, cpmd_wss)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     if cpmd_wss is None:
-        cpmd_wss = max((task.wss for task in taskset), default=0)
+        effective_wss = max((task.wss for task in taskset), default=0)
+    else:
+        effective_wss = cpmd_wss
     if not charge_cache:
-        cpmd_wss = 0
-    charge = per_job_overhead(model, cpmd_wss)
+        effective_wss = 0
+    charge = per_job_overhead(model, effective_wss)
 
     def inflate(task: Task) -> Task:
         new_wcet = min(task.wcet + charge, task.deadline)
         return task.with_wcet(new_wcet)
 
-    return taskset.map_tasks(inflate)
+    inflated = taskset.map_tasks(inflate)
+    cache[key] = inflated
+    return inflated

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.edf import edf_schedulable
+from repro.analysis.incremental import make_edf_context
 from repro.model.assignment import Assignment, Entry
 from repro.model.taskset import TaskSet
 from repro.partition.heuristics import Placement, partition_taskset
@@ -24,10 +25,20 @@ def edf_admission(entries: Sequence[Entry]) -> bool:
     )
 
 
+# Context-backed admission for partition_taskset: cached resident triples
+# between probes.  No C<=D pre-check — the plain test above has none.
+edf_admission.context_factory = (
+    lambda incremental: make_edf_context(
+        incremental=incremental, precheck_cd=False
+    )
+)
+
+
 def partition_edf(
     taskset: TaskSet,
     n_cores: int,
     placement: Placement = Placement.FIRST_FIT,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """Partition for per-core EDF scheduling.
 
@@ -35,16 +46,22 @@ def partition_edf(
     shared bookkeeping) but play no role in the admission decision or at
     run time — simulate the result with ``KernelSim(..., policy="edf")``.
     """
-    return partition_taskset(taskset, n_cores, placement, edf_admission)
+    return partition_taskset(
+        taskset, n_cores, placement, edf_admission, incremental=incremental
+    )
 
 
 def partition_edf_first_fit(
-    taskset: TaskSet, n_cores: int
+    taskset: TaskSet, n_cores: int, incremental: bool = True
 ) -> Optional[Assignment]:
-    return partition_edf(taskset, n_cores, Placement.FIRST_FIT)
+    return partition_edf(
+        taskset, n_cores, Placement.FIRST_FIT, incremental=incremental
+    )
 
 
 def partition_edf_worst_fit(
-    taskset: TaskSet, n_cores: int
+    taskset: TaskSet, n_cores: int, incremental: bool = True
 ) -> Optional[Assignment]:
-    return partition_edf(taskset, n_cores, Placement.WORST_FIT)
+    return partition_edf(
+        taskset, n_cores, Placement.WORST_FIT, incremental=incremental
+    )

@@ -15,17 +15,27 @@ A partitioning heuristic is (ordering, placement, admission):
 All heuristics return an :class:`~repro.model.assignment.Assignment` on
 success or ``None`` when some task fits on no core — the "bin-packing
 waste" failure mode that motivates semi-partitioned scheduling.
+
+Admission tests that expose a ``context_factory`` attribute (the exact
+RTA and EDF tests do) run on per-core analysis contexts from
+:mod:`repro.analysis.incremental`: probes memoize response times between
+candidates instead of re-analyzing the whole core each time.
+``partition_taskset(..., incremental=False)`` selects the from-scratch
+context (bit-identical result; see ``repro.verify.differential``).
+Plain-callable admission tests (utilization bounds, OPA) keep the
+original per-candidate evaluation path.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.bounds import (
     hyperbolic_schedulable,
     liu_layland_schedulable,
 )
+from repro.analysis.incremental import make_rta_context
 from repro.analysis.rta import core_schedulable
 from repro.model.assignment import Assignment, Entry, EntryKind
 from repro.model.task import Task
@@ -37,6 +47,13 @@ AdmissionTest = Callable[[Sequence[Entry]], bool]
 def rta_admission(entries: Sequence[Entry]) -> bool:
     """Exact RTA admission: every entry on the core meets its deadline."""
     return core_schedulable(entries).schedulable
+
+
+# Exact RTA admission runs on an analysis context when partition_taskset
+# drives it (incremental memoization; see repro.analysis.incremental).
+rta_admission.context_factory = (
+    lambda incremental: make_rta_context(incremental=incremental)
+)
 
 
 def liu_layland_admission(entries: Sequence[Entry]) -> bool:
@@ -72,6 +89,7 @@ def partition_taskset(
     placement: Placement = Placement.FIRST_FIT,
     admission: AdmissionTest = rta_admission,
     ordering: Optional[Callable[[Sequence[Entry]], List[Entry]]] = None,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """Partition ``taskset`` onto ``n_cores`` cores, decreasing-utilization
     order.  Returns the assignment, or ``None`` if some task fits nowhere.
@@ -82,6 +100,10 @@ def partition_taskset(
     (highest first); defaults to the rate-monotonic rule.  An admission
     test that certifies "some order exists" (e.g. OPA) must supply the
     matching ordering so the emitted assignment is the certified one.
+
+    ``incremental`` picks the analysis-context flavor for admission tests
+    that carry a ``context_factory`` (exact RTA / EDF); it has no effect
+    on plain-callable admission tests.
     """
     for task in taskset:
         if task.priority is None:
@@ -90,9 +112,24 @@ def partition_taskset(
                 "assign_rate_monotonic() before partitioning"
             )
     assignment = Assignment(n_cores)
-    core_entries: List[List[Entry]] = [[] for _ in range(n_cores)]
+    factory = getattr(admission, "context_factory", None)
     next_fit_pointer = 0
 
+    if factory is not None:
+        contexts = [factory(incremental) for _ in range(n_cores)]
+        for task in taskset.sorted_by_utilization(descending=True):
+            chosen, entry = _choose_core_with_contexts(
+                task, contexts, placement, next_fit_pointer
+            )
+            if chosen is None:
+                return None
+            if placement == Placement.NEXT_FIT:
+                next_fit_pointer = chosen
+            contexts[chosen].commit(entry)
+        _finalize(assignment, [list(ctx.entries) for ctx in contexts], ordering)
+        return assignment
+
+    core_entries: List[List[Entry]] = [[] for _ in range(n_cores)]
     for task in taskset.sorted_by_utilization(descending=True):
         chosen = _choose_core(
             task, core_entries, placement, admission, next_fit_pointer
@@ -106,6 +143,46 @@ def partition_taskset(
 
     _finalize(assignment, core_entries, ordering)
     return assignment
+
+
+def _choose_core_with_contexts(
+    task: Task,
+    contexts: List,
+    placement: Placement,
+    next_fit_pointer: int,
+) -> Tuple[Optional[int], Optional[Entry]]:
+    """Context-backed core choice; returns the chosen core and the probed
+    entry (so the caller's commit reuses the probe's analysis).
+
+    One probe entry is shared across the core scan (its analysis inputs —
+    budget, deadline, jitter, priority — are core-independent); ``core``
+    is stamped once the placement decides."""
+    n_cores = len(contexts)
+    entry = _normal_entry(task, core=0)
+    pre = contexts[0].prepare(entry)
+
+    if placement in (Placement.FIRST_FIT, Placement.NEXT_FIT):
+        start = next_fit_pointer if placement == Placement.NEXT_FIT else 0
+        for core in range(start, n_cores):
+            if contexts[core].probe(entry, pre=pre) is not None:
+                entry.core = core
+                return core, entry
+        return None, None
+
+    admitting: List[int] = []
+    for core in range(n_cores):
+        if contexts[core].probe(entry, pre=pre) is not None:
+            admitting.append(core)
+    if not admitting:
+        return None, None
+    if placement == Placement.BEST_FIT:
+        chosen = max(admitting, key=lambda c: (contexts[c].utilization, -c))
+    elif placement == Placement.WORST_FIT:
+        chosen = min(admitting, key=lambda c: (contexts[c].utilization, c))
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    entry.core = chosen
+    return chosen, entry
 
 
 def _choose_core(
@@ -176,26 +253,50 @@ def _finalize(
 
 
 def partition_first_fit_decreasing(
-    taskset: TaskSet, n_cores: int, admission: AdmissionTest = rta_admission
+    taskset: TaskSet,
+    n_cores: int,
+    admission: AdmissionTest = rta_admission,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """FFD — the paper's first baseline."""
-    return partition_taskset(taskset, n_cores, Placement.FIRST_FIT, admission)
+    return partition_taskset(
+        taskset, n_cores, Placement.FIRST_FIT, admission,
+        incremental=incremental,
+    )
 
 
 def partition_worst_fit_decreasing(
-    taskset: TaskSet, n_cores: int, admission: AdmissionTest = rta_admission
+    taskset: TaskSet,
+    n_cores: int,
+    admission: AdmissionTest = rta_admission,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """WFD — the paper's second baseline."""
-    return partition_taskset(taskset, n_cores, Placement.WORST_FIT, admission)
+    return partition_taskset(
+        taskset, n_cores, Placement.WORST_FIT, admission,
+        incremental=incremental,
+    )
 
 
 def partition_best_fit_decreasing(
-    taskset: TaskSet, n_cores: int, admission: AdmissionTest = rta_admission
+    taskset: TaskSet,
+    n_cores: int,
+    admission: AdmissionTest = rta_admission,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
-    return partition_taskset(taskset, n_cores, Placement.BEST_FIT, admission)
+    return partition_taskset(
+        taskset, n_cores, Placement.BEST_FIT, admission,
+        incremental=incremental,
+    )
 
 
 def partition_next_fit_decreasing(
-    taskset: TaskSet, n_cores: int, admission: AdmissionTest = rta_admission
+    taskset: TaskSet,
+    n_cores: int,
+    admission: AdmissionTest = rta_admission,
+    incremental: bool = True,
 ) -> Optional[Assignment]:
-    return partition_taskset(taskset, n_cores, Placement.NEXT_FIT, admission)
+    return partition_taskset(
+        taskset, n_cores, Placement.NEXT_FIT, admission,
+        incremental=incremental,
+    )

@@ -26,6 +26,17 @@ Soundness details:
 
 The produced assignments carry per-stage deadlines, so
 ``KernelSim(..., policy="edf")`` executes them directly.
+
+Admission runs on per-core demand-bound contexts from
+:mod:`repro.analysis.incremental`: the default
+:class:`~repro.analysis.incremental.EdfCoreContext` caches resident
+triples and restricts the ``C <= D`` pre-check to the candidate
+(residents already passed it at their own admission);
+``incremental=False`` selects the from-scratch
+:class:`~repro.analysis.incremental.EdfScratchContext`.  Both produce
+bit-identical assignments (``repro.verify.differential``).  Body ranks
+are reserved at commit time: a failed split leaves the splitter as if
+the attempt never happened.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.analysis.edf import edf_schedulable
+from repro.analysis.incremental import make_edf_context
 from repro.analysis.rta import order_entries
 from repro.model.assignment import Assignment, Entry, EntryKind
 from repro.model.split import SplitTask, Subtask
@@ -87,42 +98,46 @@ def _triple(entry: Entry, config: CdSplitConfig) -> Tuple[int, int, int]:
     return (budget, max(effective_period, entry.deadline, 1), entry.deadline)
 
 
-def _core_edf_ok(
-    entries: List[Entry], candidate: Entry, config: CdSplitConfig
-) -> bool:
-    triples = [_triple(e, config) for e in entries + [candidate]]
-    # A C=D chunk (or any entry) must at least fit its own deadline.
-    for c, _t, d in triples:
-        if c > d:
-            return False
-    return edf_schedulable(triples)
-
-
 class _CdSplitter:
-    def __init__(self, n_cores: int, config: CdSplitConfig) -> None:
+    def __init__(
+        self, n_cores: int, config: CdSplitConfig, incremental: bool = True
+    ) -> None:
         self.config = config
-        self.core_entries: List[List[Entry]] = [[] for _ in range(n_cores)]
+        self.contexts = [
+            make_edf_context(
+                incremental=incremental,
+                triple_fn=lambda e: _triple(e, config),
+                precheck_cd=True,
+            )
+            for _ in range(n_cores)
+        ]
         self.splits: List[SplitTask] = []
         self.body_rank = 0
 
     def _spare(self, core: int) -> float:
-        return 1.0 - sum(e.utilization for e in self.core_entries[core])
+        return 1.0 - self.contexts[core].utilization
 
     def try_whole(self, task: Task) -> bool:
-        for core in range(len(self.core_entries)):
-            entry = Entry(
-                kind=EntryKind.NORMAL,
-                task=task,
-                core=core,
-                budget=task.wcet,
-                deadline=task.deadline,
-            )
-            if _core_edf_ok(self.core_entries[core], entry, self.config):
-                self.core_entries[core].append(entry)
+        # One probe entry shared across the scan (its admission triple is
+        # core-independent); the core is stamped on the admitting hit.
+        entry = Entry(
+            kind=EntryKind.NORMAL,
+            task=task,
+            core=0,
+            budget=task.wcet,
+            deadline=task.deadline,
+        )
+        pre = self.contexts[0].prepare(entry)
+        for core, ctx in enumerate(self.contexts):
+            if ctx.probe(entry, pre=pre) is not None:
+                entry.core = core
+                ctx.commit(entry)
                 return True
         return False
 
     def try_split(self, task: Task) -> bool:
+        """Split ``task``; splitter state (contexts, ``body_rank``) moves
+        only on success — a failed attempt leaves it untouched."""
         config = self.config
         remaining = task.wcet
         consumed_deadline = 0  # sum of earlier C=D chunks
@@ -130,10 +145,12 @@ class _CdSplitter:
         piece_entries: List[Entry] = []
 
         candidates = sorted(
-            range(len(self.core_entries)), key=self._spare, reverse=True
+            range(len(self.contexts)), key=self._spare, reverse=True
         )
         for core in candidates:
+            ctx = self.contexts[core]
             index = len(pieces)
+            rank = self.body_rank + index  # provisional; reserved on commit
             # (a) place the remainder as the final ordinary-EDF piece.
             final_deadline = task.deadline - consumed_deadline
             tail_charge = config.split_cost if index >= 1 else 0
@@ -154,14 +171,14 @@ class _CdSplitter:
                     deadline=final_deadline,
                     jitter=consumed_deadline,
                 )
-                if _core_edf_ok(self.core_entries[core], entry, config):
+                if ctx.probe(entry) is not None:
                     pieces.append((core, remaining))
                     piece_entries.append(entry)
                     self._commit(task, pieces, piece_entries)
                     return True
             # (b) maximal C=D chunk this core can absorb.
             chunk = self._max_chunk(
-                task, core, index, remaining, consumed_deadline
+                task, core, index, rank, remaining, consumed_deadline
             )
             if chunk is None:
                 continue
@@ -182,9 +199,8 @@ class _CdSplitter:
                 # C=D on the *total demand*: raw chunk + located charges.
                 deadline=chunk_deadline,
                 jitter=consumed_deadline,
-                body_rank=self.body_rank,
+                body_rank=rank,
             )
-            self.body_rank += 1
             pieces.append((core, chunk))
             piece_entries.append(entry)
             consumed_deadline += chunk_deadline
@@ -204,18 +220,22 @@ class _CdSplitter:
         task: Task,
         core: int,
         index: int,
+        rank: int,
         remaining: int,
         consumed_deadline: int,
     ) -> Optional[int]:
+        """Largest feasible C=D chunk via the context's deduplicated
+        binary search — each candidate chunk hits the demand test exactly
+        once (the old helper probed the lower bound twice)."""
         config = self.config
         charge = self._piece_charge(index)
 
-        def check(c: int) -> bool:
+        def build(c: int) -> Optional[Entry]:
             # The rest must still be able to meet the residual deadline
             # even with zero interference (reserving the tail's in-charge).
             residual = task.deadline - consumed_deadline - (c + charge)
             if residual < (remaining - c) + config.split_cost:
-                return False
+                return None
             sub = Subtask(
                 task=task,
                 index=index,
@@ -223,7 +243,7 @@ class _CdSplitter:
                 budget=c,
                 total_subtasks=index + 2,
             )
-            entry = Entry(
+            return Entry(
                 kind=EntryKind.BODY,
                 task=task,
                 core=core,
@@ -231,22 +251,12 @@ class _CdSplitter:
                 subtask=sub,
                 deadline=c + charge,
                 jitter=consumed_deadline,
-                body_rank=self.body_rank,
+                body_rank=rank,
             )
-            return _core_edf_ok(self.core_entries[core], entry, config)
 
-        low = config.min_chunk
-        high = remaining - 1
-        if high < low or not check(low):
-            return None
-        best = low
-        while low <= high:
-            mid = (low + high) // 2
-            if check(mid):
-                best = mid
-                low = mid + 1
-            else:
-                high = mid - 1
+        best, _verdict = self.contexts[core].probe_budget(
+            config.min_chunk, remaining - 1, build
+        )
         return best
 
     def _commit(
@@ -256,13 +266,15 @@ class _CdSplitter:
         piece_entries: List[Entry],
     ) -> None:
         if len(pieces) == 1:
-            self.core_entries[pieces[0][0]].append(piece_entries[0])
+            self.contexts[pieces[0][0]].install(piece_entries[0])
             return
         split = SplitTask.build(task, pieces)
         for entry, sub in zip(piece_entries, split.subtasks):
             entry.subtask = sub
             entry.kind = EntryKind.TAIL if sub.is_tail else EntryKind.BODY
-            self.core_entries[entry.core].append(entry)
+            if entry.kind == EntryKind.BODY:
+                self.body_rank += 1
+            self.contexts[entry.core].install(entry)
         self.splits.append(split)
 
 
@@ -270,8 +282,12 @@ def cd_split_partition(
     taskset: TaskSet,
     n_cores: int,
     config: CdSplitConfig = CdSplitConfig(),
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """Semi-partitioned EDF with C=D splitting; None if infeasible.
+
+    ``incremental=False`` runs on the from-scratch demand-bound context
+    (differential reference; bit-identical result).
 
     >>> from repro.model import Task, TaskSet
     >>> ts = TaskSet([
@@ -290,15 +306,15 @@ def cd_split_partition(
                 "assign_rate_monotonic() first (priorities order the "
                 "entry bookkeeping even though EDF ignores them)"
             )
-    splitter = _CdSplitter(n_cores, config)
+    splitter = _CdSplitter(n_cores, config, incremental=incremental)
     for task in taskset.sorted_by_utilization(descending=True):
         if splitter.try_whole(task):
             continue
         if not splitter.try_split(task):
             return None
     assignment = Assignment(n_cores)
-    for entries in splitter.core_entries:
-        for local_priority, entry in enumerate(order_entries(entries)):
+    for ctx in splitter.contexts:
+        for local_priority, entry in enumerate(order_entries(ctx.entries)):
             entry.local_priority = local_priority
             assignment.add_entry(entry)
     for split in splitter.splits:

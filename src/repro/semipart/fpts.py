@@ -33,14 +33,25 @@ Soundness bookkeeping:
   subtasks.  Entries and the :class:`~repro.model.split.SplitTask` keep
   the *raw* budgets so the same assignment object can drive the kernel
   simulator.
+
+Admission runs on per-core analysis contexts from
+:mod:`repro.analysis.incremental`: the default
+:class:`~repro.analysis.incremental.CoreAnalysisContext` memoizes
+response times between probes (``incremental=False`` selects the
+from-scratch :class:`~repro.analysis.incremental.ScratchRtaContext`;
+both provably produce the same assignment — see
+``repro.verify.differential``).  Body ranks are *reserved at commit
+time*: a failed split attempt leaves the splitter exactly as if it had
+never been tried.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.analysis.rta import order_entries, response_time
+from repro.analysis.incremental import make_rta_context
+from repro.analysis.rta import order_entries
 from repro.model.assignment import Assignment, Entry, EntryKind
 from repro.model.split import SplitTask, Subtask
 from repro.model.task import Task
@@ -128,76 +139,71 @@ def _analysis_budget(entry: Entry, config: FptsConfig) -> int:
     return entry.budget + extra
 
 
-def _core_feasible(
-    entries: Sequence[Entry], candidate: Entry, config: FptsConfig
-) -> Optional[int]:
-    """RTA-check a core with ``candidate`` added (analysis budgets).
-
-    Returns the candidate's response time if *every* entry on the core
-    meets its deadline, else ``None``.
-    """
-    ordered = order_entries(list(entries) + [candidate])
-    candidate_response: Optional[int] = None
-    for index, entry in enumerate(ordered):
-        higher = [
-            (_analysis_budget(e, config), e.period, e.jitter)
-            for e in ordered[:index]
-        ]
-        response = response_time(
-            _analysis_budget(entry, config), higher, entry.deadline
-        )
-        if response is None:
-            return None
-        if entry is candidate:
-            candidate_response = response
-    return candidate_response
-
-
 class _Splitter:
     """Carries the mutable state of one fpts_partition run."""
 
-    def __init__(self, n_cores: int, config: FptsConfig) -> None:
+    def __init__(
+        self, n_cores: int, config: FptsConfig, incremental: bool = True
+    ) -> None:
         self.config = config
-        self.core_entries: List[List[Entry]] = [[] for _ in range(n_cores)]
+        budget_fn: Callable[[Entry], int] = lambda e: _analysis_budget(e, config)
+        self.contexts = [
+            make_rta_context(incremental=incremental, budget_fn=budget_fn)
+            for _ in range(n_cores)
+        ]
         self.body_rank = 0
         self.splits: List[SplitTask] = []
+
+    @property
+    def core_entries(self) -> List[List[Entry]]:
+        return [list(ctx.entries) for ctx in self.contexts]
 
     # -- whole-task placement ------------------------------------------
 
     def try_whole(self, task: Task) -> bool:
-        for core in range(len(self.core_entries)):
-            entry = Entry(
-                kind=EntryKind.NORMAL,
-                task=task,
-                core=core,
-                budget=task.wcet,
-                deadline=task.deadline,
-            )
-            if (
-                _core_feasible(self.core_entries[core], entry, self.config)
-                is not None
-            ):
-                self.core_entries[core].append(entry)
+        # One probe entry shared across the scan (analysis inputs are
+        # core-independent); the core is stamped on the admitting hit.
+        entry = Entry(
+            kind=EntryKind.NORMAL,
+            task=task,
+            core=0,
+            budget=task.wcet,
+            deadline=task.deadline,
+        )
+        pre = self.contexts[0].prepare(entry)
+        for core, ctx in enumerate(self.contexts):
+            if ctx.probe(entry, pre=pre) is not None:
+                entry.core = core
+                ctx.commit(entry)
                 return True
         return False
 
     # -- splitting ------------------------------------------------------
 
     def _spare(self, core: int) -> float:
-        return 1.0 - sum(e.utilization for e in self.core_entries[core])
+        return 1.0 - self.contexts[core].utilization
 
     def try_split(self, task: Task) -> bool:
+        """Split ``task`` across cores; all splitter state (contexts,
+        ``body_rank``) is mutated only on success — a failed attempt
+        leaves the splitter identical to never having tried."""
         config = self.config
         remaining = task.wcet
         pieces: List[Tuple[int, int]] = []  # (core, raw budget)
         piece_entries: List[Entry] = []
+        piece_responses: List[int] = []
         cumulative_bound = 0  # S: completion bound of bodies so far
 
         candidates = sorted(
-            range(len(self.core_entries)), key=self._spare, reverse=True
+            range(len(self.contexts)), key=self._spare, reverse=True
         )
         for core in candidates:
+            ctx = self.contexts[core]
             index = len(pieces)
+            # Every piece before the tail is a body, so the provisional
+            # rank of the next body is body_rank + index; self.body_rank
+            # itself moves only in _commit.
+            rank = self.body_rank + index
             # (a) does the whole remainder fit here as the tail?
             tail_deadline = task.deadline - cumulative_bound
             tail_extra = config.tail_reserve if index >= 1 else 0
@@ -218,17 +224,16 @@ class _Splitter:
                     deadline=tail_deadline,
                     jitter=cumulative_bound,
                 )
-                if (
-                    _core_feasible(self.core_entries[core], tail_entry, config)
-                    is not None
-                ):
+                tail_response = ctx.probe(tail_entry)
+                if tail_response is not None:
                     pieces.append((core, remaining))
                     piece_entries.append(tail_entry)
-                    self._commit(task, pieces, piece_entries)
+                    piece_responses.append(tail_response)
+                    self._commit(task, pieces, piece_entries, piece_responses)
                     return True
             # (b) otherwise: maximal body budget this core can host.
             budget, response = self._max_body_budget(
-                task, core, index, remaining, cumulative_bound
+                task, core, index, rank, remaining, cumulative_bound
             )
             if budget is None:
                 continue
@@ -247,11 +252,11 @@ class _Splitter:
                 subtask=body_sub,
                 deadline=response,
                 jitter=cumulative_bound,
-                body_rank=self.body_rank,
+                body_rank=rank,
             )
-            self.body_rank += 1
             pieces.append((core, budget))
             piece_entries.append(body_entry)
+            piece_responses.append(response)
             cumulative_bound += response
             remaining -= budget
         return False
@@ -261,6 +266,7 @@ class _Splitter:
         task: Task,
         core: int,
         index: int,
+        rank: int,
         remaining: int,
         cumulative_bound: int,
     ) -> Tuple[Optional[int], Optional[int]]:
@@ -272,10 +278,14 @@ class _Splitter:
         leaves enough deadline for the rest of the task:
         ``S_prev + R(b) + (remaining - b) + tail_reserve <= D`` — i.e. even
         a zero-interference tail must still be able to make it.
+
+        The search itself lives in the context (``probe_budget``): each
+        candidate budget is probed exactly once, and successive probes
+        warm-start from the last feasible budget's responses.
         """
         config = self.config
 
-        def check(b: int) -> Optional[int]:
+        def build(b: int) -> Optional[Entry]:
             limit = (
                 task.deadline
                 - cumulative_bound
@@ -291,7 +301,7 @@ class _Splitter:
                 budget=b,
                 total_subtasks=index + 2,
             )
-            entry = Entry(
+            return Entry(
                 kind=EntryKind.BODY,
                 task=task,
                 core=core,
@@ -299,48 +309,41 @@ class _Splitter:
                 subtask=body_sub,
                 deadline=limit,
                 jitter=cumulative_bound,
-                body_rank=self.body_rank,
+                body_rank=rank,
             )
-            return _core_feasible(self.core_entries[core], entry, config)
 
         low = self.config.min_chunk
         high = remaining - 1  # b == remaining would be a tail, handled above
-        if high < low:
-            return None, None
-        if check(low) is None:
-            return None, None
-        # Binary search for the largest feasible budget (feasible set is
-        # downward-closed; see module docstring).
-        best = low
-        best_response = check(low)
-        while low <= high:
-            mid = (low + high) // 2
-            response = check(mid)
-            if response is not None:
-                best, best_response = mid, response
-                low = mid + 1
-            else:
-                high = mid - 1
-        return best, best_response
+        # The feasible set is downward-closed (see module docstring), so
+        # the context's deduplicated binary search applies.
+        return self.contexts[core].probe_budget(low, high, build)
 
     def _commit(
         self,
         task: Task,
         pieces: List[Tuple[int, int]],
         piece_entries: List[Entry],
+        piece_responses: List[int],
     ) -> None:
-        """Install the split's entries; rebuild subtasks with final count."""
+        """Install the split's entries; rebuild subtasks with final count
+        and reserve the body ranks the attempt used provisionally."""
         total = len(pieces)
         if total == 1:
             # No split actually happened: the task fit whole on a core that
             # first-fit skipped only because of ordering; place as normal.
-            self.core_entries[pieces[0][0]].append(piece_entries[0])
+            self.contexts[pieces[0][0]].install(
+                piece_entries[0], piece_responses[0]
+            )
             return
         split = SplitTask.build(task, pieces)
-        for entry, sub in zip(piece_entries, split.subtasks):
+        for entry, sub, response in zip(
+            piece_entries, split.subtasks, piece_responses
+        ):
             entry.subtask = sub
             entry.kind = EntryKind.TAIL if sub.is_tail else EntryKind.BODY
-            self.core_entries[entry.core].append(entry)
+            if entry.kind == EntryKind.BODY:
+                self.body_rank += 1
+            self.contexts[entry.core].install(entry, response)
         self.splits.append(split)
 
 
@@ -348,10 +351,13 @@ def fpts_partition(
     taskset: TaskSet,
     n_cores: int,
     config: FptsConfig = FptsConfig(),
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """Partition ``taskset`` with FP-TS; returns ``None`` if infeasible.
 
     Tasks must carry global (rate-monotonic) priorities.
+    ``incremental=False`` runs the same algorithm on the from-scratch
+    analysis context (differential reference; bit-identical result).
 
     >>> from repro.model import Task, TaskSet
     >>> ts = TaskSet([
@@ -370,7 +376,7 @@ def fpts_partition(
                 f"task {task.name} has no priority; call "
                 "assign_rate_monotonic() before partitioning"
             )
-    splitter = _Splitter(n_cores, config)
+    splitter = _Splitter(n_cores, config, incremental=incremental)
     for task in taskset.sorted_by_utilization(descending=True):
         if splitter.try_whole(task):
             continue
@@ -378,8 +384,8 @@ def fpts_partition(
             return None
 
     assignment = Assignment(n_cores)
-    for entries in splitter.core_entries:
-        for local_priority, entry in enumerate(order_entries(entries)):
+    for ctx in splitter.contexts:
+        for local_priority, entry in enumerate(order_entries(ctx.entries)):
             entry.local_priority = local_priority
             assignment.add_entry(entry)
     for split in splitter.splits:

@@ -24,6 +24,14 @@ variant, mirroring our FP-TS):
 
 Entries and split bookkeeping follow the same conventions as FP-TS, so
 the produced assignments drive the analysis and kernel simulator directly.
+
+Admission runs on per-core analysis contexts from
+:mod:`repro.analysis.incremental` (incremental memoized RTA by default;
+``incremental=False`` selects the from-scratch reference — bit-identical
+assignments either way).  The speculative core rebuild of a split
+attempt happens on a *clone* of the core's context, adopted only when
+the attempt succeeds; victim selection uses a placement-order shadow
+list so the choice is independent of how a context stores its entries.
 """
 
 from __future__ import annotations
@@ -31,7 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.analysis.rta import order_entries, response_time
+from repro.analysis.incremental import make_rta_context
+from repro.analysis.rta import order_entries
 from repro.model.assignment import Assignment, Entry, EntryKind
 from repro.model.split import SplitTask, Subtask
 from repro.model.task import Task
@@ -80,26 +89,6 @@ def _analysis_budget(entry: Entry, config: PdmsConfig) -> int:
     return entry.budget + extra
 
 
-def _core_ok(
-    entries: List[Entry], candidate: Optional[Entry], config: PdmsConfig
-) -> bool:
-    pool = entries + ([candidate] if candidate is not None else [])
-    ordered = order_entries(pool)
-    for index, entry in enumerate(ordered):
-        higher = [
-            (_analysis_budget(e, config), e.period, e.jitter)
-            for e in ordered[:index]
-        ]
-        if (
-            response_time(
-                _analysis_budget(entry, config), higher, entry.deadline
-            )
-            is None
-        ):
-            return False
-    return True
-
-
 def _entry_for(piece: _Piece, core: int, config: PdmsConfig) -> Entry:
     """Entry placing the piece's entire remainder on ``core``."""
     if piece.is_whole:
@@ -129,9 +118,20 @@ def _entry_for(piece: _Piece, core: int, config: PdmsConfig) -> Entry:
 
 
 class _PdmsState:
-    def __init__(self, n_cores: int, config: PdmsConfig) -> None:
+    def __init__(
+        self, n_cores: int, config: PdmsConfig, incremental: bool = True
+    ) -> None:
         self.config = config
-        self.core_entries: List[List[Entry]] = [[] for _ in range(n_cores)]
+        self.contexts = [
+            make_rta_context(
+                incremental=incremental,
+                budget_fn=lambda e: _analysis_budget(e, config),
+            )
+            for _ in range(n_cores)
+        ]
+        # Placement-order view of each core (victim selection uses the
+        # position of first placement, not a context's internal order).
+        self.placed_order: List[List[Entry]] = [[] for _ in range(n_cores)]
         self.body_rank = 0
         self.splits: List[_Piece] = []
 
@@ -141,9 +141,10 @@ class _PdmsState:
             self.config.split_cost if piece.index >= 1 else 0
         ):
             return False
-        if not _core_ok(self.core_entries[core], entry, self.config):
+        if self.contexts[core].probe(entry) is None:
             return False
-        self.core_entries[core].append(entry)
+        self.contexts[core].commit(entry)
+        self.placed_order[core].append(entry)
         piece.placed.append((core, piece.remaining))
         piece.entries.append(entry)
         piece.remaining = 0
@@ -158,7 +159,7 @@ class _PdmsState:
         config = self.config
         # Candidates: whole NORMAL residents and the incoming whole piece.
         candidates: List[Tuple[int, Optional[int]]] = []
-        for position, entry in enumerate(self.core_entries[core]):
+        for position, entry in enumerate(self.placed_order[core]):
             if entry.kind == EntryKind.NORMAL:
                 candidates.append((entry.task.period, position))
         if incoming.is_whole:
@@ -168,26 +169,22 @@ class _PdmsState:
         candidates.sort(key=lambda c: c[0])
         _period, position = candidates[0]
 
+        # Speculate on a clone; adopt it only if the split succeeds.
+        work = self.contexts[core].clone()
         if position is None:
             victim_task = incoming.task
-            others = list(self.core_entries[core])
+            incoming_entry = None
         else:
-            victim_entry = self.core_entries[core][position]
+            victim_entry = self.placed_order[core][position]
             victim_task = victim_entry.task
-            others = [
-                e
-                for i, e in enumerate(self.core_entries[core])
-                if i != position
-            ]
-            # The displaced resident's incoming piece must be re-placed too;
-            # keep it on this core in full?  No: the *incoming* task stays
-            # whole and takes the victim's place.
+            # The incoming task stays whole and takes the victim's place.
+            work.remove(victim_entry)
             incoming_entry = _entry_for(incoming, core, config)
-            others = others + [incoming_entry]
+            work.install(incoming_entry)
 
         remaining = victim_task.wcet
 
-        def body_feasible(b: int) -> Optional[int]:
+        def build(b: int) -> Optional[Entry]:
             limit = victim_task.deadline - (remaining - b) - config.split_cost
             if limit < b:
                 return None
@@ -198,7 +195,7 @@ class _PdmsState:
                 budget=b,
                 total_subtasks=2,
             )
-            body = Entry(
+            return Entry(
                 kind=EntryKind.BODY,
                 task=victim_task,
                 core=core,
@@ -208,37 +205,14 @@ class _PdmsState:
                 jitter=0,
                 body_rank=self.body_rank,
             )
-            ordered = order_entries(others + [body])
-            body_response = None
-            for index, entry in enumerate(ordered):
-                higher = [
-                    (_analysis_budget(e, config), e.period, e.jitter)
-                    for e in ordered[:index]
-                ]
-                r = response_time(
-                    _analysis_budget(entry, config), higher, entry.deadline
-                )
-                if r is None:
-                    return None
-                if entry is body:
-                    body_response = r
-            return body_response
 
-        low = config.min_chunk
-        high = remaining - 1
-        if high < low or body_feasible(low) is None:
+        best, best_response = work.probe_budget(
+            config.min_chunk, remaining - 1, build
+        )
+        if best is None:
             return None
-        best, best_response = low, body_feasible(low)
-        while low <= high:
-            mid = (low + high) // 2
-            response = body_feasible(mid)
-            if response is not None:
-                best, best_response = mid, response
-                low = mid + 1
-            else:
-                high = mid - 1
 
-        # Commit: rebuild the core with the body in place of the victim.
+        # Commit: adopt the speculative core with the body installed.
         body_sub = Subtask(
             task=victim_task,
             index=0,
@@ -257,13 +231,14 @@ class _PdmsState:
             body_rank=self.body_rank,
         )
         self.body_rank += 1
+        work.install(body_entry, best_response)
+        self.contexts[core] = work
         if position is None:
             # Incoming task is the victim: its body stays, residents keep.
-            self.core_entries[core].append(body_entry)
+            self.placed_order[core].append(body_entry)
         else:
-            self.core_entries[core][position] = body_entry
-            incoming_entry = _entry_for(incoming, core, config)
-            self.core_entries[core].append(incoming_entry)
+            self.placed_order[core][position] = body_entry
+            self.placed_order[core].append(incoming_entry)
             incoming.placed.append((core, incoming.remaining))
             incoming.entries.append(incoming_entry)
             incoming.remaining = 0
@@ -283,8 +258,12 @@ def pdms_hpts_partition(
     taskset: TaskSet,
     n_cores: int,
     config: PdmsConfig = PdmsConfig(),
+    incremental: bool = True,
 ) -> Optional[Assignment]:
     """PDMS_HPTS partitioning; returns None when infeasible.
+
+    ``incremental=False`` runs on the from-scratch analysis context
+    (differential reference; bit-identical result).
 
     >>> from repro.model import Task, TaskSet
     >>> ts = TaskSet([
@@ -302,7 +281,7 @@ def pdms_hpts_partition(
                 f"task {task.name} has no priority; call "
                 "assign_rate_monotonic() first"
             )
-    state = _PdmsState(n_cores, config)
+    state = _PdmsState(n_cores, config, incremental=incremental)
     queue: List[_Piece] = [
         _Piece(
             task=task,
@@ -348,8 +327,8 @@ def pdms_hpts_partition(
             return None
 
     assignment = Assignment(n_cores)
-    for entries in state.core_entries:
-        for local_priority, entry in enumerate(order_entries(entries)):
+    for ctx in state.contexts:
+        for local_priority, entry in enumerate(order_entries(ctx.entries)):
             entry.local_priority = local_priority
             assignment.add_entry(entry)
     # Register split tasks.

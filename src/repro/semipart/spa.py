@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.analysis.bounds import liu_layland_bound, spa_light_threshold
+from repro.analysis.incremental import make_rta_context
 from repro.analysis.rta import order_entries
 from repro.model.assignment import Assignment, Entry, EntryKind
 from repro.model.split import SplitTask, Subtask
@@ -41,16 +42,26 @@ _EPS = 1e-12
 
 
 class _SpaFill:
-    """Sequential Theta-utilization filling with splitting at the boundary."""
+    """Sequential Theta-utilization filling with splitting at the boundary.
 
-    def __init__(self, cores: List[int], theta: float) -> None:
+    SPA admission is pure utilization arithmetic (no RTA probes), so the
+    per-core analysis contexts serve as the entry containers and
+    utilization accumulators — placements go through ``install`` and the
+    Theta comparison reads ``context.utilization``, keeping the API
+    uniform with the probe-driven partitioners.
+    """
+
+    def __init__(
+        self, cores: List[int], theta: float, incremental: bool = True
+    ) -> None:
         if not cores:
             raise ValueError("no cores to fill")
         self.cores = cores  # physical core ids, filled in this order
         self.theta = theta
         self.position = 0  # index into self.cores
-        self.core_entries = {core: [] for core in cores}  # type: dict
-        self.core_utilization = {core: 0.0 for core in cores}
+        self.contexts = {
+            core: make_rta_context(incremental=incremental) for core in cores
+        }
         self.splits: List[SplitTask] = []
         self.body_rank = 0
 
@@ -69,7 +80,7 @@ class _SpaFill:
             core = self._current()
             if core is None:
                 return False
-            spare = self.theta - self.core_utilization[core]
+            spare = self.theta - self.contexts[core].utilization
             remaining_utilization = remaining / task.period
             if remaining_utilization <= spare + _EPS:
                 # The rest fits here: tail (or whole task if never split).
@@ -79,7 +90,6 @@ class _SpaFill:
                 )
                 pieces.append((core, remaining))
                 piece_entries.append(entry)
-                self.core_utilization[core] += remaining_utilization
                 self._commit(task, pieces, piece_entries)
                 return True
             # Fill the processor to Theta with a body chunk and move on.
@@ -94,12 +104,11 @@ class _SpaFill:
             )
             pieces.append((core, budget))
             piece_entries.append(entry)
-            self.core_utilization[core] += budget / task.period
             # Body runs at top local priority: its response bound is its
             # budget plus the budgets of earlier-placed bodies on the core.
             response = budget + sum(
                 e.budget
-                for e in self.core_entries[core]
+                for e in self.contexts[core].entries
                 if e.kind == EntryKind.BODY
             )
             cumulative_bound += response
@@ -167,19 +176,19 @@ class _SpaFill:
         piece_entries: List[Entry],
     ) -> None:
         if len(pieces) == 1:
-            self.core_entries[pieces[0][0]].append(piece_entries[0])
+            self.contexts[pieces[0][0]].install(piece_entries[0])
             return
         split = SplitTask.build(task, pieces)
         for entry, sub in zip(piece_entries, split.subtasks):
             entry.subtask = sub
             entry.kind = EntryKind.TAIL if sub.is_tail else EntryKind.BODY
-            self.core_entries[entry.core].append(entry)
+            self.contexts[entry.core].install(entry)
         self.splits.append(split)
 
     def build_assignment(self, n_cores: int) -> Assignment:
         assignment = Assignment(n_cores)
-        for core, entries in self.core_entries.items():
-            for local_priority, entry in enumerate(order_entries(entries)):
+        for core, ctx in self.contexts.items():
+            for local_priority, entry in enumerate(order_entries(ctx.entries)):
                 entry.local_priority = local_priority
                 assignment.add_entry(entry)
         for split in self.splits:
@@ -196,11 +205,15 @@ def _require_priorities(taskset: TaskSet) -> None:
             )
 
 
-def spa1_partition(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
+def spa1_partition(
+    taskset: TaskSet, n_cores: int, incremental: bool = True
+) -> Optional[Assignment]:
     """SPA1: Theta-fill in increasing-priority order; all tasks must be light.
 
     Returns ``None`` when the light-task precondition fails or the fill
-    overflows the platform.
+    overflows the platform.  ``incremental`` picks the context flavor
+    used as the per-core container (no behavioral difference — SPA runs
+    no RTA probes).
     """
     _require_priorities(taskset)
     if len(taskset) == 0:
@@ -213,7 +226,7 @@ def spa1_partition(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
     order = sorted(
         taskset, key=lambda t: t.priority, reverse=True  # type: ignore[arg-type]
     )
-    fill = _SpaFill(list(range(n_cores)), theta)
+    fill = _SpaFill(list(range(n_cores)), theta, incremental=incremental)
     for task in order:
         if not fill.place(task):
             return None
@@ -222,7 +235,9 @@ def spa1_partition(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
     return assignment
 
 
-def spa2_partition(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
+def spa2_partition(
+    taskset: TaskSet, n_cores: int, incremental: bool = True
+) -> Optional[Assignment]:
     """SPA2: pre-assign heavy tasks to dedicated processors, SPA1 the rest."""
     _require_priorities(taskset)
     if len(taskset) == 0:
@@ -258,7 +273,7 @@ def spa2_partition(taskset: TaskSet, n_cores: int) -> Optional[Assignment]:
             key=lambda t: t.priority,  # type: ignore[arg-type]
             reverse=True,
         )
-        fill = _SpaFill(remaining_cores, theta)
+        fill = _SpaFill(remaining_cores, theta, incremental=incremental)
         for task in order:
             if not fill.place(task):
                 return None

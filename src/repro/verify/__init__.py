@@ -8,7 +8,7 @@ Entry points:
   invariant checker;
 * :func:`~repro.verify.harness.run_harness` — seeded random trials plus
   metamorphic mutations;
-* :func:`~repro.verify.differential.run_differential_suite` — the four
+* :func:`~repro.verify.differential.run_differential_suite` — the five
   independent-implementation agreement checks;
 * :func:`~repro.verify.shrink.shrink_scenario` /
   :func:`~repro.verify.shrink.write_repro` — minimize a failing scenario
@@ -17,7 +17,9 @@ Entry points:
 
 from repro.verify.differential import (
     DIFFERENTIAL_PAIRS,
+    assignment_to_canonical,
     empty_plan_vs_no_plan,
+    incremental_vs_scratch,
     result_to_canonical,
     run_differential_suite,
     serial_vs_parallel,
@@ -57,9 +59,11 @@ __all__ = [
     "ScenarioTask",
     "ShrinkResult",
     "TrialFailure",
+    "assignment_to_canonical",
     "check_scenario",
     "empty_plan_vs_no_plan",
     "full_check",
+    "incremental_vs_scratch",
     "load_repro",
     "metamorphic_checks",
     "random_scenario",

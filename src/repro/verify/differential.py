@@ -1,6 +1,6 @@
 """Differential cross-checks: independent implementations must agree.
 
-Four pairs, each exercising a different redundancy in the codebase:
+Five pairs, each exercising a different redundancy in the codebase:
 
 * **sim-vs-oracle** — a zero-overhead :class:`KernelSim` run on one core
   must agree with the analytical time-demand oracle
@@ -13,10 +13,15 @@ Four pairs, each exercising a different redundancy in the codebase:
   ``faults=None``;
 * **tick-vs-event** — when every release instant is a multiple of the
   tick, deferring release processing to tick boundaries is a no-op, so
-  tick-driven and event-driven runs must be bit-identical.
+  tick-driven and event-driven runs must be bit-identical;
+* **incremental-vs-scratch** — every partitioner run on the incremental
+  analysis contexts (:mod:`repro.analysis.incremental`) must produce a
+  bit-identical :class:`~repro.model.assignment.Assignment` to the same
+  run on the from-scratch contexts, over seeded random task sets across
+  the utilization grid.
 
 Every check returns a list of human-readable discrepancy strings; empty
-means the pair agrees.  :func:`run_differential_suite` runs all four.
+means the pair agrees.  :func:`run_differential_suite` runs all five.
 """
 
 from __future__ import annotations
@@ -242,22 +247,126 @@ def tick_vs_event(seed: int = 0) -> List[str]:
     return _diff_canonical(event_mode, tick_mode, "event-mode", "tick-mode")
 
 
+def assignment_to_canonical(assignment) -> dict:
+    """An :class:`~repro.model.assignment.Assignment` (or ``None``) as one
+    JSON-safe, bit-comparable dict: every entry field that the analysis or
+    the simulator reads, plus the split-task registry."""
+    if assignment is None:
+        return {"accepted": False}
+    return {
+        "accepted": True,
+        "n_cores": assignment.n_cores,
+        "cores": [
+            [
+                {
+                    "name": entry.name,
+                    "kind": entry.kind.value,
+                    "task": entry.task.name,
+                    "core": entry.core,
+                    "budget": entry.budget,
+                    "deadline": entry.deadline,
+                    "jitter": entry.jitter,
+                    "local_priority": entry.local_priority,
+                    "body_rank": entry.body_rank,
+                    "subtask": (
+                        None
+                        if entry.subtask is None
+                        else {
+                            "index": entry.subtask.index,
+                            "core": entry.subtask.core,
+                            "budget": entry.subtask.budget,
+                            "total_subtasks": entry.subtask.total_subtasks,
+                        }
+                    ),
+                }
+                for entry in core.sorted_entries()
+            ]
+            for core in assignment.cores
+        ],
+        "splits": {
+            name: [(sub.core, sub.budget) for sub in split.subtasks]
+            for name, split in sorted(assignment.split_tasks.items())
+        },
+    }
+
+
+#: Algorithms with a real incremental/scratch analysis path (the global
+#: tests have no per-core analysis; SPA2 covers the SPA container use).
+_INCREMENTAL_ALGORITHMS = ("FP-TS", "PDMS", "C=D", "SPA2", "FFD", "WFD", "P-EDF")
+
+
+def incremental_vs_scratch(trials: int = 20, seed: int = 0) -> List[str]:
+    """Partitioners on incremental vs. from-scratch analysis contexts.
+
+    Draws seeded random task sets across the utilization grid (alternating
+    zero and paper-calibrated overhead models) and asserts that every
+    algorithm's assignment — accept/reject verdict, every entry's budget,
+    deadline, jitter, rank, local priority, and the split registry — is
+    bit-identical between ``incremental=True`` and ``incremental=False``.
+    """
+    from repro.experiments.algorithms import build_assignment
+
+    diffs: List[str] = []
+    rng = random.Random(seed)
+    for trial in range(trials):
+        n_cores = rng.choice((2, 4))
+        n_tasks = rng.randint(6, 12)
+        utilization = rng.uniform(0.55, 0.95) * n_cores
+        model = (
+            OverheadModel.zero()
+            if trial % 2 == 0
+            else OverheadModel.paper_core_i7(n_cores)
+        )
+        generator = TaskSetGenerator(
+            n_tasks=n_tasks,
+            seed=rng.randint(0, 10**6),
+            period_min=5 * MS,
+            period_max=100 * MS,
+        )
+        taskset = generator.generate(utilization)
+        for algorithm in _INCREMENTAL_ALGORITHMS:
+            fast = assignment_to_canonical(
+                build_assignment(
+                    algorithm, taskset, n_cores, model, incremental=True
+                )
+            )
+            reference = assignment_to_canonical(
+                build_assignment(
+                    algorithm, taskset, n_cores, model, incremental=False
+                )
+            )
+            if fast != reference:
+                detail = _diff_canonical(
+                    fast, reference, "incremental", "scratch"
+                )
+                diffs.append(
+                    f"trial {trial} ({algorithm}, m={n_cores}, "
+                    f"U={utilization:.3f}): assignments differ: "
+                    + "; ".join(detail[:3])
+                )
+    return diffs
+
+
 #: Name -> zero-argument runner for each differential pair.
 DIFFERENTIAL_PAIRS = (
     "sim-vs-oracle",
     "serial-vs-parallel",
     "empty-plan-vs-no-plan",
     "tick-vs-event",
+    "incremental-vs-scratch",
 )
 
 
 def run_differential_suite(
     seed: int = 0, trials: int = 20, jobs: int = 2
 ) -> Dict[str, List[str]]:
-    """Run all four pairs; maps pair name to its discrepancy list."""
+    """Run all five pairs; maps pair name to its discrepancy list."""
     return {
         "sim-vs-oracle": sim_vs_oracle(trials=trials, seed=seed),
         "serial-vs-parallel": serial_vs_parallel(seed=seed, jobs=jobs),
         "empty-plan-vs-no-plan": empty_plan_vs_no_plan(seed=seed),
         "tick-vs-event": tick_vs_event(seed=seed),
+        "incremental-vs-scratch": incremental_vs_scratch(
+            trials=trials, seed=seed
+        ),
     }
