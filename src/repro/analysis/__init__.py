@@ -1,8 +1,10 @@
 """Schedulability analysis.
 
 Uniprocessor fixed-priority response-time analysis (with release jitter, the
-form needed for split-task tails), classic utilization bounds, and the
-overhead-aware variants used for the paper's evaluation.
+form needed for split-task tails), classic utilization bounds, the
+overhead-aware variants used for the paper's evaluation, and the
+struct-of-arrays batch kernels (:mod:`repro.analysis.batch`) that run the
+same exact tests over whole task-set populations in lock-step.
 """
 
 from repro.analysis.rta import (
@@ -13,6 +15,15 @@ from repro.analysis.rta import (
     entry_response_time,
     order_entries,
     response_time,
+)
+from repro.analysis.batch import (
+    BATCH_STATS,
+    BatchStats,
+    PopulationError,
+    TaskSetPopulation,
+    batch_partition_accept,
+    batch_partition_accept_multi,
+    batch_rta_responses,
 )
 from repro.analysis.incremental import (
     STATS,
@@ -60,6 +71,13 @@ __all__ = [
     "entry_response_time",
     "order_entries",
     "response_time",
+    "BATCH_STATS",
+    "BatchStats",
+    "PopulationError",
+    "TaskSetPopulation",
+    "batch_partition_accept",
+    "batch_partition_accept_multi",
+    "batch_rta_responses",
     "STATS",
     "AnalysisStats",
     "CoreAnalysisContext",

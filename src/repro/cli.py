@@ -273,6 +273,7 @@ def _cmd_sweep(args) -> int:
         overheads=model,
         algorithms=algorithms,
         seed=args.seed,
+        batch=args.batch,
     )
     engine = _engine_for(args)
     result = run_acceptance(config, engine=engine)
@@ -719,6 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=2011)
     sweep.add_argument("--overheads", default="paper")
     sweep.add_argument("--algorithms", default="FP-TS,FFD,WFD")
+    sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="vectorized batch analysis per sweep point (bit-identical "
+        "ratios; scalar fallback where inexpressible)",
+    )
     engine_flags(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 

@@ -28,7 +28,8 @@ from repro.overhead.model import OverheadModel
 #: Bump whenever unit semantics or payload layout change: the version is
 #: hashed into every cache key, so stale cache entries are invalidated
 #: wholesale instead of being misread.
-CACHE_SCHEMA_VERSION = 1
+#: v2: AcceptanceUnit grew the ``batch`` field (vectorized analysis).
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,12 @@ class AcceptanceUnit:
     Executing it generates ``sets_per_point`` task sets with total
     utilization ``utilization * n_cores`` from ``seed`` and counts, per
     algorithm, how many pass the overhead-aware acceptance test.
+
+    With ``batch=True`` the point's population is generated as one
+    struct-of-arrays batch and analyzed by the vectorized kernels of
+    :mod:`repro.analysis.batch` (scalar fallback for algorithms or
+    populations the batch layer cannot express).  The payload is
+    bit-identical either way; the flag only selects the engine.
     """
 
     n_cores: int
@@ -49,6 +56,7 @@ class AcceptanceUnit:
     overheads: OverheadModel
     period_min: int = 10 * MS
     period_max: int = 1000 * MS
+    batch: bool = False
     kind: str = "acceptance"
 
 
@@ -277,6 +285,26 @@ def _execute_acceptance(unit: AcceptanceUnit) -> dict:
         period_max=unit.period_max,
     )
     total = unit.utilization * unit.n_cores
+    if unit.batch:
+        from repro.analysis.batch import TaskSetPopulation
+        from repro.experiments.algorithms import accept_populations
+
+        generated = generator.generate_batch(total, unit.sets_per_point)
+        population = TaskSetPopulation.from_arrays(
+            generated.wcet,
+            generated.period,
+            generated.deadline,
+            generated.wss,
+            generated.names,
+        )
+        # One packing pass answers every batchable algorithm at once.
+        verdicts = accept_populations(
+            list(unit.algorithms), population, unit.n_cores, unit.overheads
+        )
+        accepted = {
+            name: sum(verdicts[name]) for name in unit.algorithms
+        }
+        return {"accepted": accepted, "total": population.n_sets}
     tasksets = generator.generate_many(total, unit.sets_per_point)
     accepted: Dict[str, int] = {}
     for name in unit.algorithms:

@@ -16,8 +16,16 @@ the analysis:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.batch import (
+    BATCH_STATS,
+    BatchStats,
+    PopulationError,
+    TaskSetPopulation,
+    batch_partition_accept,
+    batch_partition_accept_multi,
+)
 from repro.analysis.global_bounds import (
     global_edf_gfb_schedulable,
     global_rm_us_schedulable,
@@ -279,3 +287,115 @@ def accept(
         )
         is not None
     )
+
+
+#: Algorithms the batch layer can express: plain decreasing-utilization
+#: bin packing, mapped to (placement, admission).  Splitting algorithms
+#: (FP-TS, SPA*, PDMS, C=D) and the global tests stay scalar.
+BATCH_ALGORITHMS: Dict[str, Tuple[str, str]] = {
+    "FFD": ("first-fit", "rta"),
+    "WFD": ("worst-fit", "rta"),
+    "BFD": ("best-fit", "rta"),
+    "NFD": ("next-fit", "rta"),
+    "P-EDF": ("first-fit", "edf"),
+}
+
+
+def accept_population(
+    algorithm: str,
+    population: TaskSetPopulation,
+    n_cores: int,
+    model: OverheadModel = OverheadModel.zero(),
+    batch: bool = True,
+    stats: Optional[BatchStats] = None,
+) -> List[bool]:
+    """Accept/reject vector of ``algorithm`` over a whole population.
+
+    With ``batch=True`` the algorithms in :data:`BATCH_ALGORITHMS` run
+    through the struct-of-arrays kernels of
+    :mod:`repro.analysis.batch`; everything else — and any population
+    the batch layer cannot express (non-rate-monotonic priority order)
+    — falls back to the scalar incremental path one lane at a time.
+    Verdicts are bit-identical either way (the batch-vs-scratch
+    differential pair enforces this continuously).
+    """
+    if algorithm not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}"
+        )
+    plan = BATCH_ALGORITHMS.get(algorithm) if batch else None
+    if plan is not None:
+        placement, admission = plan
+        try:
+            verdicts = batch_partition_accept(
+                population,
+                n_cores,
+                model=model,
+                placement=placement,
+                admission=admission,
+                stats=stats,
+            )
+            return [bool(v) for v in verdicts]
+        except PopulationError:
+            tracker = stats if stats is not None else BATCH_STATS
+            tracker.scalar_fallbacks += population.n_sets
+    return [
+        accept(algorithm, taskset, n_cores, model=model)
+        for taskset in population.tasksets()
+    ]
+
+
+def accept_populations(
+    algorithms: List[str],
+    population: TaskSetPopulation,
+    n_cores: int,
+    model: OverheadModel = OverheadModel.zero(),
+    batch: bool = True,
+    stats: Optional[BatchStats] = None,
+) -> Dict[str, List[bool]]:
+    """Accept/reject vectors of several algorithms over one population.
+
+    The batchable algorithms (:data:`BATCH_ALGORITHMS`) share a single
+    packing pass through
+    :func:`repro.analysis.batch.batch_partition_accept_multi` — the
+    per-step vectorized probes cover every algorithm's rows at once, so
+    asking five heuristics costs far less than five separate sweeps.
+    Non-batchable algorithms, ``batch=False``, and populations the
+    batch layer rejects take the same scalar per-lane fallback as
+    :func:`accept_population`.
+    """
+    for algorithm in algorithms:
+        if algorithm not in ALGORITHMS:
+            raise KeyError(
+                f"unknown algorithm {algorithm!r}; choose from "
+                f"{sorted(ALGORITHMS)}"
+            )
+    out: Dict[str, List[bool]] = {}
+    batched = [a for a in algorithms if batch and a in BATCH_ALGORITHMS]
+    if batched:
+        try:
+            matrix = batch_partition_accept_multi(
+                population,
+                n_cores,
+                model=model,
+                configs=[BATCH_ALGORITHMS[a] for a in batched],
+                stats=stats,
+            )
+            for row, algorithm in zip(matrix, batched):
+                out[algorithm] = [bool(v) for v in row]
+        except PopulationError:
+            tracker = stats if stats is not None else BATCH_STATS
+            tracker.scalar_fallbacks += population.n_sets * len(batched)
+            batched = []
+    for algorithm in algorithms:
+        if algorithm not in out:
+            out[algorithm] = accept_population(
+                algorithm,
+                population,
+                n_cores,
+                model=model,
+                batch=False,
+                stats=stats,
+            )
+    return out

@@ -29,6 +29,7 @@ from repro.metrics.report import (
     primitive_anatomy,
     queue_op_curves,
     record_analysis_stats,
+    record_batch_stats,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "primitive_anatomy",
     "queue_op_curves",
     "record_analysis_stats",
+    "record_batch_stats",
 ]

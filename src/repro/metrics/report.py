@@ -184,6 +184,39 @@ def record_analysis_stats(
     )
 
 
+def record_batch_stats(registry: MetricsRegistry, stats) -> None:
+    """Publish a :class:`repro.analysis.batch.BatchStats` snapshot as the
+    ``ana_batch_*`` counters of the ``ana_*`` family.
+
+    Like :func:`record_analysis_stats`, deterministic but not gated by
+    :func:`compare_reports`.  ``ana_batch_lanes_total`` counts task sets
+    submitted to a batch verdict; ``ana_batch_lanes_fastpath_total`` the
+    subset decided with zero vectorized fixed-point iterations;
+    ``ana_batch_vector_iterations_total`` batched update steps (each
+    advances every active lane at once); ``ana_batch_probes_total`` is
+    labelled by admission ``kind`` (``rta`` / ``edf``);
+    ``ana_batch_scalar_fallbacks_total`` counts lanes handed back to the
+    scalar contexts.
+    """
+    snapshot = stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
+    registry.counter("ana_batch_lanes_total").inc(snapshot["lanes"])
+    registry.counter("ana_batch_lanes_fastpath_total").inc(
+        snapshot["lanes_fastpath"]
+    )
+    registry.counter("ana_batch_vector_iterations_total").inc(
+        snapshot["vector_iterations"]
+    )
+    registry.counter("ana_batch_probes_total", kind="rta").inc(
+        snapshot["probes_rta"]
+    )
+    registry.counter("ana_batch_probes_total", kind="edf").inc(
+        snapshot["probes_edf"]
+    )
+    registry.counter("ana_batch_scalar_fallbacks_total").inc(
+        snapshot["scalar_fallbacks"]
+    )
+
+
 def _index_metrics(report: Mapping) -> Dict[Tuple[str, tuple], dict]:
     indexed: Dict[Tuple[str, tuple], dict] = {}
     for entry in report.get("metrics", {}).get("metrics", []):

@@ -20,7 +20,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
@@ -98,6 +100,58 @@ def log_uniform_periods(
         quantized = min(quantized, (period_max // granularity) * granularity)
         periods.append(quantized)
     return periods
+
+
+@dataclass
+class GeneratedBatch:
+    """A population of generated task sets in struct-of-arrays form.
+
+    Arrays are (sets, tasks) int64, each lane packed in rate-monotonic
+    priority order (column index == priority rank); ``names`` carries
+    the per-lane task names in the same order.  The arrays feed the
+    batch analysis layer directly
+    (``repro.analysis.batch.TaskSetPopulation.from_arrays``);
+    :meth:`tasksets` materializes the identical scalar
+    :class:`~repro.model.taskset.TaskSet` objects on demand (memoized)
+    for fallback paths and differential checks.
+    """
+
+    wcet: np.ndarray
+    period: np.ndarray
+    deadline: np.ndarray
+    wss: np.ndarray
+    names: Tuple[Tuple[str, ...], ...]
+    _memo: Optional[List[TaskSet]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_sets(self) -> int:
+        return self.wcet.shape[0]
+
+    @property
+    def n_tasks(self) -> int:
+        return self.wcet.shape[1]
+
+    def tasksets(self) -> List[TaskSet]:
+        """The same task sets as scalar objects, bit-identical to what
+        ``generate_many`` would have produced from the same seed."""
+        if self._memo is None:
+            self._memo = [
+                TaskSet(
+                    Task(
+                        name=self.names[row][col],
+                        wcet=int(self.wcet[row, col]),
+                        period=int(self.period[row, col]),
+                        deadline=int(self.deadline[row, col]),
+                        priority=col,
+                        wss=int(self.wss[row, col]),
+                    )
+                    for col in range(self.n_tasks)
+                )
+                for row in range(self.n_sets)
+            ]
+        return self._memo
 
 
 @dataclass
@@ -190,3 +244,66 @@ class TaskSetGenerator:
         self, total_utilization: float, count: int
     ) -> List[TaskSet]:
         return [self.generate(total_utilization) for _ in range(count)]
+
+    def generate_batch(
+        self, total_utilization: float, count: int
+    ) -> GeneratedBatch:
+        """Generate ``count`` task sets as one struct-of-arrays batch.
+
+        Bit-identical to ``generate_many(total_utilization, count)``:
+        the random draws (UUniFast rejection loops, log-uniform periods,
+        working-set sizes) are data-dependent and stay on the scalar
+        ``random.Random`` stream in the exact per-set order, while the
+        derived arithmetic — WCET rounding/clamping and the packing into
+        rate-monotonic priority order — runs vectorized over the whole
+        batch.  ``np.rint`` is round-half-to-even, the same rule as
+        Python's ``round``, so the WCETs match integer for integer.
+        """
+        if not self.assign_rm:
+            raise ValueError(
+                "generate_batch requires assign_rm=True: batch lanes "
+                "are packed in rate-monotonic priority order"
+            )
+        n = self.n_tasks
+        utilization = np.empty((count, n), dtype=np.float64)
+        periods = np.empty((count, n), dtype=np.int64)
+        wss = np.empty((count, n), dtype=np.int64)
+        for row in range(count):
+            utilization[row] = self._draw_utilizations(total_utilization)
+            periods[row] = log_uniform_periods(
+                self._rng,
+                n,
+                self.period_min,
+                self.period_max,
+                self.period_granularity,
+            )
+            for col in range(n):
+                wss[row, col] = self._rng.randint(
+                    self.wss_min, self.wss_max
+                )
+        wcet = np.minimum(
+            np.maximum(np.rint(utilization * periods).astype(np.int64), 1),
+            periods,
+        )
+        # Rate-monotonic rank per lane: the scalar path sorts tasks by
+        # (period, name); replicate with python sorted on the identical
+        # keys so period ties break the same way.
+        base_names = [f"t{col:03d}" for col in range(n)]
+        order = np.empty((count, n), dtype=np.int64)
+        for row in range(count):
+            lane = periods[row]
+            order[row] = sorted(
+                range(n), key=lambda col: (lane[col], base_names[col])
+            )
+        rows = np.arange(count)[:, None]
+        period_rm = periods[rows, order]
+        return GeneratedBatch(
+            wcet=wcet[rows, order],
+            period=period_rm,
+            deadline=period_rm.copy(),
+            wss=wss[rows, order],
+            names=tuple(
+                tuple(base_names[col] for col in lane)
+                for lane in order.tolist()
+            ),
+        )

@@ -8,7 +8,7 @@ Entry points:
   invariant checker;
 * :func:`~repro.verify.harness.run_harness` — seeded random trials plus
   metamorphic mutations;
-* :func:`~repro.verify.differential.run_differential_suite` — the five
+* :func:`~repro.verify.differential.run_differential_suite` — the six
   independent-implementation agreement checks;
 * :func:`~repro.verify.shrink.shrink_scenario` /
   :func:`~repro.verify.shrink.write_repro` — minimize a failing scenario
@@ -18,6 +18,7 @@ Entry points:
 from repro.verify.differential import (
     DIFFERENTIAL_PAIRS,
     assignment_to_canonical,
+    batch_vs_scratch,
     empty_plan_vs_no_plan,
     incremental_vs_scratch,
     result_to_canonical,
@@ -60,6 +61,7 @@ __all__ = [
     "ShrinkResult",
     "TrialFailure",
     "assignment_to_canonical",
+    "batch_vs_scratch",
     "check_scenario",
     "empty_plan_vs_no_plan",
     "full_check",

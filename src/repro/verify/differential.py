@@ -1,6 +1,6 @@
 """Differential cross-checks: independent implementations must agree.
 
-Five pairs, each exercising a different redundancy in the codebase:
+Six pairs, each exercising a different redundancy in the codebase:
 
 * **sim-vs-oracle** — a zero-overhead :class:`KernelSim` run on one core
   must agree with the analytical time-demand oracle
@@ -18,10 +18,15 @@ Five pairs, each exercising a different redundancy in the codebase:
   analysis contexts (:mod:`repro.analysis.incremental`) must produce a
   bit-identical :class:`~repro.model.assignment.Assignment` to the same
   run on the from-scratch contexts, over seeded random task sets across
-  the utilization grid.
+  the utilization grid;
+* **batch-vs-scratch** — the struct-of-arrays batch kernels
+  (:mod:`repro.analysis.batch`) must produce bit-identical accept/reject
+  vectors to the from-scratch scalar contexts on whole populations, and
+  the batched RTA fixed point must return the identical integer response
+  times as the scalar analyzer on every accepted core.
 
 Every check returns a list of human-readable discrepancy strings; empty
-means the pair agrees.  :func:`run_differential_suite` runs all five.
+means the pair agrees.  :func:`run_differential_suite` runs all six.
 """
 
 from __future__ import annotations
@@ -347,6 +352,114 @@ def incremental_vs_scratch(trials: int = 20, seed: int = 0) -> List[str]:
     return diffs
 
 
+#: Algorithms the batch layer expresses natively (must mirror
+#: ``repro.experiments.algorithms.BATCH_ALGORITHMS``).
+_BATCH_ALGORITHMS = ("FFD", "WFD", "BFD", "NFD", "P-EDF")
+
+
+def batch_vs_scratch(trials: int = 20, seed: int = 0) -> List[str]:
+    """Batched struct-of-arrays analysis vs. the from-scratch scalar path.
+
+    Each trial draws a whole population of seeded task sets (alternating
+    zero and paper-calibrated overhead models), packs it into aligned
+    arrays, and asserts two bit-level identities:
+
+    * the batch accept/reject vector of every batchable algorithm equals
+      the per-set verdicts of the scalar partitioners on from-scratch
+      contexts (``incremental=False`` — the most independent reference);
+    * on every core of every accepted FFD assignment, the batched RTA
+      fixed point returns the identical integer response times as the
+      scalar :func:`~repro.analysis.rta.core_schedulable`.
+    """
+    import numpy as np
+
+    from repro.analysis.batch import (
+        TaskSetPopulation,
+        batch_rta_responses,
+    )
+    from repro.analysis.rta import core_schedulable, order_entries
+    from repro.experiments.algorithms import (
+        accept_population,
+        build_assignment,
+    )
+
+    diffs: List[str] = []
+    rng = random.Random(seed)
+    for trial in range(trials):
+        n_cores = rng.choice((2, 4))
+        n_tasks = rng.randint(6, 12)
+        utilization = rng.uniform(0.55, 0.95) * n_cores
+        model = (
+            OverheadModel.zero()
+            if trial % 2 == 0
+            else OverheadModel.paper_core_i7(n_cores)
+        )
+        generator = TaskSetGenerator(
+            n_tasks=n_tasks,
+            seed=rng.randint(0, 10**6),
+            period_min=5 * MS,
+            period_max=100 * MS,
+        )
+        tasksets = generator.generate_many(utilization, 8)
+        population = TaskSetPopulation.from_tasksets(tasksets)
+        assignments = []
+        for algorithm in _BATCH_ALGORITHMS:
+            batch_verdicts = accept_population(
+                algorithm, population, n_cores, model=model
+            )
+            scalar = [
+                build_assignment(
+                    algorithm, ts, n_cores, model, incremental=False
+                )
+                for ts in tasksets
+            ]
+            if algorithm == "FFD":
+                assignments = scalar
+            scalar_verdicts = [a is not None for a in scalar]
+            if batch_verdicts != scalar_verdicts:
+                diffs.append(
+                    f"trial {trial} ({algorithm}, m={n_cores}, "
+                    f"U={utilization:.3f}): batch verdicts "
+                    f"{batch_verdicts} != scratch {scalar_verdicts}"
+                )
+        # Response-time identity on the accepted FFD assignments: batch
+        # every core (padded to the widest) and compare integers.
+        cores = [
+            order_entries(core.entries)
+            for assignment in assignments
+            if assignment is not None
+            for core in assignment.cores
+            if core.entries
+        ]
+        if not cores:
+            continue
+        width = max(len(entries) for entries in cores)
+        shape = (len(cores), width)
+        wcet = np.zeros(shape, dtype=np.int64)
+        period = np.ones(shape, dtype=np.int64)
+        deadline = np.zeros(shape, dtype=np.int64)
+        for row, entries in enumerate(cores):
+            for col, entry in enumerate(entries):
+                wcet[row, col] = entry.budget
+                period[row, col] = entry.period
+                deadline[row, col] = entry.deadline
+        batched = batch_rta_responses(wcet, period, deadline)
+        for row, entries in enumerate(cores):
+            scalar_responses = [
+                result.response if result.response is not None else -1
+                for result in core_schedulable(entries).results
+            ]
+            batch_responses = [
+                int(batched[row, col]) for col in range(len(entries))
+            ]
+            if batch_responses != scalar_responses:
+                diffs.append(
+                    f"trial {trial} core row {row}: batched responses "
+                    f"{batch_responses} != scalar {scalar_responses}"
+                )
+    return diffs
+
+
 #: Name -> zero-argument runner for each differential pair.
 DIFFERENTIAL_PAIRS = (
     "sim-vs-oracle",
@@ -354,13 +467,14 @@ DIFFERENTIAL_PAIRS = (
     "empty-plan-vs-no-plan",
     "tick-vs-event",
     "incremental-vs-scratch",
+    "batch-vs-scratch",
 )
 
 
 def run_differential_suite(
     seed: int = 0, trials: int = 20, jobs: int = 2
 ) -> Dict[str, List[str]]:
-    """Run all five pairs; maps pair name to its discrepancy list."""
+    """Run all six pairs; maps pair name to its discrepancy list."""
     return {
         "sim-vs-oracle": sim_vs_oracle(trials=trials, seed=seed),
         "serial-vs-parallel": serial_vs_parallel(seed=seed, jobs=jobs),
@@ -369,4 +483,5 @@ def run_differential_suite(
         "incremental-vs-scratch": incremental_vs_scratch(
             trials=trials, seed=seed
         ),
+        "batch-vs-scratch": batch_vs_scratch(trials=trials, seed=seed),
     }

@@ -241,3 +241,72 @@ def test_engine_pool_shards_match_serial_sim_metrics():
     assert _sim_entries(_merge_payloads(serial)) == _sim_entries(
         _merge_payloads(pooled)
     )
+
+
+# ---------------------------------------------------------------------------
+# Batch analysis counters: registry view == BatchStats tally
+# ---------------------------------------------------------------------------
+
+
+def test_batch_counters_reconcile_with_batch_stats():
+    """``record_batch_stats`` publishes exactly the ``BatchStats``
+    snapshot — the ``ana_batch_*`` family is a view of the batch run,
+    never an independent tally — and accepts raw snapshot dicts (the
+    form cached unit payloads carry) identically."""
+    from repro.analysis.batch import BatchStats, TaskSetPopulation
+    from repro.experiments.algorithms import accept_populations
+    from repro.metrics import record_batch_stats
+    from repro.model.generator import TaskSetGenerator
+
+    stats = BatchStats()
+    generator = TaskSetGenerator(n_tasks=10, seed=303)
+    generated = generator.generate_batch(0.85 * 4, 10)
+    population = TaskSetPopulation.from_arrays(
+        generated.wcet,
+        generated.period,
+        generated.deadline,
+        generated.wss,
+        generated.names,
+    )
+    accept_populations(
+        ["FFD", "WFD", "P-EDF"], population, 4, stats=stats
+    )
+    snapshot = stats.snapshot()
+    assert snapshot["lanes"] == 3 * population.n_sets
+    assert snapshot["scalar_fallbacks"] == 0
+    assert snapshot["vector_iterations"] > 0
+
+    registry = MetricsRegistry()
+    record_batch_stats(registry, stats)
+    assert registry.value("ana_batch_lanes_total") == snapshot["lanes"]
+    assert (
+        registry.value("ana_batch_lanes_fastpath_total")
+        == snapshot["lanes_fastpath"]
+    )
+    assert (
+        registry.value("ana_batch_vector_iterations_total")
+        == snapshot["vector_iterations"]
+    )
+    assert (
+        registry.value("ana_batch_probes_total", kind="rta")
+        == snapshot["probes_rta"]
+    )
+    assert (
+        registry.value("ana_batch_probes_total", kind="edf")
+        == snapshot["probes_edf"]
+    )
+    assert (
+        registry.value("ana_batch_scalar_fallbacks_total")
+        == snapshot["scalar_fallbacks"]
+    )
+
+    from_dict = MetricsRegistry()
+    record_batch_stats(from_dict, snapshot)
+    assert from_dict.as_dict() == registry.as_dict()
+
+    # Publishing two shards into one registry accumulates — the same
+    # merge law the sim_* counters obey.
+    record_batch_stats(registry, snapshot)
+    assert (
+        registry.value("ana_batch_lanes_total") == 2 * snapshot["lanes"]
+    )

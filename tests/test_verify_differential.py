@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from repro.verify import (
     DIFFERENTIAL_PAIRS,
+    batch_vs_scratch,
     empty_plan_vs_no_plan,
     run_differential_suite,
     serial_vs_parallel,
@@ -35,6 +36,13 @@ def test_tick_vs_event():
     """With periods quantized to the tick, tick-driven release scanning
     reproduces the event-driven schedule exactly."""
     assert tick_vs_event(seed=4) == []
+
+
+def test_batch_vs_scratch():
+    """The struct-of-arrays batch kernels return bit-identical
+    accept/reject vectors and per-entry response times to the scalar
+    pipeline."""
+    assert batch_vs_scratch(trials=8, seed=9) == []
 
 
 def test_suite_covers_all_pairs():
