@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Minimal stdlib client for the schedulability service (`repro serve`).
+
+Exercises the whole surface once: readiness, an admission query, a small
+campaign job polled to completion, and a `/metrics` excerpt.  Exits
+non-zero on any unexpected response, so CI uses it as the service smoke
+test:
+
+    PYTHONPATH=src python -m repro.cli serve --port 8337 &
+    python examples/service_client.py --port 8337
+
+See docs/service.md for the endpoint reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+ADMISSION = {
+    "tasks": [
+        {"name": "video", "wcet_us": 2000, "period_us": 10000},
+        {"name": "audio", "wcet_us": 1000, "period_us": 5000},
+        {"name": "ctrl", "wcet_us": 4000, "period_us": 20000},
+    ],
+    "cores": 2,
+    "algorithms": ["FP-TS", "FFD", "WFD"],
+    "deadline_ms": 2000,
+}
+
+CAMPAIGN = {
+    "n_cores": 2,
+    "n_tasks": 6,
+    "sets_per_point": 3,
+    "utilizations": [0.5, 0.7, 0.9],
+    "algorithms": ["FFD", "WFD"],
+    "seed": 2011,
+}
+
+
+def request(base: str, method: str, path: str, payload=None):
+    """One HTTP exchange → (status, parsed JSON or raw text)."""
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            body = response.read().decode()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        body = error.read().decode()
+        status = error.code
+    try:
+        return status, json.loads(body)
+    except ValueError:
+        return status, body
+
+
+def wait_ready(base: str, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            status, _ = request(base, "GET", "/readyz")
+            if status == 200:
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.2)
+    sys.exit(f"service at {base} never became ready")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8337)
+    args = parser.parse_args()
+    base = f"http://{args.host}:{args.port}"
+
+    wait_ready(base)
+    print(f"ready: {base}")
+
+    status, verdict = request(base, "POST", "/v1/admission", ADMISSION)
+    if status != 200 or "verdicts" not in verdict:
+        sys.exit(f"admission failed: {status} {verdict}")
+    print(f"admission: {json.dumps(verdict, sort_keys=True)}")
+
+    status, submitted = request(base, "POST", "/v1/campaign", CAMPAIGN)
+    if status not in (200, 202):
+        sys.exit(f"campaign submit failed: {status} {submitted}")
+    job_path = submitted["href"]
+    print(f"campaign {submitted['id']}: {submitted['state']}")
+
+    deadline = time.monotonic() + 120
+    while True:
+        status, job = request(base, "GET", job_path)
+        if status != 200:
+            sys.exit(f"job poll failed: {status} {job}")
+        if job["state"] in ("done", "partial", "failed"):
+            break
+        if time.monotonic() > deadline:
+            sys.exit(f"job stuck: {job}")
+        time.sleep(0.5)
+    if job["state"] != "done":
+        sys.exit(f"campaign did not finish cleanly: {job}")
+    ratios = job["result"]["ratios"]
+    print(f"campaign done: ratios={json.dumps(ratios, sort_keys=True)}")
+
+    status, text = request(base, "GET", "/metrics")
+    if status != 200:
+        sys.exit(f"/metrics failed: {status}")
+    wanted = ("svc_requests_total", "svc_ladder_level", "svc_jobs_total")
+    excerpt = [
+        line
+        for line in str(text).splitlines()
+        if line.startswith(wanted)
+    ]
+    if len(excerpt) < 3:
+        sys.exit(f"/metrics missing service families:\n{text}")
+    print("metrics excerpt:")
+    for line in excerpt:
+        print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

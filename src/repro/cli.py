@@ -605,6 +605,40 @@ def _cmd_verify(args) -> int:
     return exit_code
 
 
+def _cmd_serve(args) -> int:
+    """Run the schedulability service (see docs/service.md)."""
+    import asyncio
+
+    from repro.service import ServiceApp, ServiceConfig
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.queue_limit < 0:
+        raise SystemExit("--queue-limit must be non-negative")
+    if args.deadline_ms <= 0:
+        raise SystemExit("--deadline-ms must be positive")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        queue_limit=args.queue_limit,
+        rate=args.rate,
+        burst=args.burst,
+        deadline_s=args.deadline_ms / 1000.0,
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+        data_dir=args.data_dir,
+        cache_dir=args.cache,
+        seed=args.seed,
+    )
+    app = ServiceApp(config)
+    try:
+        asyncio.run(app.serve_forever())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -811,6 +845,81 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--csv", help="write long-format CSV here")
     engine_flags(campaign)
     campaign.set_defaults(fn=_cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the schedulability service: admission queries and "
+        "campaign jobs over HTTP, with load shedding, circuit "
+        "breaking, and a degradation ladder (docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker shards; queries route by unit fingerprint "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max concurrently admitted requests; beyond it requests "
+        "are shed with 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="token-bucket admission rate in requests/second "
+        "(default: 0, disabled)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=8,
+        help="token-bucket burst capacity (default: 8)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=5000,
+        help="default per-request deadline budget, propagated to the "
+        "engine's per-unit timeouts (default: 5000)",
+    )
+    serve.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit budget for campaign jobs (default: none)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="per-unit retries for campaign jobs (default: 1)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=".repro-service",
+        help="service state: job specs, journals, results, cache "
+        "(default: .repro-service)",
+    )
+    serve.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="admission/result cache directory "
+        "(default: <data-dir>/cache)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for breaker backoff jitter (default: 0)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     verify = sub.add_parser(
         "verify",

@@ -34,10 +34,12 @@ from repro.engine.executor import EngineStats, ExperimentEngine, UnitFailure
 from repro.engine.units import (
     CACHE_SCHEMA_VERSION,
     AcceptanceUnit,
+    AdmissionUnit,
     ChaosUnit,
     ProfileUnit,
     SplittingUnit,
     VerifyUnit,
+    execute_admission,
     execute_unit,
     unit_fingerprint,
     unit_spec,
@@ -46,10 +48,12 @@ from repro.engine.units import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "AcceptanceUnit",
+    "AdmissionUnit",
     "ChaosUnit",
     "ProfileUnit",
     "SplittingUnit",
     "VerifyUnit",
+    "execute_admission",
     "EngineStats",
     "ExperimentEngine",
     "ResultCache",

@@ -37,13 +37,14 @@ from __future__ import annotations
 
 import json
 import random
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.units import WorkUnit, execute_unit, unit_fingerprint
@@ -79,6 +80,7 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     journal_hits: int = 0
+    journal_corrupt: int = 0
     retried: int = 0
     failed: int = 0
     pool_failures: int = 0
@@ -98,6 +100,8 @@ class EngineStats:
             )
         if self.journal_hits:
             parts.append(f"resumed={self.journal_hits}")
+        if self.journal_corrupt:
+            parts.append(f"journal-corrupt={self.journal_corrupt}")
         if self.retried:
             parts.append(f"retried={self.retried}")
         if self.failed:
@@ -210,7 +214,22 @@ class ExperimentEngine:
             return
         self._journal_ready = True
         if self.resume and self.journal.exists():
-            self._journal_seen = _load_journal(self.journal)
+            self._journal_seen, corrupt = _load_journal(self.journal)
+            if corrupt:
+                # A SIGKILL mid-append (or disk trouble) leaves garbage
+                # lines behind; resuming past them loses at most the
+                # units they recorded — recomputed, never wrong — but
+                # the damage must be visible, not silent.
+                self.stats.journal_corrupt += corrupt
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "engine_journal_corrupt_total"
+                    ).inc(corrupt)
+                sys.stderr.write(
+                    f"engine: journal {self.journal}: skipped {corrupt} "
+                    f"corrupt line(s); the unit(s) they recorded will be "
+                    f"recomputed\n"
+                )
         else:
             self.journal.parent.mkdir(parents=True, exist_ok=True)
             self.journal.write_text("", encoding="utf-8")
@@ -365,7 +384,10 @@ class ExperimentEngine:
                 break
             if attempt > 0:
                 self.stats.retried += len(remaining)
-                time.sleep(self._backoff_delay(attempt))
+                salt = keys[remaining[0]] or unit_fingerprint(
+                    units[remaining[0]]
+                )
+                time.sleep(self._backoff_delay(attempt, salt))
             if use_pool and self.stats.pool_failures >= self.max_pool_failures:
                 use_pool = False  # pool unusable: finish serially
             if use_pool:
@@ -393,10 +415,20 @@ class ExperimentEngine:
         computed.sort()
         return computed
 
-    def _backoff_delay(self, attempt: int) -> float:
-        """Exponential backoff with deterministic jitter (up to +25%)."""
+    def _backoff_delay(self, attempt: int, salt: str = "") -> float:
+        """Exponential backoff with deterministic jitter (up to +25%).
+
+        The jitter is seeded from ``salt`` — the fingerprint of the
+        wave's first remaining unit — so two engines retrying *different*
+        work (e.g. the service's worker shards recovering from the same
+        pool crash) wake up at different instants instead of thundering
+        back in lockstep, while any single engine's schedule stays
+        reproducible run over run.
+        """
         base = self.backoff_base * (2 ** (attempt - 1))
-        jitter = random.Random(f"repro-backoff:{attempt}").random() * 0.25
+        jitter = (
+            random.Random(f"repro-backoff:{salt}:{attempt}").random() * 0.25
+        )
         return base * (1.0 + jitter)
 
     def _pool_wave(
@@ -471,14 +503,19 @@ class ExperimentEngine:
         return done, errors
 
 
-def _load_journal(path: Path) -> Dict[str, dict]:
-    """Parse a JSONL journal; truncated/corrupt tail lines are skipped
-    (exactly what a SIGKILL mid-append leaves behind)."""
+def _load_journal(path: Path) -> Tuple[Dict[str, dict], int]:
+    """Parse a JSONL journal into ``(payloads-by-key, corrupt-lines)``.
+
+    Truncated/corrupt lines (exactly what a SIGKILL mid-append leaves
+    behind) and records of the wrong shape are skipped and *counted*, so
+    the caller can surface the damage instead of silently recomputing.
+    """
     seen: Dict[str, dict] = {}
+    corrupt = 0
     try:
         text = path.read_text(encoding="utf-8")
     except OSError:
-        return seen
+        return seen, corrupt
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -486,11 +523,14 @@ def _load_journal(path: Path) -> Dict[str, dict]:
         try:
             record = json.loads(line)
         except ValueError:
-            continue  # half-written line from an interrupted run
+            corrupt += 1  # half-written line from an interrupted run
+            continue
         if (
             isinstance(record, dict)
             and isinstance(record.get("key"), str)
             and isinstance(record.get("payload"), dict)
         ):
             seen[record["key"]] = record["payload"]
-    return seen
+        else:
+            corrupt += 1
+    return seen, corrupt

@@ -103,6 +103,28 @@ class ChaosUnit:
 
 
 @dataclass(frozen=True)
+class AdmissionUnit:
+    """One online admission-control query: *can this exact task set be
+    scheduled on this platform?*
+
+    The unit carries the task set verbatim — ``tasks`` is a tuple of
+    ``(name, wcet_ns, period_ns, deadline_ns, wss_bytes)`` tuples — so
+    its fingerprint is a content hash of the *query*, which is what the
+    service's cache-only degradation tier answers from.  Execution mode
+    (vectorized batch vs scalar incremental) is deliberately **not**
+    part of the unit: both engines return bit-identical verdicts (the
+    batch-vs-scratch differential pair enforces this), so a payload
+    cached by either mode answers for both.
+    """
+
+    tasks: Tuple[Tuple[str, int, int, int, int], ...]
+    n_cores: int
+    algorithms: Tuple[str, ...]
+    overheads: OverheadModel
+    kind: str = "admission"
+
+
+@dataclass(frozen=True)
 class ProfileUnit:
     """One metrics-instrumented simulation of a generated scenario.
 
@@ -148,7 +170,12 @@ class VerifyUnit:
 
 
 WorkUnit = Union[
-    AcceptanceUnit, SplittingUnit, ChaosUnit, VerifyUnit, ProfileUnit
+    AcceptanceUnit,
+    AdmissionUnit,
+    SplittingUnit,
+    ChaosUnit,
+    VerifyUnit,
+    ProfileUnit,
 ]
 
 
@@ -192,7 +219,61 @@ def execute_unit(unit: WorkUnit) -> dict:
         return _execute_verify(unit)
     if unit.kind == "profile":
         return _execute_profile(unit)
+    if unit.kind == "admission":
+        return execute_admission(unit)
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
+
+
+def admission_taskset(unit: AdmissionUnit):
+    """Rebuild the unit's task set (rate-monotonic priorities assigned).
+
+    Raises :class:`ValueError` for malformed tasks — the service maps
+    that to a 400, never a traceback.
+    """
+    from repro.model.task import Task
+    from repro.model.taskset import TaskSet
+
+    tasks = [
+        Task(name=name, wcet=wcet, period=period, deadline=deadline,
+             wss=wss)
+        for name, wcet, period, deadline, wss in unit.tasks
+    ]
+    return TaskSet(tasks).assign_rate_monotonic()
+
+
+def execute_admission(unit: AdmissionUnit, mode: str = "scalar") -> dict:
+    """Answer one admission query; payload is mode-independent.
+
+    ``mode="batch"`` routes batchable algorithms through the vectorized
+    kernels of :mod:`repro.analysis.batch` (a one-lane population);
+    ``mode="scalar"`` uses the incremental per-core contexts.  Verdicts
+    are bit-identical either way, so the payload carries no mode marker
+    and a cache entry written by one mode answers queries served by the
+    other.
+    """
+    from repro.experiments.algorithms import accept, accept_populations
+
+    if mode not in ("batch", "scalar"):
+        raise ValueError(f"unknown admission mode {mode!r}")
+    taskset = admission_taskset(unit)
+    if mode == "batch":
+        from repro.analysis.batch import TaskSetPopulation
+
+        population = TaskSetPopulation.from_tasksets([taskset])
+        verdicts = accept_populations(
+            list(unit.algorithms), population, unit.n_cores, unit.overheads
+        )
+        return {
+            "verdicts": {
+                name: bool(verdicts[name][0]) for name in unit.algorithms
+            }
+        }
+    return {
+        "verdicts": {
+            name: bool(accept(name, taskset, unit.n_cores, unit.overheads))
+            for name in unit.algorithms
+        }
+    }
 
 
 def _execute_profile(unit: ProfileUnit) -> dict:

@@ -1,0 +1,199 @@
+"""Supervised worker-shard pool, keyed by unit fingerprints.
+
+The service executes analysis work on ``n_shards`` single-threaded
+shards.  A query is routed by its unit fingerprint (a stable content
+hash), so identical queries always land on the same shard — warm path
+locality — and campaign units spread uniformly.  Each shard is:
+
+* one single-worker :class:`~concurrent.futures.ThreadPoolExecutor`
+  (the shard's serialization point — a shard executes one thing at a
+  time, which is what makes per-shard health meaningful);
+* one :class:`~repro.service.resilience.CircuitBreaker`, consulted by
+  the service before routing a request and fed by every outcome;
+* a **generation** counter: when a shard dies (a real crash, or the
+  chaos harness's :class:`~repro.service.chaos.ShardKilled`), the
+  supervisor abandons its executor and builds a fresh one — the shard
+  is *replaced*, not resurrected, and the respawn is counted.
+
+All breaker and metrics mutation happens on the event loop (the worker
+threads only compute and return), so the shared registry needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional
+
+from repro.metrics.registry import MetricsRegistry, active as _metrics_active
+from repro.service.chaos import ChaosController, ShardKilled
+from repro.service.resilience import CircuitBreaker, Clock
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline budget ran out while a shard was computing."""
+
+
+class Shard:
+    """One worker shard: an executor, a breaker, and a generation."""
+
+    def __init__(self, index: int, breaker: CircuitBreaker) -> None:
+        self.index = index
+        self.breaker = breaker
+        self.generation = 0
+        self.executor = self._new_executor()
+
+    def _new_executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=1,
+            thread_name_prefix=f"repro-shard-{self.index}",
+        )
+
+    def respawn(self) -> None:
+        """Replace the executor (abandon any wedged worker thread)."""
+        old = self.executor
+        self.generation += 1
+        self.executor = self._new_executor()
+        old.shutdown(wait=False, cancel_futures=True)
+
+
+class ShardPool:
+    """Routes work to supervised shards and enforces deadline budgets."""
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        chaos: Optional[ChaosController] = None,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+    ) -> None:
+        import time
+
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.metrics = _metrics_active(metrics)
+        self.clock = clock if clock is not None else time.monotonic
+        self.chaos = chaos
+        self.shards: List[Shard] = [
+            Shard(
+                index,
+                CircuitBreaker(
+                    name=f"shard{index}",
+                    failure_threshold=failure_threshold,
+                    reset_timeout=reset_timeout,
+                    seed=seed,
+                    clock=self.clock,
+                    on_transition=self._on_breaker_transition,
+                ),
+            )
+            for index in range(n_shards)
+        ]
+
+    # -- observability ---------------------------------------------------
+
+    def _on_breaker_transition(self, name: str, old: str, new: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "svc_breaker_transitions_total", shard=name, to=new
+            ).inc()
+            self.metrics.gauge("svc_breaker_open", shard=name).set(
+                1 if new != CircuitBreaker.CLOSED else 0
+            )
+
+    def state(self) -> List[dict]:
+        return [
+            {
+                "shard": shard.index,
+                "state": shard.breaker.state,
+                "generation": shard.generation,
+                "trips": shard.breaker.trips,
+            }
+            for shard in self.shards
+        ]
+
+    def any_closed(self) -> bool:
+        """At least one shard can take traffic right now."""
+        return any(
+            shard.breaker.state != CircuitBreaker.OPEN
+            or shard.breaker.allow()
+            for shard in self.shards
+        )
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, fingerprint: str) -> int:
+        """Deterministic fingerprint → shard mapping."""
+        return int(fingerprint[:16], 16) % len(self.shards)
+
+    def allow(self, index: int) -> bool:
+        return self.shards[index].breaker.allow()
+
+    def retry_after(self, index: int) -> float:
+        return self.shards[index].breaker.retry_after()
+
+    # -- execution -------------------------------------------------------
+
+    async def run(
+        self,
+        index: int,
+        fn: Callable[[], object],
+        timeout: Optional[float] = None,
+        kind: str = "work",
+    ):
+        """Execute ``fn`` on shard ``index`` under supervision.
+
+        * ``ShardKilled`` (and any other exception escaping ``fn``)
+          feeds the breaker and, for kills, respawns the shard; the
+          exception propagates to the caller, which decides how far
+          down the ladder to step.
+        * A ``timeout`` (the request's remaining deadline budget) that
+          expires raises :class:`DeadlineExceeded`; the shard is
+          respawned too — its worker may be wedged on the slow unit,
+          and a fresh generation must not queue behind it.
+        """
+        shard = self.shards[index]
+        loop = asyncio.get_running_loop()
+        chaos = self.chaos
+
+        def guarded():
+            if chaos is not None:
+                chaos.before_execute(index, kind)
+            return fn()
+
+        try:
+            result = await asyncio.wait_for(
+                loop.run_in_executor(shard.executor, guarded),
+                timeout=timeout,
+            )
+        except asyncio.TimeoutError:
+            shard.breaker.record_failure()
+            self._respawn(shard, reason="deadline")
+            raise DeadlineExceeded(
+                f"shard {index} exceeded the {timeout:g}s budget "
+                f"executing {kind}"
+            ) from None
+        except ShardKilled:
+            shard.breaker.record_failure()
+            self._respawn(shard, reason="killed")
+            raise
+        except Exception:
+            shard.breaker.record_failure()
+            raise
+        shard.breaker.record_success()
+        return result
+
+    def _respawn(self, shard: Shard, reason: str) -> None:
+        shard.respawn()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "svc_shard_respawns_total",
+                shard=f"shard{shard.index}",
+                reason=reason,
+            ).inc()
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.executor.shutdown(wait=False, cancel_futures=True)

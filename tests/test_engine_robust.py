@@ -167,7 +167,8 @@ class TestJournal:
         journal = tmp_path / "run.jsonl"
         engine = ExperimentEngine(journal=journal)
         engine.run([ok(1), ok(2)])
-        entries = _load_journal(journal)
+        entries, corrupt = _load_journal(journal)
+        assert corrupt == 0
         assert len(entries) == 2
         assert sorted(
             entry["value"] for entry in entries.values()
@@ -213,6 +214,30 @@ class TestJournal:
         ]
         assert resumed.stats.journal_hits == 2
 
+    def test_corrupt_tail_is_counted_and_warned(self, tmp_path, capsys):
+        # The skip must not be silent: a corrupt line is counted in the
+        # engine stats, the metrics registry, and one stderr line.
+        from repro.metrics import MetricsRegistry
+
+        journal = tmp_path / "run.jsonl"
+        engine = ExperimentEngine(journal=journal)
+        engine.run([ok(1), ok(2)])
+        with journal.open("a") as handle:
+            handle.write('{"key": "half-written payl')  # SIGKILL here
+        registry = MetricsRegistry()
+        resumed = ExperimentEngine(
+            journal=journal, resume=True, metrics=registry
+        )
+        assert resumed.run([ok(1), ok(2)]) == [
+            {"value": 1},
+            {"value": 2},
+        ]
+        assert resumed.stats.journal_corrupt == 1
+        assert registry.value("engine_journal_corrupt_total") == 1
+        assert "journal-corrupt=1" in resumed.stats.summary()
+        err = capsys.readouterr().err
+        assert "skipped 1 corrupt line" in err
+
     def test_journal_ignores_wrong_shapes(self, tmp_path):
         journal = tmp_path / "run.jsonl"
         journal.write_text(
@@ -225,14 +250,16 @@ class TestJournal:
                 ]
             )
         )
-        assert _load_journal(journal) == {}
+        seen, corrupt = _load_journal(journal)
+        assert seen == {}
+        assert corrupt == 3
 
     def test_without_resume_journal_is_truncated(self, tmp_path):
         journal = tmp_path / "run.jsonl"
         journal.write_text('{"key": "stale", "payload": {}}\n')
         engine = ExperimentEngine(journal=journal)
         engine.run([ok(4)])
-        entries = _load_journal(journal)
+        entries, _ = _load_journal(journal)
         assert "stale" not in entries
         assert len(entries) == 1
 
@@ -246,7 +273,45 @@ class TestJournal:
         engine = ExperimentEngine(cache=cache, journal=journal)
         engine.run([ok(6)])
         assert engine.stats.cache_hits == 1
-        assert len(_load_journal(journal)) == 1
+        assert len(_load_journal(journal)[0]) == 1
+
+
+class TestBackoffJitter:
+    def test_schedule_is_pinned_to_the_formula(self):
+        import random as random_mod
+
+        engine = ExperimentEngine(backoff_base=0.25)
+        salt = "deadbeef" * 8
+        for attempt in (1, 2, 3, 4):
+            expected = (
+                0.25
+                * (2 ** (attempt - 1))
+                * (
+                    1.0
+                    + random_mod.Random(
+                        f"repro-backoff:{salt}:{attempt}"
+                    ).random()
+                    * 0.25
+                )
+            )
+            assert engine._backoff_delay(attempt, salt) == expected
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        engine = ExperimentEngine(backoff_base=0.5)
+        delays = [engine._backoff_delay(2, "abc") for _ in range(3)]
+        assert delays[0] == delays[1] == delays[2]
+        base = 0.5 * 2  # attempt 2
+        assert base <= delays[0] <= base * 1.25
+
+    def test_different_salts_desynchronize(self):
+        # Two engines retrying different work (distinct first-remaining
+        # fingerprints) must not thunder back in lockstep.
+        engine = ExperimentEngine(backoff_base=0.25)
+        delays = {
+            engine._backoff_delay(1, salt)
+            for salt in ("a" * 64, "b" * 64, "c" * 64, "d" * 64)
+        }
+        assert len(delays) == 4
 
 
 class TestDeterminismAcrossModes:
