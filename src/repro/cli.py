@@ -31,6 +31,7 @@ from repro.analysis.rta import core_schedulable
 from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
 from repro.experiments.algorithms import ALGORITHMS, build_assignment
 from repro.faults import OVERRUN_POLICIES
+from repro.kernel.sched_class import SCHED_CLASSES
 from repro.kernel.sim import KernelSim
 from repro.model.generator import TaskSetGenerator
 from repro.model.io import load_taskset, save_taskset
@@ -174,6 +175,18 @@ def _cmd_simulate(args) -> int:
     if assignment is None:
         print(f"{args.algorithm}: REJECTED; nothing to simulate")
         return 1
+    sched_class = getattr(args, "sched_class", "auto")
+    if sched_class == "auto":
+        sched_class = ALGORITHMS[args.algorithm].sched_class
+    if sched_class in ("global-edf", "global-rm") and not list(
+        assignment.entries()
+    ):
+        # The global acceptance tests return a placeholder partition (no
+        # entries — placement is a runtime decision); build the runnable
+        # shared-queue assignment from the task set instead.
+        from repro.kernel.global_sim import build_global_assignment
+
+        assignment = build_global_assignment(taskset, args.cores)
     plan = _load_fault_plan(getattr(args, "faults", None))
     sim = KernelSim(
         assignment,
@@ -184,6 +197,7 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         faults=plan,
         overrun_policy=args.overrun_policy,
+        sched_class=sched_class,
     )
     result = sim.run()
     print(
@@ -702,6 +716,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="run-on",
         help="what the kernel does when a job exceeds its nominal WCET "
         "(default: run-on)",
+    )
+    simulate.add_argument(
+        "--sched-class",
+        choices=["auto"] + sorted(SCHED_CLASSES),
+        default="auto",
+        help="scheduling-class plugin for the simulator; auto derives it "
+        "from the algorithm (EDF-side partitioners run under edf, the "
+        "global tests under a shared-queue class; default: auto)",
     )
     simulate.set_defaults(fn=_cmd_simulate)
 

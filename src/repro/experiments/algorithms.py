@@ -55,9 +55,16 @@ class AlgorithmSpec:
     """One registered scheduling algorithm."""
 
     name: str
-    kind: str  # "partitioned" | "semi-partitioned"
+    kind: str  # "partitioned" | "semi-partitioned" | "global"
     fn: PartitionFn
     description: str
+    #: Scheduling class the simulator should run this algorithm's
+    #: assignments under (:data:`repro.kernel.sched_class.SCHED_CLASSES`
+    #: registry name).  EDF-side partitioners need deadline-keyed ready
+    #: queues; the global tests route through
+    #: :func:`repro.kernel.global_sim.build_global_assignment` and a
+    #: shared-queue class.
+    sched_class: str = "fp"
 
 
 def _with_inflation(
@@ -219,6 +226,7 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             "Semi-partitioned EDF with C=D task splitting "
             "(Burns et al. 2012, extension)"
         ),
+        sched_class="edf",
     ),
     "P-EDF": AlgorithmSpec(
         name="P-EDF",
@@ -228,12 +236,14 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             "Partitioned EDF, first-fit decreasing, exact demand-bound "
             "admission (extension)"
         ),
+        sched_class="edf",
     ),
     "G-EDF": AlgorithmSpec(
         name="G-EDF",
         kind="global",
         fn=_with_inflation(_global_edf),
         description="Global EDF, GFB density test (extension baseline)",
+        sched_class="global-edf",
     ),
     "G-RM": AlgorithmSpec(
         name="G-RM",
@@ -243,6 +253,7 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
             "Global fixed-priority, RM-US[m/(3m-2)] utilization test "
             "(extension baseline)"
         ),
+        sched_class="global-rm",
     ),
 }
 

@@ -15,19 +15,48 @@ patch (see DESIGN.md): it reproduces the scheduler architecture of Section 2
 The simulator consumes the same :class:`~repro.model.assignment.Assignment`
 objects the analysis produces, so an analysis verdict can be validated by
 simulation directly (experiment E6).
+
+Scheduling policies are pluggable (:mod:`repro.kernel.sched_class`): the
+simulator delegates every queue decision to a :class:`SchedulingClass`,
+with registered classes for semi-partitioned FP (the default), per-core
+EDF, restricted-migration semi-partitioning, shared-queue global EDF/RM,
+and an EEVDF-style fair class for background work.
+:class:`~repro.kernel.legacy.LegacyKernelSim` is a frozen snapshot of
+the pre-plugin monolithic simulator kept as the bit-identity reference
+for the ``legacy-vs-plugin`` differential pair.
 """
 
 from repro.kernel.events import EventQueue, Event
-from repro.kernel.runtime import Job, RTTask, build_runtime_tasks
+from repro.kernel.legacy import LegacyKernelSim
+from repro.kernel.runtime import Job, RTTask, Stage, build_runtime_tasks
+from repro.kernel.sched_class import (
+    BACKGROUND_KEY,
+    FAIR_KEY_BASE,
+    SCHED_CLASSES,
+    SchedulingClass,
+    make_sched_class,
+)
 from repro.kernel.sim import KernelSim, SimulationResult, DeadlineMiss
-from repro.kernel.global_sim import GlobalSim, GlobalSimResult
+from repro.kernel.global_sim import (
+    GlobalSim,
+    GlobalSimResult,
+    build_global_assignment,
+)
 
 __all__ = [
+    "BACKGROUND_KEY",
     "EventQueue",
     "Event",
+    "FAIR_KEY_BASE",
     "Job",
+    "LegacyKernelSim",
     "RTTask",
+    "SCHED_CLASSES",
+    "SchedulingClass",
+    "Stage",
+    "build_global_assignment",
     "build_runtime_tasks",
+    "make_sched_class",
     "KernelSim",
     "SimulationResult",
     "DeadlineMiss",

@@ -17,6 +17,19 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+#: Same-instant event ordering (lower runs first): work-chunk
+#: completions (0) precede release timers (10), so a job finishing
+#: exactly at the next release is not misclassified as an overrun;
+#: kernel-op ends (20) come last, so every release arriving at the same
+#: instant joins the current kernel episode *before* the final
+#: scheduling decision — a tick handler that wakes all expired timers
+#: and then calls schedule() once, like the real kernel.  Shared by
+#: every simulator (plugin and legacy) so their event streams stay
+#: comparable entry for entry.
+_COMPLETION_PRIORITY = 0
+_RELEASE_PRIORITY = 10
+_OP_PRIORITY = 20
+
 
 class Event:
     """A scheduled callback.  Use :meth:`cancel` to revoke it.

@@ -1,42 +1,36 @@
-"""Idealised global multiprocessor scheduler (extension, DESIGN.md §7).
+"""Idealised global multiprocessor scheduling (extension, DESIGN.md §7).
 
 The paper's introduction contrasts partitioning with "the global approach
 [where] each task can execute on any available processor at run time".
-This simulator provides that baseline: a single system-wide ready queue,
-``m`` identical cores, full migration at zero cost, and either global
-rate-monotonic (``g-rm``) or global EDF (``g-edf``) priorities.
+:class:`GlobalSim` provides that baseline: a single system-wide ready
+queue, ``m`` identical cores, full migration at zero cost, and either
+global rate-monotonic (``g-rm``) or global EDF (``g-edf``) priorities.
 
-It is deliberately *idealised* (no kernel overheads): the comparison of
-interest is algorithmic — e.g. Dhall's effect, where global RM misses
-deadlines at low utilization that partitioned/semi-partitioned scheduling
-handles trivially — while the overhead-aware machinery lives in
-:class:`~repro.kernel.sim.KernelSim`.
+It used to be a standalone event loop duplicating the kernel simulator's
+heap and dispatch machinery; it is now a thin adapter over
+:class:`~repro.kernel.sim.KernelSim` running the ``global-rm`` /
+``global-edf`` scheduling classes (:mod:`repro.kernel.sched_class`) with
+a zero overhead model — one simulator, one event queue, one set of
+counters, and the global classes inherit fault injection, tracing and
+the invariant oracles that the old loop never had.
+
+It stays deliberately *idealised* (no kernel overheads): the comparison
+of interest is algorithmic — e.g. Dhall's effect, where global RM misses
+deadlines at low utilization that partitioned/semi-partitioned
+scheduling handles trivially — while overhead-aware global runs can be
+had directly from ``KernelSim(..., sched_class="global-edf")`` with any
+overhead model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable
 
-from repro.kernel.events import EventQueue
+from repro.model.assignment import Assignment, Entry, EntryKind
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
-from repro.structures.binomial_heap import BinomialHeap
-
-
-@dataclass
-class _GlobalJob:
-    task: Task
-    release: int
-    abs_deadline: int
-    seq: int
-    remaining: int
-    last_core: Optional[int] = None
-    handle: object = field(default=None, repr=False)
-
-    @property
-    def name(self) -> str:
-        return f"{self.task.name}/{self.seq}"
+from repro.overhead.model import OverheadModel
 
 
 @dataclass
@@ -53,6 +47,28 @@ class GlobalSimResult:
     @property
     def no_misses(self) -> bool:
         return self.misses == 0
+
+
+def build_global_assignment(
+    tasks: Iterable[Task], n_cores: int
+) -> Assignment:
+    """Pack every task as a NORMAL entry on core 0 of an ``n_cores``
+    assignment — the shape the global scheduling classes expect (they
+    share one ready heap; per-core placement is a runtime decision, so
+    the static assignment only carries the task parameters)."""
+    assignment = Assignment(n_cores)
+    for rank, task in enumerate(sorted(tasks, key=lambda t: t.name)):
+        assignment.add_entry(
+            Entry(
+                kind=EntryKind.NORMAL,
+                task=task,
+                core=0,
+                budget=task.wcet,
+                deadline=task.deadline,
+                local_priority=rank,
+            )
+        )
+    return assignment
 
 
 class GlobalSim:
@@ -90,134 +106,42 @@ class GlobalSim:
         self.n_cores = n_cores
         self.policy = policy
         self.duration = duration
-        self.queue = EventQueue()
-        self.ready = BinomialHeap()
-        self.running: List[Optional[_GlobalJob]] = [None] * n_cores
-        self.dispatched_at = [0] * n_cores
-        self.completion_events = [None] * n_cores
-        self.current: Dict[str, Optional[_GlobalJob]] = {
-            task.name: None for task in taskset
-        }
-        self.misses = 0
-        self.releases = 0
-        self.completions = 0
-        self.preemptions = 0
-        self.migrations = 0
-        self.max_response: Dict[str, int] = {t.name: 0 for t in taskset}
-        self._seq = 0
+        from repro.kernel.sim import KernelSim
 
-    # ------------------------------------------------------------------
+        self._sim = KernelSim(
+            build_global_assignment(taskset, n_cores),
+            OverheadModel.zero(),
+            duration,
+            sched_class=(
+                "global-rm" if policy == "g-rm" else "global-edf"
+            ),
+        )
 
     def run(self) -> GlobalSimResult:
-        for task in self.taskset:
-            self.queue.schedule(
-                0, lambda t, task=task: self._on_release(task, t), priority=10
-            )
-        self.queue.run_until(self.duration)
+        """Execute the simulation and distil the global-side counters.
+
+        Miss semantics match the historical standalone loop: a release
+        overrunning its unfinished predecessor and a late completion
+        each count one miss; jobs merely unfinished at the horizon do
+        not (their completion event simply never fired).
+        """
+        result = self._sim.run()
+        misses = sum(
+            1 for miss in result.misses if miss.kind in ("overrun", "late")
+        )
         return GlobalSimResult(
             duration=self.duration,
             policy=self.policy,
-            misses=self.misses,
-            releases=self.releases,
-            completions=self.completions,
-            preemptions=self.preemptions,
-            migrations=self.migrations,
-            max_response=self.max_response,
+            misses=misses,
+            releases=result.releases,
+            completions=sum(
+                stats.jobs_completed
+                for stats in result.task_stats.values()
+            ),
+            preemptions=result.preemptions,
+            migrations=result.migrations,
+            max_response={
+                name: stats.max_response
+                for name, stats in result.task_stats.items()
+            },
         )
-
-    # ------------------------------------------------------------------
-
-    def _key(self, job: _GlobalJob) -> tuple:
-        if self.policy == "g-edf":
-            return (job.abs_deadline, job.seq)
-        return (job.task.priority, job.seq)
-
-    def _on_release(self, task: Task, t: int) -> None:
-        next_release = t + task.period
-        if next_release < self.duration:
-            self.queue.schedule(
-                next_release,
-                lambda t2, task=task: self._on_release(task, t2),
-                priority=10,
-            )
-        previous = self.current[task.name]
-        if previous is not None and previous.remaining > 0:
-            self.misses += 1  # overrun: drop the new job
-            return
-        self._seq += 1
-        job = _GlobalJob(
-            task=task,
-            release=t,
-            abs_deadline=t + task.deadline,
-            seq=self._seq,
-            remaining=task.wcet,
-        )
-        self.current[task.name] = job
-        self.releases += 1
-        job.handle = self.ready.insert(self._key(job), job)
-        self._schedule(t)
-
-    def _schedule(self, t: int) -> None:
-        """Fill idle cores; preempt the globally lowest-priority runner."""
-        while self.ready:
-            idle = next(
-                (i for i in range(self.n_cores) if self.running[i] is None),
-                None,
-            )
-            if idle is not None:
-                _key, job = self.ready.extract_min()
-                job.handle = None
-                self._dispatch(idle, job, t)
-                continue
-            # All cores busy: compare queue head with the worst runner.
-            head_key, _head = self.ready.find_min()
-            worst_core = max(
-                range(self.n_cores),
-                key=lambda i: self._key(self.running[i]),
-            )
-            if head_key < self._key(self.running[worst_core]):
-                victim = self._suspend(worst_core, t)
-                victim.handle = self.ready.insert(self._key(victim), victim)
-                self.preemptions += 1
-                _key, job = self.ready.extract_min()
-                job.handle = None
-                self._dispatch(worst_core, job, t)
-            else:
-                break
-
-    def _dispatch(self, core: int, job: _GlobalJob, t: int) -> None:
-        if job.last_core is not None and job.last_core != core:
-            self.migrations += 1
-        job.last_core = core
-        self.running[core] = job
-        self.dispatched_at[core] = t
-        event = self.queue.schedule(
-            t + job.remaining,
-            lambda t2, core=core: self._on_complete(core, t2),
-        )
-        self.completion_events[core] = event
-
-    def _suspend(self, core: int, t: int) -> _GlobalJob:
-        job = self.running[core]
-        assert job is not None
-        executed = t - self.dispatched_at[core]
-        job.remaining -= executed
-        if self.completion_events[core] is not None:
-            self.completion_events[core].cancel()
-            self.completion_events[core] = None
-        self.running[core] = None
-        return job
-
-    def _on_complete(self, core: int, t: int) -> None:
-        job = self.running[core]
-        assert job is not None
-        job.remaining = 0
-        self.running[core] = None
-        self.completion_events[core] = None
-        self.completions += 1
-        response = t - job.release
-        if response > self.max_response[job.task.name]:
-            self.max_response[job.task.name] = response
-        if t > job.abs_deadline:
-            self.misses += 1
-        self._schedule(t)

@@ -105,6 +105,10 @@ class Job:
         "work",
         "nominal_work",
         "demoted",
+        "stages",
+        "cls",
+        "last_core",
+        "class_data",
         "stage_index",
         "work_left",
         "stage_budget_left",
@@ -123,6 +127,8 @@ class Job:
         seq: int,
         work: int,  # actual execution demand (may exceed budgets on overrun)
         nominal_work: Optional[int] = None,  # analysed demand (<= budgets)
+        stages: Optional[List[Stage]] = None,  # per-job stage plan override
+        cls: object = None,  # owning SchedulingClass (None: sim's default)
     ) -> None:
         total_budget = rt.total_budget
         if nominal_work is None:
@@ -144,16 +150,28 @@ class Job:
         self.work = work
         self.nominal_work = nominal_work
         self.demoted = False
+        # Per-job stage plan: the task's static stages unless the owning
+        # scheduling class re-plans them (restricted migration places each
+        # whole job on one of the split task's cores; global classes
+        # collapse splits to a single stage).
+        self.stages = rt.stages if stages is None else stages
+        self.cls = cls
+        # Last core this job was dispatched on (None before the first
+        # dispatch); global classes count migrations from it.
+        self.last_core: Optional[int] = None
+        # Scratch slot owned by the scheduling class (e.g. the fair
+        # class caches the job's virtual deadline here).
+        self.class_data: object = None
         self.stage_index = 0
         self.work_left = work
         # The final stage is work-limited, not budget-limited: overrun
         # demand past the summed budgets runs (or is cut by the overrun
         # policy) on the tail core.  For nominal jobs this is exactly the
         # stage budget.
-        if len(rt.stages) == 1:
-            self.stage_budget_left = max(rt.stages[0].budget, work)
+        if len(self.stages) == 1:
+            self.stage_budget_left = max(self.stages[0].budget, work)
         else:
-            self.stage_budget_left = rt.stages[0].budget
+            self.stage_budget_left = self.stages[0].budget
         self.penalty_left = 0
         self.preempt_count = 0
         self.migrate_count = 0
@@ -172,7 +190,7 @@ class Job:
 
     @property
     def current_stage(self) -> Stage:
-        return self.rt.stages[self.stage_index]
+        return self.stages[self.stage_index]
 
     @property
     def current_core(self) -> int:
@@ -180,7 +198,7 @@ class Job:
 
     @property
     def is_last_stage(self) -> bool:
-        return self.stage_index == len(self.rt.stages) - 1
+        return self.stage_index == len(self.stages) - 1
 
     @property
     def remaining(self) -> int:
@@ -222,8 +240,8 @@ class Job:
         if self.is_last_stage:
             raise RuntimeError(f"job {self.name} has no further stage")
         self.stage_index += 1
-        stage = self.rt.stages[self.stage_index]
-        if self.stage_index == len(self.rt.stages) - 1:
+        stage = self.stages[self.stage_index]
+        if self.stage_index == len(self.stages) - 1:
             # Tail stage: absorb any overrun excess (see class docstring).
             self.stage_budget_left = max(stage.budget, self.work_left)
         else:

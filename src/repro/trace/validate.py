@@ -47,6 +47,28 @@ from repro.model.assignment import Assignment
 #: ``repro.kernel.sim._BACKGROUND_KEY``.
 _BACKGROUND = 1 << 62
 
+#: Ready-queue key base of the fair (EEVDF-style) class — mirrors
+#: ``repro.kernel.sched_class.FAIR_KEY_BASE``.  Every hard-RT key sorts
+#: below it, so a running fair job can be judged against ready RT jobs
+#: without reconstructing virtual deadlines.
+_FAIR_BASE = 1 << 56
+
+#: Scheduling classes that share one system-wide ready queue.  Their
+#: placement is a runtime decision (any core), so the per-core oracles
+#: either merge cores or skip.
+GLOBAL_CLASSES = ("global-edf", "global-rm")
+
+
+def _effective_class(ctx: "CheckContext") -> str:
+    """The scheduling class a run actually used.
+
+    ``sched_class="auto"`` mirrors the simulator's default of deriving
+    the class from ``policy`` (``fp`` or ``edf``).
+    """
+    if ctx.sched_class and ctx.sched_class != "auto":
+        return ctx.sched_class
+    return ctx.policy
+
 
 @dataclass(frozen=True)
 class TraceViolation:
@@ -85,6 +107,14 @@ class CheckContext:
     #: only equal the nominal release when no tick deferral or injected
     #: release jitter is active.  Callers clear this flag otherwise.
     edf_keys_reliable: bool = True
+    #: Scheduling class the run used (``repro.kernel.sched_class``
+    #: registry name).  ``"auto"`` derives it from ``policy``, matching
+    #: the simulator's default.
+    sched_class: str = "auto"
+    #: Names of fair-class (non-hard-deadline) tasks the run coexisted
+    #: with.  Their ready windows carry virtual-deadline keys the trace
+    #: cannot reconstruct, so priority oracles treat them specially.
+    fair_tasks: Optional[Set[str]] = None
 
     @staticmethod
     def from_result(
@@ -95,6 +125,8 @@ class CheckContext:
         expected_work: Optional[Dict[str, int]] = None,
         has_resources: bool = False,
         edf_keys_reliable: bool = True,
+        sched_class: str = "auto",
+        fair_tasks: Optional[Set[str]] = None,
     ) -> "CheckContext":
         """Build a full context from a :class:`SimulationResult`."""
         return CheckContext(
@@ -111,6 +143,8 @@ class CheckContext:
             expected_work=expected_work,
             has_resources=has_resources,
             edf_keys_reliable=edf_keys_reliable,
+            sched_class=sched_class,
+            fair_tasks=fair_tasks,
         )
 
 
@@ -226,6 +260,10 @@ def _check_job_parallelism(ctx: CheckContext) -> List[TraceViolation]:
 
 @register_checker("placement")
 def _check_placement(ctx: CheckContext) -> List[TraceViolation]:
+    if _effective_class(ctx) in GLOBAL_CLASSES:
+        # Global classes place jobs on any core at run time; the static
+        # assignment only carries task parameters (all entries on core 0).
+        return []
     violations: List[TraceViolation] = []
     allowed: Dict[str, Set[int]] = {}
     for entry in ctx.assignment.entries():
@@ -248,8 +286,15 @@ def _check_placement(ctx: CheckContext) -> List[TraceViolation]:
 def _check_budget(ctx: CheckContext) -> List[TraceViolation]:
     violations: List[TraceViolation] = []
     budgets: Dict[Tuple[str, int], int] = {}
+    restricted = _effective_class(ctx) == "restricted"
     for entry in ctx.assignment.entries():
-        budgets[(entry.task.name, entry.core)] = entry.budget
+        if restricted:
+            # Restricted migration runs each *whole* job on one of the
+            # split task's cores, so any of its cores may legitimately
+            # see the full WCET rather than one subtask budget.
+            budgets[(entry.task.name, entry.core)] = entry.task.wcet
+        else:
+            budgets[(entry.task.name, entry.core)] = entry.budget
     # Injected execution overruns legitimately push a job past its
     # budget on the core where the excess runs (run-on and demote keep
     # the job executing); widen that task's allowance by the total
@@ -409,24 +454,84 @@ def _check_preemption_order(ctx: CheckContext) -> List[TraceViolation]:
     need no special casing: the simulator suspends the running job for
     the whole kernel episode, so execution segments never overlap the
     window between a higher-priority arrival and its scheduling pass.
+
+    Per-class priority keys (``sched_class`` in the context):
+
+    * ``fp`` / ``restricted`` — per-core local priority (restricted
+      re-plans stages but keeps FP keys on whichever core hosts a job);
+    * ``edf`` — ``release + stage deadline offset`` on the stage's core;
+    * ``global-edf`` / ``global-rm`` — all cores are merged into one
+      virtual core (one shared ready queue, any job may run anywhere)
+      and keyed globally; a ready job then only overlaps — and flags —
+      running jobs with *larger* keys, which is exactly the global
+      invariant "no waiting job outranks any running job".  This
+      requires zero kernel overheads: a kernel episode on one core does
+      not suspend the others' runners, so non-zero overhead windows
+      would produce benign overlaps.
+    * fair coexistence — ready fair jobs are skipped (their virtual
+      deadlines are not reconstructible from the trace); a *running*
+      fair job is keyed at the fair key base, below every hard-RT key,
+      so it is still flagged if it runs over a ready RT job.
     """
     if not ctx.events or ctx.has_resources:
         return []
-    edf = ctx.policy == "edf"
-    if edf and not ctx.edf_keys_reliable:
+    sched_class = _effective_class(ctx)
+    global_mode = sched_class in GLOBAL_CLASSES
+    edf = sched_class == "edf"
+    if sched_class in ("edf", "global-edf") and not ctx.edf_keys_reliable:
         return []
+    if global_mode and ctx.overhead_ns and any(ctx.overhead_ns):
+        return []
+    fair_tasks = ctx.fair_tasks or frozenset()
     violations: List[TraceViolation] = []
     priorities, _stage_index, deadline_offset, _cores = _runtime_tables(
         ctx.assignment
     )
+    if global_mode:
+        # One shared ready queue: fold every core's events onto a single
+        # virtual core before reconstructing ready windows, and key by
+        # the *global* class attributes (task priority / task deadline)
+        # taken from the assignment entries.
+        from dataclasses import replace as _replace
+
+        ctx = _replace(
+            ctx,
+            events=[(t, k, label, 0) for t, k, label, _c in ctx.events],
+        )
+        global_prio: Dict[str, int] = {}
+        global_deadline: Dict[str, int] = {}
+        for entry in ctx.assignment.entries():
+            if entry.task.priority is not None:
+                global_prio[entry.task.name] = entry.task.priority
+            global_deadline[entry.task.name] = entry.task.deadline
     ready = _ready_intervals(ctx)
     demoted = _demotion_times(ctx)
-    releases = _job_release_times(ctx) if edf else {}
+    releases = (
+        _job_release_times(ctx)
+        if sched_class in ("edf", "global-edf")
+        else {}
+    )
 
-    def key_of(job: str, core: int, t: int):
+    def key_of(job: str, core: int, t: int, running: bool = False):
         task, _, seq = job.partition("/")
         if job in demoted and demoted[job] <= t:
             return (_BACKGROUND, int(seq or 0))
+        if task in fair_tasks:
+            # Virtual deadlines are not in the trace; a running fair job
+            # is conservatively keyed at the class base (below every
+            # hard-RT key), ready ones cannot be judged.
+            return (_FAIR_BASE, int(seq or 0)) if running else None
+        if sched_class == "global-edf":
+            release = releases.get(job)
+            deadline = global_deadline.get(task)
+            if release is None or deadline is None:
+                return None
+            return (release + deadline, int(seq or 0))
+        if sched_class == "global-rm":
+            prio = global_prio.get(task)
+            if prio is None:
+                return None
+            return (prio, int(seq or 0))
         if edf:
             offsets = deadline_offset.get(task)
             release = releases.get(job)
@@ -440,7 +545,9 @@ def _check_preemption_order(ctx: CheckContext) -> List[TraceViolation]:
 
     exec_by_core: Dict[int, List[Tuple[int, int, str]]] = {}
     for core, start, end, label in _exec_segments(ctx.trace):
-        exec_by_core.setdefault(core, []).append((start, end, label))
+        exec_by_core.setdefault(0 if global_mode else core, []).append(
+            (start, end, label)
+        )
     for core, segments in exec_by_core.items():
         waiting = sorted(
             ready.get(core, []), key=lambda iv: (iv.start, iv.end)
@@ -457,7 +564,9 @@ def _check_preemption_order(ctx: CheckContext) -> List[TraceViolation]:
                 if interval.job == running:
                     continue
                 if run_key is None:
-                    run_key = key_of(running, core, overlap_start)
+                    run_key = key_of(
+                        running, core, overlap_start, running=True
+                    )
                     if run_key is None:
                         break  # unknown running job: cannot judge
                 ready_key = key_of(interval.job, core, overlap_start)
@@ -627,6 +736,11 @@ def _check_handoff_order(ctx: CheckContext) -> List[TraceViolation]:
     would also skip mandatory execution).
     """
     if not ctx.assignment.split_tasks:
+        return []
+    if _effective_class(ctx) in ("restricted",) + GLOBAL_CLASSES:
+        # Restricted migration and the global classes re-plan each job's
+        # stages at release time (whole job on one core); the static
+        # subtask walk does not apply.
         return []
     _prios, stage_index, _offsets, stage_cores = _runtime_tables(
         ctx.assignment

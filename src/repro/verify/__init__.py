@@ -8,7 +8,7 @@ Entry points:
   invariant checker;
 * :func:`~repro.verify.harness.run_harness` — seeded random trials plus
   metamorphic mutations;
-* :func:`~repro.verify.differential.run_differential_suite` — the six
+* :func:`~repro.verify.differential.run_differential_suite` — the eight
   independent-implementation agreement checks;
 * :func:`~repro.verify.shrink.shrink_scenario` /
   :func:`~repro.verify.shrink.write_repro` — minimize a failing scenario
@@ -19,8 +19,10 @@ from repro.verify.differential import (
     DIFFERENTIAL_PAIRS,
     assignment_to_canonical,
     batch_vs_scratch,
+    cross_class_sanity,
     empty_plan_vs_no_plan,
     incremental_vs_scratch,
+    legacy_vs_plugin,
     result_to_canonical,
     run_differential_suite,
     serial_vs_parallel,
@@ -63,9 +65,11 @@ __all__ = [
     "assignment_to_canonical",
     "batch_vs_scratch",
     "check_scenario",
+    "cross_class_sanity",
     "empty_plan_vs_no_plan",
     "full_check",
     "incremental_vs_scratch",
+    "legacy_vs_plugin",
     "load_repro",
     "metamorphic_checks",
     "random_scenario",

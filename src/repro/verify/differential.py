@@ -1,6 +1,6 @@
 """Differential cross-checks: independent implementations must agree.
 
-Six pairs, each exercising a different redundancy in the codebase:
+Eight pairs, each exercising a different redundancy in the codebase:
 
 * **sim-vs-oracle** — a zero-overhead :class:`KernelSim` run on one core
   must agree with the analytical time-demand oracle
@@ -23,10 +23,22 @@ Six pairs, each exercising a different redundancy in the codebase:
   (:mod:`repro.analysis.batch`) must produce bit-identical accept/reject
   vectors to the from-scratch scalar contexts on whole populations, and
   the batched RTA fixed point must return the identical integer response
-  times as the scalar analyzer on every accepted core.
+  times as the scalar analyzer on every accepted core;
+* **legacy-vs-plugin** — :class:`~repro.kernel.legacy.LegacyKernelSim`
+  (a frozen snapshot of the monolithic pre-plugin simulator) must
+  produce bit-identical full-granularity results — every counter,
+  per-task stat, miss, trace segment, event, and fault-log entry — to
+  the scheduling-class-based :class:`~repro.kernel.sim.KernelSim`, over
+  both policies, the fault-plan matrix, and every overrun policy;
+* **cross-class-sanity** — trace-level laws relating scheduling classes:
+  global EDF never leaves a core idle while a job waits in the shared
+  ready queue (work conservation, reconstructed from the event log and
+  segment trace of a zero-overhead run), and restricted-migration
+  semi-partitioning performs at most as many migrations as the
+  unrestricted split schedule, per task and in total.
 
 Every check returns a list of human-readable discrepancy strings; empty
-means the pair agrees.  :func:`run_differential_suite` runs all six.
+means the pair agrees.  :func:`run_differential_suite` runs all eight.
 """
 
 from __future__ import annotations
@@ -460,6 +472,260 @@ def batch_vs_scratch(trials: int = 20, seed: int = 0) -> List[str]:
     return diffs
 
 
+def _fault_plan(kind: str, seed: int):
+    """The fault-plan matrix the legacy/plugin identity runs over."""
+    from repro.faults.plan import FaultPlan, TaskFaults
+
+    if kind == "none":
+        return None
+    if kind == "moderate":
+        return FaultPlan(
+            default=TaskFaults(
+                overrun_factor=1.5,
+                overrun_probability=0.3,
+                release_jitter_ns=200 * US,
+            ),
+            seed=seed,
+        )
+    return FaultPlan(
+        default=TaskFaults(
+            overrun_factor=2.0,
+            overrun_probability=0.4,
+            release_jitter_ns=500 * US,
+        ),
+        overhead_spike_factor=3.0,
+        overhead_spike_probability=0.2,
+        migration_drop_probability=0.1,
+        migration_delay_probability=0.2,
+        migration_delay_ns=50 * US,
+        seed=seed,
+    )
+
+
+def _accepted_assignment(algorithm: str, seed: int, utilization: float = 1.2):
+    """First accepted (taskset, assignment) the generator yields."""
+    from repro.experiments.algorithms import build_assignment
+
+    generator = TaskSetGenerator(
+        n_tasks=8, seed=seed, period_min=5 * MS, period_max=50 * MS
+    )
+    for _attempt in range(20):
+        candidate = generator.generate(utilization)
+        assignment = build_assignment(
+            algorithm, candidate, 2, OverheadModel.zero()
+        )
+        if assignment is not None:
+            return candidate, assignment
+    return None, None
+
+
+def legacy_vs_plugin(trials: int = 20, seed: int = 0) -> List[str]:
+    """Frozen pre-plugin simulator vs. the scheduling-class refactor.
+
+    The FP and EDF plugin classes must reproduce the monolithic
+    simulator's event streams *bit-for-bit* — same ``seq``-ordered queue
+    operations, same traces, same fault decisions — across the fault
+    matrix (no faults / overrun+jitter / everything on) and all three
+    overrun policies.  This is the refactor's non-regression anchor: any
+    reordering of queue ops, RNG draws, or same-instant event handling
+    shows up as a first-diff here.
+    """
+    from repro.faults.plan import OVERRUN_POLICIES
+    from repro.kernel.legacy import LegacyKernelSim
+    from repro.kernel.sim import KernelSim
+
+    combos = [
+        (policy, plan_kind, overrun_policy)
+        for policy in ("fp", "edf")
+        for plan_kind in ("none", "moderate", "full")
+        for overrun_policy in OVERRUN_POLICIES
+    ]
+    diffs: List[str] = []
+    for trial in range(trials):
+        policy, plan_kind, overrun_policy = combos[trial % len(combos)]
+        run_seed = seed + trial
+        algorithm = "FP-TS" if policy == "fp" else "C=D"
+        taskset, assignment = _accepted_assignment(algorithm, run_seed)
+        if assignment is None:
+            diffs.append(
+                f"trial {trial}: no accepted {algorithm} task set "
+                f"from seed {run_seed}"
+            )
+            continue
+        duration = 4 * max(t.period for t in taskset)
+        kwargs = dict(
+            record_trace=True,
+            policy=policy,
+            sporadic_jitter=MS,
+            execution_variation=0.3,
+            seed=run_seed,
+            faults=_fault_plan(plan_kind, run_seed),
+            overrun_policy=overrun_policy,
+        )
+        legacy = result_to_canonical(
+            LegacyKernelSim(
+                assignment, OverheadModel.paper_core_i7(2), duration, **kwargs
+            ).run()
+        )
+        kwargs["faults"] = _fault_plan(plan_kind, run_seed)  # fresh RNG
+        plugin = result_to_canonical(
+            KernelSim(
+                assignment, OverheadModel.paper_core_i7(2), duration, **kwargs
+            ).run()
+        )
+        detail = _diff_canonical(legacy, plugin, "legacy", "plugin")
+        if detail:
+            diffs.append(
+                f"trial {trial} ({policy}, faults={plan_kind}, "
+                f"overrun={overrun_policy}): " + "; ".join(detail[:3])
+            )
+    return diffs
+
+
+def _merged_intervals(intervals):
+    """Sorted, coalesced [start, end) intervals."""
+    merged = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _idle_windows(busy, duration):
+    """Complement of the coalesced busy intervals within [0, duration)."""
+    idle = []
+    cursor = 0
+    for start, end in _merged_intervals(busy):
+        if start > cursor:
+            idle.append((cursor, start))
+        cursor = max(cursor, end)
+    if cursor < duration:
+        idle.append((cursor, duration))
+    return idle
+
+
+def cross_class_sanity(trials: int = 10, seed: int = 0) -> List[str]:
+    """Trace-level laws relating the scheduling classes.
+
+    * **Global EDF work conservation** — in a zero-overhead
+      ``sched_class="global-edf"`` run, no core may be idle for a
+      positive-measure window while any job sits in the shared ready
+      queue (ready windows are reconstructed from ``ready``/``dispatch``
+      events, idle windows from the complement of the segment trace).
+    * **Restricted ⊆ unrestricted migrations** — with deterministic
+      execution (full WCET, no jitter), a restricted-migration run of a
+      split assignment performs at most as many migrations as the
+      unrestricted FP split schedule, for every task and in total: the
+      unrestricted schedule migrates every job through every stage while
+      restricted migration pays at most one migration per job boundary.
+    """
+    from repro.kernel.global_sim import build_global_assignment
+    from repro.kernel.sim import KernelSim
+
+    diffs: List[str] = []
+    rng = random.Random(seed)
+
+    for trial in range(trials):
+        n_tasks = rng.randint(4, 8)
+        utilization = rng.uniform(0.8, 1.6)
+        generator = TaskSetGenerator(
+            n_tasks=n_tasks,
+            seed=rng.randint(0, 10**6),
+            period_min=5 * MS,
+            period_max=50 * MS,
+        )
+        taskset = generator.generate(utilization)
+        result = KernelSim(
+            build_global_assignment(taskset, 2),
+            OverheadModel.zero(),
+            duration=2 * max(t.period for t in taskset),
+            record_trace=True,
+            sched_class="global-edf",
+        ).run()
+        # Ready (waiting) windows: job-level ready -> task-level dispatch,
+        # FIFO per task, all cores folded together (one shared queue).
+        waiting = []
+        open_by_task: Dict[str, list] = {}
+        for time, kind, label, _core in result.events:
+            if kind == "ready":
+                task = label.split("/", 1)[0]
+                interval = [time, result.duration, label]
+                open_by_task.setdefault(task, []).append(interval)
+                waiting.append(interval)
+            elif kind == "dispatch":
+                pending = open_by_task.get(label)
+                if pending:
+                    pending.pop(0)[1] = time
+        idle_by_core = {
+            core: _idle_windows(
+                [
+                    (start, end)
+                    for c, start, end, _label, _kind in result.trace
+                    if c == core
+                ],
+                result.duration,
+            )
+            for core in range(2)
+        }
+        for start, end, job in waiting:
+            if end <= start:
+                continue
+            for core, idle in idle_by_core.items():
+                overlap = [
+                    (max(start, s), min(end, e))
+                    for s, e in idle
+                    if min(end, e) > max(start, s)
+                ]
+                if overlap:
+                    diffs.append(
+                        f"trial {trial}: global-edf left core {core} idle "
+                        f"{overlap[0]} while {job} waited in the ready "
+                        f"queue [{start},{end})"
+                    )
+                    break
+
+    found_split = 0
+    for trial in range(10 * trials):
+        if found_split >= max(1, trials // 2):
+            break
+        taskset, assignment = _accepted_assignment(
+            "FP-TS", seed + 1000 + trial, utilization=1.9
+        )
+        if assignment is None or not assignment.split_tasks:
+            continue
+        found_split += 1
+        duration = 4 * max(t.period for t in taskset)
+        runs = {}
+        for sched_class in ("fp", "restricted"):
+            runs[sched_class] = KernelSim(
+                assignment,
+                OverheadModel.zero(),
+                duration,
+                sched_class=sched_class,
+            ).run()
+        unrestricted = runs["fp"].task_stats
+        restricted = runs["restricted"].task_stats
+        for task in assignment.split_tasks:
+            if restricted[task].migrations > unrestricted[task].migrations:
+                diffs.append(
+                    f"split trial {trial}: task {task} migrated "
+                    f"{restricted[task].migrations} times under restricted "
+                    f"migration but only {unrestricted[task].migrations} "
+                    f"unrestricted"
+                )
+        if runs["restricted"].migrations > runs["fp"].migrations:
+            diffs.append(
+                f"split trial {trial}: total restricted migrations "
+                f"{runs['restricted'].migrations} exceed unrestricted "
+                f"{runs['fp'].migrations}"
+            )
+    if found_split == 0:
+        diffs.append("no split FP-TS assignment found for migration subset")
+    return diffs
+
+
 #: Name -> zero-argument runner for each differential pair.
 DIFFERENTIAL_PAIRS = (
     "sim-vs-oracle",
@@ -468,13 +734,15 @@ DIFFERENTIAL_PAIRS = (
     "tick-vs-event",
     "incremental-vs-scratch",
     "batch-vs-scratch",
+    "legacy-vs-plugin",
+    "cross-class-sanity",
 )
 
 
 def run_differential_suite(
     seed: int = 0, trials: int = 20, jobs: int = 2
 ) -> Dict[str, List[str]]:
-    """Run all six pairs; maps pair name to its discrepancy list."""
+    """Run all eight pairs; maps pair name to its discrepancy list."""
     return {
         "sim-vs-oracle": sim_vs_oracle(trials=trials, seed=seed),
         "serial-vs-parallel": serial_vs_parallel(seed=seed, jobs=jobs),
@@ -484,4 +752,8 @@ def run_differential_suite(
             trials=trials, seed=seed
         ),
         "batch-vs-scratch": batch_vs_scratch(trials=trials, seed=seed),
+        "legacy-vs-plugin": legacy_vs_plugin(trials=trials, seed=seed),
+        "cross-class-sanity": cross_class_sanity(
+            trials=max(1, trials // 2), seed=seed
+        ),
     }

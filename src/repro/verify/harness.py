@@ -93,6 +93,12 @@ def random_scenario(rng: random.Random) -> Scenario:
             "seed": rng.randint(0, 10**6),
         }
         overrun_policy = rng.choice(list(OVERRUN_POLICIES))
+    # Occasionally override the scheduling class with restricted
+    # migration (FP-keyed, so only on FP-side algorithms): its job-level
+    # stage re-planning must still satisfy every structural oracle.
+    sched_class = "auto"
+    if algorithm not in EDF_SIDE and rng.random() < 0.2:
+        sched_class = "restricted"
     return Scenario(
         tasks=tasks,
         n_cores=n_cores,
@@ -106,6 +112,7 @@ def random_scenario(rng: random.Random) -> Scenario:
         sim_seed=rng.randint(0, 10**6),
         overrun_policy=overrun_policy,
         faults=faults,
+        sched_class=sched_class,
     )
 
 

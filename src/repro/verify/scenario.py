@@ -67,6 +67,10 @@ class Scenario:
     overrun_policy: str = "run-on"
     #: ``FaultPlan.to_dict()`` payload, or None for a fault-free run.
     faults: Optional[dict] = None
+    #: Scheduling-class registry name (:data:`repro.kernel.sched_class.
+    #: SCHED_CLASSES`); ``"auto"`` derives the class from ``policy``,
+    #: matching the simulator's default.
+    sched_class: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.tasks:
@@ -75,6 +79,14 @@ class Scenario:
             raise ValueError(
                 f"unknown overrun_policy {self.overrun_policy!r}"
             )
+        if self.sched_class != "auto":
+            from repro.kernel.sched_class import SCHED_CLASSES
+
+            if self.sched_class not in SCHED_CLASSES:
+                raise ValueError(
+                    f"unknown sched_class {self.sched_class!r}; valid: "
+                    f"auto, {', '.join(sorted(SCHED_CLASSES))}"
+                )
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -207,6 +219,9 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
         tick_ns=scenario.tick_ns,
         faults=plan,
         overrun_policy=scenario.overrun_policy,
+        sched_class=(
+            None if scenario.sched_class == "auto" else scenario.sched_class
+        ),
     )
     result = sim.run()
     report.miss_count = result.miss_count
@@ -229,6 +244,7 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
             else None
         ),
         edf_keys_reliable=(scenario.tick_ns == 0 and not plan_has_jitter),
+        sched_class=scenario.sched_class,
     )
     for violation in run_checkers(ctx):
         report.violations.append(f"{violation.kind}: {violation.detail}")
@@ -238,11 +254,16 @@ def run_scenario(scenario: Scenario) -> ScenarioReport:
     # never misses.  (Overhead-laden runs may legitimately miss: the
     # acceptance analysis inflates budgets conservatively but the paper's
     # whole point is that measured overheads are an empirical question.)
+    # Only the class the acceptance analysis modelled gets this promise:
+    # overriding the scheduling class (restricted migration places whole
+    # WCETs on single cores; global classes ignore the partitioning)
+    # voids the per-core schedulability argument.
     clean_conditions = (
         scenario.overheads == "zero"
         and scenario.tick_ns == 0
         and (plan is None or plan.is_empty)
         and scenario.execution_variation == 0.0
+        and scenario.sched_class in ("auto", scenario.policy)
     )
     if clean_conditions and result.miss_count:
         miss = result.misses[0]

@@ -8,8 +8,7 @@ under ``tests/golden/``.  Any behavioural change to the simulator
 (event ordering, overhead charging, queue discipline, fault handling)
 shows up as a byte diff here before it shows up in a paper figure.
 
-The three scenarios cover the simulator's three qualitatively different
-regimes:
+The scenarios cover the simulator's qualitatively different regimes:
 
 * ``normal`` — a partitioned task set, no splitting, no faults;
 * ``split_migration`` — three 0.6-utilization tasks on two cores, which
@@ -17,7 +16,16 @@ regimes:
   migration path every period;
 * ``fault_overrun`` — a deterministic execution overrun injected via a
   :class:`FaultPlan` under the ``demote`` policy, exercising the
-  overrun detection and re-queue path.
+  overrun detection and re-queue path;
+* ``global_edf`` — the shared-queue ``global-edf`` scheduling class
+  over a :func:`build_global_assignment`, pinning the waterfall
+  dispatch order and idle/worst-runner core selection;
+* ``restricted_split`` — the ``restricted`` class on a split
+  assignment: job-boundary migration only, whole-WCET stages placed
+  round-robin over the split's cores;
+* ``fair_coexistence`` — background tasks under the EEVDF-style
+  ``fair`` class sharing cores with a faulted FP workload, pinning the
+  virtual-deadline interleaving.
 
 Snapshots are serialized with ``sort_keys=True`` and compact separators
 so the comparison is byte-stable across Python versions and dict
@@ -137,10 +145,106 @@ def _scenario_fault_overrun() -> dict:
     }
 
 
+def _scenario_global_edf() -> dict:
+    from repro.kernel.global_sim import build_global_assignment
+
+    # Pairwise-coprime periods keep absolute deadlines distinct inside
+    # the horizon; the shared EDF queue migrates jobs freely.  (The
+    # 3 x 0.6 same-period set is *infeasible* under G-EDF — the classic
+    # Dhall-style pathology — so this scenario uses a feasible 1.34-
+    # utilization mix instead.)
+    tasks = [
+        Task("x", wcet=3 * MS, period=7 * MS),
+        Task("y", wcet=5 * MS, period=11 * MS),
+        Task("z", wcet=6 * MS, period=13 * MS),
+    ]
+    registry = MetricsRegistry()
+    result = KernelSim(
+        build_global_assignment(tasks, 2),
+        OverheadModel.zero(),
+        duration=100 * MS,
+        record_trace=True,
+        seed=11,
+        sched_class="global-edf",
+        metrics=registry,
+    ).run()
+    assert result.miss_count == 0 and result.migrations > 0
+    return {
+        "result": result_to_canonical(result),
+        "sim_metrics": _sim_metrics(registry),
+    }
+
+
+def _scenario_restricted_split() -> dict:
+    assignment = build_assignment(
+        "FP-TS", _splitting_taskset(), 2, OverheadModel.zero()
+    )
+    assert assignment is not None and assignment.split_tasks
+    registry = MetricsRegistry()
+    result = KernelSim(
+        assignment,
+        OverheadModel.paper_core_i7(2),
+        duration=100 * MS,
+        record_trace=True,
+        seed=11,
+        sched_class="restricted",
+        metrics=registry,
+    ).run()
+    cores_per_job: dict = {}
+    for core, _start, _end, label, kind in result.trace:
+        if kind == "exec":
+            cores_per_job.setdefault(label, set()).add(core)
+    assert all(len(cores) == 1 for cores in cores_per_job.values()), (
+        "restricted migration must keep every job on one core"
+    )
+    return {
+        "result": result_to_canonical(result),
+        "sim_metrics": _sim_metrics(registry),
+    }
+
+
+def _scenario_fair_coexistence() -> dict:
+    assignment = build_assignment(
+        "FP-TS", _partitioned_taskset(), 2, OverheadModel.zero()
+    )
+    assert assignment is not None
+    plan = FaultPlan(
+        tasks={
+            "b": TaskFaults(overrun_factor=1.4, overrun_probability=1.0)
+        },
+        seed=3,
+    )
+    registry = MetricsRegistry()
+    result = KernelSim(
+        assignment,
+        OverheadModel.paper_core_i7(2),
+        duration=100 * MS,
+        record_trace=True,
+        seed=11,
+        faults=plan,
+        overrun_policy="run-on",
+        fair_tasks=[
+            Task("bg0", wcet=2 * MS, period=30 * MS),
+            Task("bg1", wcet=3 * MS, period=45 * MS),
+        ],
+        metrics=registry,
+    ).run()
+    assert result.task_stats["bg0"].jobs_completed > 0, (
+        "background work must actually run"
+    )
+    return {
+        "result": result_to_canonical(result),
+        "sim_metrics": _sim_metrics(registry),
+    }
+
+
 SCENARIOS = {
     "normal": _scenario_normal,
     "split_migration": _scenario_split_migration,
     "fault_overrun": _scenario_fault_overrun,
+    "global_edf": _scenario_global_edf,
+    "restricted_split": _scenario_restricted_split,
+    "fair_coexistence": _scenario_fair_coexistence,
 }
 
 
