@@ -50,8 +50,22 @@ def _overhead_model(spec: str, tasks_per_core: int) -> OverheadModel:
         return OverheadModel.paper_core_i7(tasks_per_core).scaled(
             float(spec.split("*", 1)[1])
         )
+    if spec.startswith("calib:"):
+        from repro.workload.calibrate import CalibrationResult
+
+        path = spec.split(":", 1)[1]
+        try:
+            result = CalibrationResult.load(path)
+        except OSError as exc:
+            raise SystemExit(
+                f"--overheads: cannot read calibration {path!r}: {exc}"
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"--overheads: calibration {path!r}: {exc}")
+        return result.overhead_model(tasks_per_core)
     raise SystemExit(
-        f"unknown overhead spec {spec!r}; use zero | paper | paper*<factor>"
+        f"unknown overhead spec {spec!r}; use zero | paper | "
+        "paper*<factor> | calib:<file> (from 'repro calibrate')"
     )
 
 
@@ -272,7 +286,68 @@ def _report_failures(engine) -> None:
         )
 
 
+def _parse_float_axis(spec: str, flag: str) -> tuple:
+    try:
+        values = tuple(
+            float(v.strip()) for v in spec.split(",") if v.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"{flag}: expected comma-separated numbers")
+    if not values:
+        raise SystemExit(f"{flag} needs at least one value")
+    return values
+
+
+def _load_workload_profile(path):
+    from repro.workload import WorkloadProfile
+
+    try:
+        return WorkloadProfile.load(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read profile {path!r}: {exc}")
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"profile {path!r}: {exc}")
+
+
+def _cmd_workload_sweep(args) -> int:
+    from repro.experiments.workload_sweep import (
+        WorkloadSweepConfig,
+        run_workload_sweep,
+    )
+
+    profile = _load_workload_profile(args.workload)
+    config = WorkloadSweepConfig(
+        profile=profile,
+        horizon_ms=_check_positive(args.horizon_ms, "--horizon-ms"),
+        seed=args.seed,
+        scales=_parse_float_axis(args.scales, "--scales"),
+        storm_intensities=_parse_float_axis(
+            args.storm_intensities, "--storm-intensities"
+        ),
+        storm_on_ms=_check_positive(args.storm_on_ms, "--storm-on-ms"),
+        storm_off_ms=args.storm_off_ms,
+        stream=args.stream,
+        server_kind=args.server,
+        server_capacity_us=_check_positive(
+            args.server_capacity_us, "--server-capacity-us"
+        ),
+        server_period_us=_check_positive(
+            args.server_period_us, "--server-period-us"
+        ),
+        n_hard_tasks=args.hard_tasks,
+        hard_utilization=args.hard_utilization,
+    )
+    engine = _engine_for(args)
+    result = run_workload_sweep(config, engine=engine)
+    print(result.as_table())
+    print(engine.stats.summary())
+    _report_failures(engine)
+    return 0 if not engine.last_failures else 3
+
+
 def _cmd_sweep(args) -> int:
+    if args.workload is not None:
+        return _cmd_workload_sweep(args)
     algorithms = _parse_algorithms(args.algorithms)
     _check_positive(args.cores, "--cores")
     _check_positive(args.n_tasks, "--n-tasks")
@@ -369,6 +444,100 @@ def _cmd_measure(args) -> int:
             f"{m.sleep_mean_ns / 1000:>15.2f}"
         )
     return 0
+
+
+def _cmd_calibrate(args) -> int:
+    """Fit overhead-model constants from this machine's micro-benchmarks."""
+    from repro.workload.calibrate import calibrate
+
+    _check_positive(args.rounds, "--rounds")
+    _check_positive(args.scheduler_rounds, "--scheduler-rounds")
+    result = calibrate(
+        rounds=args.rounds,
+        scheduler_rounds=args.scheduler_rounds,
+        seed=args.seed,
+    )
+    print(result.describe())
+    if args.out:
+        result.save(args.out)
+        print(f"wrote {args.out} (use with --overheads calib:{args.out})")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    """Trace ingest / profile fitting / scenario synthesis."""
+    from repro.workload import (
+        ScenarioSynthesizer,
+        StormSpec,
+        fit_profile,
+        import_azure_invocations,
+        import_csv,
+        load_trace,
+        save_trace,
+    )
+
+    try:
+        if args.workload_command == "import-csv":
+            trace = import_csv(args.input, default_stream=args.stream or "csv")
+            save_trace(trace, args.out)
+            print(
+                f"wrote {args.out}: {len(trace.records)} records, "
+                f"{len(trace.streams)} stream(s)"
+            )
+            return 0
+        if args.workload_command == "import-azure":
+            trace = import_azure_invocations(
+                args.input,
+                max_streams=args.max_streams,
+            )
+            save_trace(trace, args.out)
+            print(
+                f"wrote {args.out}: {len(trace.records)} records, "
+                f"{len(trace.streams)} stream(s)"
+            )
+            return 0
+        if args.workload_command == "fit":
+            trace = load_trace(args.input)
+            profile = fit_profile(trace, source=str(args.input))
+            profile.save(args.out)
+            for stream in profile.streams:
+                print(
+                    f"{stream.name}: {stream.n_jobs} jobs, "
+                    f"rate={stream.rate_per_sec:.2f}/s, "
+                    f"dispersion={stream.burst.index_of_dispersion:.2f}, "
+                    f"storm intensity={stream.burst.intensity:.2f}"
+                )
+            print(f"wrote {args.out}")
+            return 0
+        if args.workload_command == "synth":
+            profile = _load_workload_profile(args.input)
+            storm = None
+            if args.storm_intensity > 1.0:
+                storm = StormSpec(
+                    intensity=args.storm_intensity,
+                    on_ns=_check_positive(args.storm_on_ms, "--storm-on-ms")
+                    * MS,
+                    off_ns=args.storm_off_ms * MS,
+                )
+            jobs = ScenarioSynthesizer(profile, seed=args.seed).synthesize(
+                _check_positive(args.horizon_ms, "--horizon-ms") * MS,
+                scale=args.scale,
+                storm=storm,
+            )
+            total_work = sum(job.work for job in jobs)
+            print(
+                f"{len(jobs)} jobs over {args.horizon_ms} ms "
+                f"(total work {total_work / 1e6:.2f} ms, "
+                f"utilization {total_work / (args.horizon_ms * MS):.3f})"
+            )
+            return 0
+    except OSError as exc:
+        raise SystemExit(f"workload: {exc}")
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"workload: {exc}")
+    raise SystemExit(
+        f"unknown workload command {args.workload_command!r}"
+    )
 
 
 def _cmd_profile(args) -> int:
@@ -769,7 +938,11 @@ def build_parser() -> argparse.ArgumentParser:
             "only the rest",
         )
 
-    sweep = sub.add_parser("sweep", help="acceptance-ratio sweep")
+    sweep = sub.add_parser(
+        "sweep",
+        help="acceptance-ratio sweep, or (with --workload) a "
+        "trace-driven scale x storm sweep",
+    )
     sweep.add_argument("--cores", type=int, default=4)
     sweep.add_argument("--n-tasks", type=int, default=12)
     sweep.add_argument("--sets", type=int, default=50)
@@ -782,6 +955,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="vectorized batch analysis per sweep point (bit-identical "
         "ratios; scalar fallback where inexpressible)",
     )
+    sweep.add_argument(
+        "--workload",
+        metavar="PROFILE",
+        help="fitted workload-profile JSON (from 'repro workload fit'); "
+        "switches the sweep to the trace-driven scale x storm grid",
+    )
+    sweep.add_argument(
+        "--scales",
+        default="1.0",
+        help="comma-separated load scales (workload mode; default: 1.0)",
+    )
+    sweep.add_argument(
+        "--storm-intensities",
+        default="1.0,2.0,4.0",
+        help="comma-separated ON-phase rate multipliers (workload mode; "
+        "default: 1.0,2.0,4.0)",
+    )
+    sweep.add_argument("--storm-on-ms", type=int, default=100)
+    sweep.add_argument("--storm-off-ms", type=int, default=400)
+    sweep.add_argument("--horizon-ms", type=int, default=2000)
+    sweep.add_argument(
+        "--stream",
+        default="",
+        help="synthesize only this profile stream (default: all)",
+    )
+    sweep.add_argument(
+        "--server",
+        choices=["polling", "deferrable", "background"],
+        default="deferrable",
+        help="aperiodic server policy (workload mode; default: deferrable)",
+    )
+    sweep.add_argument("--server-capacity-us", type=int, default=2000)
+    sweep.add_argument("--server-period-us", type=int, default=10000)
+    sweep.add_argument(
+        "--hard-tasks",
+        type=int,
+        default=4,
+        help="hard periodic tasks generated alongside the aperiodic load "
+        "(workload mode; 0 = none)",
+    )
+    sweep.add_argument("--hard-utilization", type=float, default=0.5)
     engine_flags(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
 
@@ -790,6 +1004,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     measure.add_argument("--rounds", type=int, default=2000)
     measure.set_defaults(fn=_cmd_measure)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit overhead-model constants (delta/theta, release/sch/"
+        "cnt_swth) from this machine's instrumented micro-benchmarks",
+    )
+    calibrate.add_argument("--rounds", type=int, default=400)
+    calibrate.add_argument("--scheduler-rounds", type=int, default=10)
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument(
+        "--out",
+        help="write the calibration JSON here (consumed by "
+        "--overheads calib:<file>)",
+    )
+    calibrate.set_defaults(fn=_cmd_calibrate)
+
+    workload = sub.add_parser(
+        "workload",
+        help="trace ingest, profile fitting, and scenario synthesis",
+    )
+    wsub = workload.add_subparsers(dest="workload_command", required=True)
+
+    wimport = wsub.add_parser(
+        "import-csv", help="ingest an arrival/work CSV into a trace"
+    )
+    wimport.add_argument("input", help="CSV file")
+    wimport.add_argument("--out", required=True, help="trace JSONL output")
+    wimport.add_argument(
+        "--stream", default="", help="stream name for unlabeled rows"
+    )
+    wimport.set_defaults(fn=_cmd_workload)
+
+    wazure = wsub.add_parser(
+        "import-azure",
+        help="ingest an Azure-Functions-style per-bin invocation log",
+    )
+    wazure.add_argument("input", help="invocation-count CSV")
+    wazure.add_argument("--out", required=True, help="trace JSONL output")
+    wazure.add_argument(
+        "--max-streams",
+        type=int,
+        default=0,
+        help="keep only the N busiest functions (0 = all)",
+    )
+    wazure.set_defaults(fn=_cmd_workload)
+
+    wfit = wsub.add_parser(
+        "fit", help="fit a workload profile from a trace"
+    )
+    wfit.add_argument("input", help="trace JSONL (from import-*)")
+    wfit.add_argument("--out", required=True, help="profile JSON output")
+    wfit.set_defaults(fn=_cmd_workload)
+
+    wsynth = wsub.add_parser(
+        "synth", help="synthesize a scenario from a fitted profile"
+    )
+    wsynth.add_argument("input", help="profile JSON (from fit)")
+    wsynth.add_argument("--seed", type=int, default=0)
+    wsynth.add_argument("--scale", type=float, default=1.0)
+    wsynth.add_argument("--horizon-ms", type=int, default=2000)
+    wsynth.add_argument("--storm-intensity", type=float, default=1.0)
+    wsynth.add_argument("--storm-on-ms", type=int, default=100)
+    wsynth.add_argument("--storm-off-ms", type=int, default=400)
+    wsynth.set_defaults(fn=_cmd_workload)
 
     profile = sub.add_parser(
         "profile",

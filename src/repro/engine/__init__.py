@@ -39,6 +39,7 @@ from repro.engine.units import (
     ProfileUnit,
     SplittingUnit,
     VerifyUnit,
+    WorkloadUnit,
     execute_admission,
     execute_unit,
     unit_fingerprint,
@@ -53,6 +54,7 @@ __all__ = [
     "ProfileUnit",
     "SplittingUnit",
     "VerifyUnit",
+    "WorkloadUnit",
     "execute_admission",
     "EngineStats",
     "ExperimentEngine",

@@ -24,12 +24,14 @@ from typing import Dict, Optional, Tuple, Union
 from repro.model.generator import TaskSetGenerator
 from repro.model.time import MS, SEC
 from repro.overhead.model import OverheadModel
+from repro.workload.profile import WorkloadProfile
 
 #: Bump whenever unit semantics or payload layout change: the version is
 #: hashed into every cache key, so stale cache entries are invalidated
 #: wholesale instead of being misread.
 #: v2: AcceptanceUnit grew the ``batch`` field (vectorized analysis).
-CACHE_SCHEMA_VERSION = 2
+#: v3: new WorkloadUnit kind (trace-driven scenario synthesis).
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -169,6 +171,42 @@ class VerifyUnit:
     kind: str = "verify"
 
 
+@dataclass(frozen=True)
+class WorkloadUnit:
+    """One synthesized trace-driven scenario: a point on a storm sweep.
+
+    Executing it re-synthesizes the aperiodic job streams from the
+    embedded fitted profile (:mod:`repro.workload`) at ``scale`` with
+    the configured ON/OFF storm overlay, generates a hard periodic set
+    when ``n_hard_tasks > 0``, routes the jobs through the chosen
+    aperiodic server, and runs the exact event-driven server simulation.
+    The unit carries the *whole* :class:`~repro.workload.profile.
+    WorkloadProfile` (nested frozen dataclasses, so ``asdict`` gives a
+    stable fingerprint and the unit pickles to process-pool workers);
+    ``storm_intensity <= 1`` disables the storm overlay, and an empty
+    ``stream`` synthesizes every stream in the profile.  Payloads are
+    exact integer totals, never means.
+    """
+
+    profile: "WorkloadProfile"
+    horizon_ms: int
+    seed: int
+    scale: float = 1.0
+    stream: str = ""
+    storm_intensity: float = 1.0
+    storm_on_ms: int = 0
+    storm_off_ms: int = 0
+    server_kind: str = "deferrable"
+    server_capacity_us: int = 2000
+    server_period_us: int = 10000
+    server_priority: int = 0
+    n_hard_tasks: int = 0
+    hard_utilization: float = 0.0
+    period_min: int = 10 * MS
+    period_max: int = 1000 * MS
+    kind: str = "workload"
+
+
 WorkUnit = Union[
     AcceptanceUnit,
     AdmissionUnit,
@@ -176,6 +214,7 @@ WorkUnit = Union[
     ChaosUnit,
     VerifyUnit,
     ProfileUnit,
+    WorkloadUnit,
 ]
 
 
@@ -221,6 +260,12 @@ def execute_unit(unit: WorkUnit) -> dict:
         return _execute_profile(unit)
     if unit.kind == "admission":
         return execute_admission(unit)
+    if unit.kind == "workload":
+        # Lazy import: repro.workload.synth pulls in the servers layer,
+        # which workers not running workload units never need.
+        from repro.workload.synth import run_workload_unit
+
+        return run_workload_unit(unit)
     raise ValueError(f"unknown work-unit kind {unit.kind!r}")
 
 

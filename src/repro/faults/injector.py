@@ -64,11 +64,30 @@ class FaultInjector:
 
         The caller records the event only for releases inside the
         horizon; the draw itself always happens so the RNG stream does
-        not depend on the horizon.
+        not depend on the horizon.  With a fitted quantile sketch on the
+        task's spec the delay is an inverse-transform draw from the
+        measured distribution; otherwise uniform in
+        ``[0, release_jitter_ns]``.  Either path consumes exactly one
+        draw, so swapping models does not shift other fault streams.
         """
         spec = self.plan.spec_for(task)
-        if spec.release_jitter_ns <= 0:
+        if not spec.jitter_active:
             return 0
+        quantiles = spec.release_jitter_quantiles
+        if quantiles:
+            if len(quantiles) == 1 or quantiles[0] == quantiles[-1]:
+                self._rng.random()
+                return int(round(quantiles[0]))
+            position = self._rng.random() * (len(quantiles) - 1)
+            low = int(position)
+            frac = position - low
+            if low + 1 < len(quantiles) and frac > 0:
+                value = quantiles[low] + (
+                    quantiles[low + 1] - quantiles[low]
+                ) * frac
+            else:
+                value = quantiles[low]
+            return int(round(value))
         return self._rng.randint(0, spec.release_jitter_ns)
 
     def spike(self, op_kind: str, duration: int, t: int, core: int) -> int:

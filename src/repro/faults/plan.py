@@ -8,7 +8,11 @@ deviations a :class:`~repro.kernel.sim.KernelSim` run should inject:
   the job needs more CPU than the analysis budgeted for;
 * **release jitter** — each release timer fires up to ``release_jitter_ns``
   late (uniform), while the job's deadline stays anchored at the nominal
-  arrival, eating into its slack;
+  arrival, eating into its slack; when ``release_jitter_quantiles`` is
+  set (a fitted quantile sketch, see
+  :func:`repro.workload.calibrate.fitted_jitter_faults`) the delay is
+  drawn by inverse transform from that *measured* distribution instead
+  of the uniform bound;
 * **overhead spikes** — with probability ``overhead_spike_probability`` a
   kernel op (release, scheduling pass, context switch) costs
   ``overhead_spike_factor`` times its modelled duration, emulating
@@ -35,7 +39,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 #: Overrun-policy names accepted by the simulator (validated here so the
 #: CLI and KernelSim agree on the vocabulary).
@@ -49,11 +53,19 @@ def _check_probability(name: str, value: float) -> None:
 
 @dataclass(frozen=True)
 class TaskFaults:
-    """Per-task fault parameters (all off by default)."""
+    """Per-task fault parameters (all off by default).
+
+    ``release_jitter_quantiles`` — when non-empty — is a fitted quantile
+    sketch (values at evenly spaced cumulative probabilities, as produced
+    by :class:`repro.workload.profile.EmpiricalDistribution`); the
+    injector then draws jitter by inverse transform from it, and
+    ``release_jitter_ns`` documents the distribution's bound.
+    """
 
     overrun_factor: float = 1.0
     overrun_probability: float = 0.0
     release_jitter_ns: int = 0
+    release_jitter_quantiles: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.overrun_factor < 1.0:
@@ -66,12 +78,35 @@ class TaskFaults:
                 "release_jitter_ns must be non-negative, got "
                 f"{self.release_jitter_ns!r}"
             )
+        # JSON round-trips deliver lists; normalize so equality and
+        # asdict stay canonical.
+        object.__setattr__(
+            self,
+            "release_jitter_quantiles",
+            tuple(float(q) for q in self.release_jitter_quantiles),
+        )
+        quantiles = self.release_jitter_quantiles
+        if quantiles:
+            if quantiles[0] < 0:
+                raise ValueError(
+                    "release_jitter_quantiles must be non-negative"
+                )
+            if any(b < a for a, b in zip(quantiles, quantiles[1:])):
+                raise ValueError(
+                    "release_jitter_quantiles must be non-decreasing"
+                )
+
+    @property
+    def jitter_active(self) -> bool:
+        if self.release_jitter_quantiles:
+            return self.release_jitter_quantiles[-1] > 0
+        return self.release_jitter_ns > 0
 
     @property
     def is_empty(self) -> bool:
         return (
             (self.overrun_probability == 0.0 or self.overrun_factor == 1.0)
-            and self.release_jitter_ns == 0
+            and not self.jitter_active
         )
 
 

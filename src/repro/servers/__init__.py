@@ -26,16 +26,25 @@ from repro.servers.server import (
     DeferrableServer,
     PollingServer,
     poisson_aperiodic_stream,
+    stream_seed_rng,
 )
 from repro.servers.analysis import server_entry
-from repro.servers.sim import AperiodicStats, simulate_with_server
+from repro.servers.sim import (
+    AperiodicStats,
+    ServerLedger,
+    check_server_ledger,
+    simulate_with_server,
+)
 
 __all__ = [
     "AperiodicJob",
     "DeferrableServer",
     "PollingServer",
+    "ServerLedger",
+    "check_server_ledger",
     "poisson_aperiodic_stream",
     "server_entry",
+    "stream_seed_rng",
     "AperiodicStats",
     "simulate_with_server",
 ]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
 
 
 @dataclass(frozen=True)
@@ -73,8 +73,19 @@ class DeferrableServer:
         return "deferrable"
 
 
+def stream_seed_rng(seed: int) -> random.Random:
+    """The canonical RNG for a seeded aperiodic stream.
+
+    String seeding hashes with SHA-512, so the stream is bit-identical
+    across processes and Python versions — unlike ad-hoc
+    ``random.Random(seed)`` instances shared (and advanced) by unrelated
+    draws, which made server scenarios depend on call order.
+    """
+    return random.Random(f"repro-servers:poisson:{seed}")
+
+
 def poisson_aperiodic_stream(
-    rng: random.Random,
+    rng: Union[int, random.Random],
     horizon: int,
     mean_interarrival: int,
     mean_work: int,
@@ -82,9 +93,17 @@ def poisson_aperiodic_stream(
 ) -> List[AperiodicJob]:
     """Poisson arrivals with exponential work, for server experiments.
 
+    ``rng`` is either an explicit ``random.Random`` or an int seed; a
+    seed derives a dedicated, namespaced RNG (:func:`stream_seed_rng`),
+    so two call sites using the same seed get the same stream regardless
+    of what else they drew first — the end-to-end reproducibility
+    contract workload scenarios rely on.
+
     ``max_work`` (0 = 4x mean) truncates the work distribution so a single
     pathological job cannot dominate a run.
     """
+    if isinstance(rng, int):
+        rng = stream_seed_rng(rng)
     if mean_interarrival <= 0 or mean_work <= 0:
         raise ValueError("means must be positive")
     if max_work <= 0:

@@ -10,7 +10,11 @@ clearer and doubles as a cross-check):
   ``PollingServer`` / ``DeferrableServer`` at the server's priority, or
   background service (no server: aperiodic work runs only on idle time).
 
-Reports hard-deadline misses and aperiodic response statistics.
+Reports hard-deadline misses and aperiodic response statistics.  Pass a
+:class:`ServerLedger` to additionally record every budget transition
+(replenish / consume / forfeit) and every miss with its *kind*
+(``completed-late`` vs ``abandoned``) — the golden storm traces pin the
+full ledger, and :func:`check_server_ledger` is the matching oracle.
 """
 
 from __future__ import annotations
@@ -20,6 +24,105 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.model.task import Task
 from repro.servers.server import AperiodicJob
+
+#: Miss kinds recorded in the ledger.
+MISS_COMPLETED_LATE = "completed-late"
+MISS_ABANDONED = "abandoned"
+
+
+@dataclass
+class ServerLedger:
+    """Budget-event and miss-kind journal of one server simulation.
+
+    ``events`` are ``{"t", "kind", "amount"}`` dicts in simulation
+    order: ``replenish`` sets the budget to ``amount``, ``consume``
+    subtracts ``amount``, ``forfeit`` zeroes it (``amount`` is the
+    budget lost — polling servers only).  ``misses`` are
+    ``{"t", "task", "kind"}`` dicts.  Everything is plain JSON, so
+    golden traces can pin a ledger byte-exactly.
+    """
+
+    events: List[dict] = field(default_factory=list)
+    misses: List[dict] = field(default_factory=list)
+
+    def record(self, t: int, kind: str, amount: int) -> None:
+        self.events.append({"t": t, "kind": kind, "amount": amount})
+
+    def record_miss(self, t: int, task: str, kind: str) -> None:
+        self.misses.append({"t": t, "task": task, "kind": kind})
+
+    def miss_kinds(self) -> dict:
+        counts: dict = {}
+        for miss in self.misses:
+            counts[miss["kind"]] = counts.get(miss["kind"], 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {"events": self.events, "misses": self.misses}
+
+
+def check_server_ledger(
+    ledger: ServerLedger, server=None
+) -> List[str]:
+    """Semantic oracle over a :class:`ServerLedger`.
+
+    Replays the budget algebra and returns violation strings (empty =
+    consistent): events in time order, replenishes to exactly the
+    capacity, consumption never exceeding the running budget, forfeits
+    only for polling servers and only of the exact remaining budget,
+    and only known miss kinds.
+    """
+    violations: List[str] = []
+    if server is None:
+        if ledger.events:
+            violations.append(
+                "background service recorded "
+                f"{len(ledger.events)} budget event(s); expected none"
+            )
+    else:
+        budget = 0
+        last_t = 0
+        for index, event in enumerate(ledger.events):
+            t, kind, amount = event["t"], event["kind"], event["amount"]
+            where = f"event {index} (t={t}, kind={kind})"
+            if t < last_t:
+                violations.append(f"{where}: time went backwards")
+            last_t = t
+            if kind == "replenish":
+                if amount != server.capacity:
+                    violations.append(
+                        f"{where}: replenished {amount}, "
+                        f"capacity is {server.capacity}"
+                    )
+                budget = amount
+            elif kind == "consume":
+                if amount <= 0:
+                    violations.append(f"{where}: non-positive consume")
+                if amount > budget:
+                    violations.append(
+                        f"{where}: consumed {amount} with only "
+                        f"{budget} budget"
+                    )
+                budget -= amount
+            elif kind == "forfeit":
+                if server.kind != "polling":
+                    violations.append(
+                        f"{where}: {server.kind} server forfeited budget"
+                    )
+                if amount != budget:
+                    violations.append(
+                        f"{where}: forfeited {amount}, "
+                        f"had {budget}"
+                    )
+                budget = 0
+            else:
+                violations.append(f"{where}: unknown event kind")
+    for index, miss in enumerate(ledger.misses):
+        if miss["kind"] not in (MISS_COMPLETED_LATE, MISS_ABANDONED):
+            violations.append(
+                f"miss {index}: unknown kind {miss['kind']!r}"
+            )
+    return violations
 
 
 @dataclass
@@ -61,12 +164,15 @@ def simulate_with_server(
     horizon: int,
     server=None,
     server_priority: int = 0,
+    ledger: Optional[ServerLedger] = None,
 ) -> Tuple[int, AperiodicStats]:
     """Simulate; returns ``(hard_deadline_misses, aperiodic_stats)``.
 
     ``tasks`` must be sorted highest priority first.  ``server=None`` means
     background service.  ``server_priority`` is the insertion index of the
     server in the hard priority order (0 = above every hard task).
+    ``ledger`` (optional) records budget events and per-miss kinds; it
+    never changes the simulation itself.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
@@ -110,7 +216,8 @@ def simulate_with_server(
                     )
                 )
                 next_release[index] += task.period
-        return min(next_release)
+        # No hard tasks (pure aperiodic workload): never a release event.
+        return min(next_release) if next_release else horizon
 
     def poll(now: int) -> None:
         """Polling-server replenishment bookkeeping."""
@@ -119,12 +226,23 @@ def simulate_with_server(
             return
         if server.kind == "polling":
             if arrived_ap:
+                if ledger is not None:
+                    ledger.record(now, "replenish", server.capacity)
                 budget = server.capacity
                 polling_active = True
             else:
+                # An empty queue at the poll instant forfeits the whole
+                # budget: grant then immediately lose it, so the ledger
+                # algebra (replenish -> forfeit of the full amount)
+                # replays exactly.
+                if ledger is not None:
+                    ledger.record(now, "replenish", server.capacity)
+                    ledger.record(now, "forfeit", server.capacity)
                 budget = 0
                 polling_active = False
         else:  # deferrable
+            if ledger is not None:
+                ledger.record(now, "replenish", server.capacity)
             budget = server.capacity
 
     # t = 0 bookkeeping.
@@ -180,12 +298,20 @@ def simulate_with_server(
             if hard_job.remaining == 0:
                 if next_t > hard_job.deadline:
                     misses += 1
+                    if ledger is not None:
+                        ledger.record_miss(
+                            next_t,
+                            tasks[hard_job.task_index].name,
+                            MISS_COMPLETED_LATE,
+                        )
                 hard_ready.remove(hard_job)
         elif runner in ("server", "background"):
             ap = arrived_ap[0]
             ap.remaining -= span
             if runner == "server":
                 budget -= span
+                if ledger is not None:
+                    ledger.record(t, "consume", span)
             if ap.remaining == 0:
                 stats.record(next_t - ap.job.arrival)
                 arrived_ap.pop(0)
@@ -196,6 +322,8 @@ def simulate_with_server(
                 ):
                     # Polling server forfeits leftover budget when the
                     # queue empties.
+                    if ledger is not None and budget > 0:
+                        ledger.record(next_t, "forfeit", budget)
                     budget = 0
                     polling_active = False
 
@@ -211,6 +339,10 @@ def simulate_with_server(
         for job in list(hard_ready):
             if job.deadline <= t and job.remaining > 0:
                 misses += 1
+                if ledger is not None:
+                    ledger.record_miss(
+                        t, tasks[job.task_index].name, MISS_ABANDONED
+                    )
                 hard_ready.remove(job)
 
     stats.unfinished = len(arrived_ap) + len(pending_ap)

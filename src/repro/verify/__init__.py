@@ -8,7 +8,7 @@ Entry points:
   invariant checker;
 * :func:`~repro.verify.harness.run_harness` — seeded random trials plus
   metamorphic mutations;
-* :func:`~repro.verify.differential.run_differential_suite` — the eight
+* :func:`~repro.verify.differential.run_differential_suite` — the nine
   independent-implementation agreement checks;
 * :func:`~repro.verify.shrink.shrink_scenario` /
   :func:`~repro.verify.shrink.write_repro` — minimize a failing scenario
@@ -23,6 +23,7 @@ from repro.verify.differential import (
     empty_plan_vs_no_plan,
     incremental_vs_scratch,
     legacy_vs_plugin,
+    replay_vs_synthetic,
     result_to_canonical,
     run_differential_suite,
     serial_vs_parallel,
@@ -73,6 +74,7 @@ __all__ = [
     "load_repro",
     "metamorphic_checks",
     "random_scenario",
+    "replay_vs_synthetic",
     "result_to_canonical",
     "run_differential_suite",
     "run_harness",

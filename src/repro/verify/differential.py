@@ -1,6 +1,6 @@
 """Differential cross-checks: independent implementations must agree.
 
-Eight pairs, each exercising a different redundancy in the codebase:
+Nine pairs, each exercising a different redundancy in the codebase:
 
 * **sim-vs-oracle** — a zero-overhead :class:`KernelSim` run on one core
   must agree with the analytical time-demand oracle
@@ -36,9 +36,14 @@ Eight pairs, each exercising a different redundancy in the codebase:
   segment trace of a zero-overhead run), and restricted-migration
   semi-partitioning performs at most as many migrations as the
   unrestricted split schedule, per task and in total.
+* **replay-vs-synthetic** — replaying a zero-variance trace verbatim
+  and synthesizing from its fitted profile at scale 1.0 must produce
+  the identical job stream and hence identical admission verdicts
+  through the same aperiodic server (the exactness contract of the
+  quantile-sketch workload profiles).
 
 Every check returns a list of human-readable discrepancy strings; empty
-means the pair agrees.  :func:`run_differential_suite` runs all eight.
+means the pair agrees.  :func:`run_differential_suite` runs all nine.
 """
 
 from __future__ import annotations
@@ -726,6 +731,78 @@ def cross_class_sanity(trials: int = 10, seed: int = 0) -> List[str]:
     return diffs
 
 
+def replay_vs_synthetic(trials: int = 20, seed: int = 0) -> List[str]:
+    """Trace replay and profile synthesis must agree on admission.
+
+    For each trial, build a **zero-variance** trace (constant
+    inter-arrival gap, constant work — randomized per trial), fit a
+    profile, and synthesize from it at scale 1.0 with no storm.  The
+    quantile sketch stores a constant exactly and inverse-transform
+    sampling returns it exactly, so the synthesized stream must equal
+    the replayed trace job-for-job — and therefore produce the
+    *identical admission verdict* (hard misses, completions, response
+    totals) when routed through the same deferrable server alongside
+    the same generated hard task set.
+    """
+    from repro.model.generator import TaskSetGenerator as _Gen
+    from repro.servers.server import DeferrableServer
+    from repro.servers.sim import simulate_with_server
+    from repro.workload.profile import fit_profile
+    from repro.workload.synth import ScenarioSynthesizer
+    from repro.workload.trace import ArrivalTrace, TraceRecord
+
+    diffs: List[str] = []
+    for trial in range(trials):
+        rng = random.Random(f"replay-synth:{seed}:{trial}")
+        gap = rng.randint(50, 1000) * US
+        work = rng.randint(10, 200) * US
+        n_jobs = rng.randint(20, 200)
+        stream = f"t{trial}"
+        trace = ArrivalTrace(
+            records=tuple(
+                TraceRecord(stream, gap * (i + 1), work)
+                for i in range(n_jobs)
+            )
+        )
+        replayed = trace.jobs(stream)
+        horizon = trace.span_ns(stream) + 1
+        profile = fit_profile(trace, window_ns=max(gap, 1 * MS))
+        synthesized = ScenarioSynthesizer(
+            profile, seed=seed + trial
+        ).synthesize_stream(stream, horizon)
+        if synthesized != replayed:
+            diffs.append(
+                f"trial {trial}: synthesized stream differs from replay "
+                f"({len(synthesized)} vs {len(replayed)} jobs; gap={gap} "
+                f"work={work})"
+            )
+            continue
+        tasks = sorted(
+            _Gen(n_tasks=3, seed=seed + trial).generate(0.5),
+            key=lambda task: (task.period, task.name),
+        )
+        server = DeferrableServer(capacity=2 * MS, period=10 * MS)
+        verdicts = {}
+        for label, jobs_ in (("replay", replayed), ("synthetic", synthesized)):
+            misses, stats = simulate_with_server(
+                tasks, jobs_, horizon, server, server_priority=0
+            )
+            verdicts[label] = (
+                misses == 0,
+                misses,
+                stats.completed,
+                stats.unfinished,
+                stats.total_response,
+                stats.max_response,
+            )
+        if verdicts["replay"] != verdicts["synthetic"]:
+            diffs.append(
+                f"trial {trial}: admission verdict differs — replay "
+                f"{verdicts['replay']} vs synthetic {verdicts['synthetic']}"
+            )
+    return diffs
+
+
 #: Name -> zero-argument runner for each differential pair.
 DIFFERENTIAL_PAIRS = (
     "sim-vs-oracle",
@@ -736,13 +813,14 @@ DIFFERENTIAL_PAIRS = (
     "batch-vs-scratch",
     "legacy-vs-plugin",
     "cross-class-sanity",
+    "replay-vs-synthetic",
 )
 
 
 def run_differential_suite(
     seed: int = 0, trials: int = 20, jobs: int = 2
 ) -> Dict[str, List[str]]:
-    """Run all eight pairs; maps pair name to its discrepancy list."""
+    """Run all nine pairs; maps pair name to its discrepancy list."""
     return {
         "sim-vs-oracle": sim_vs_oracle(trials=trials, seed=seed),
         "serial-vs-parallel": serial_vs_parallel(seed=seed, jobs=jobs),
@@ -755,5 +833,8 @@ def run_differential_suite(
         "legacy-vs-plugin": legacy_vs_plugin(trials=trials, seed=seed),
         "cross-class-sanity": cross_class_sanity(
             trials=max(1, trials // 2), seed=seed
+        ),
+        "replay-vs-synthetic": replay_vs_synthetic(
+            trials=trials, seed=seed
         ),
     }

@@ -1,0 +1,74 @@
+"""Trace-driven and bursty workload generation.
+
+The experiments historically drew every arrival from UUniFast synthetic
+periodic sets; this package adds the *realistic* side of the paper's
+evaluation story — replaying measured arrival traces and synthesizing
+storm-shaped load at controllable scale:
+
+* :mod:`repro.workload.trace` — a versioned JSONL trace-ingest format
+  (inter-arrival + execution-time samples per stream) with importers for
+  plain CSV and Azure-Functions-style per-bin invocation logs;
+* :mod:`repro.workload.profile` — per-stream empirical distributions
+  (quantile sketches) plus burstiness descriptors (index of dispersion,
+  ON/OFF storm phases), fitted from a trace and serializable round-trip;
+* :mod:`repro.workload.synth` — the seeded :class:`ScenarioSynthesizer`:
+  scales a fitted profile to arbitrary load, drives ON/OFF arrival
+  storms, and routes the resulting short aperiodic jobs through the
+  :mod:`repro.servers` machinery alongside hard periodic sets;
+* :mod:`repro.workload.stats` — dependency-free Kolmogorov–Smirnov and
+  chi-square statistics for the goodness-of-fit harness;
+* :mod:`repro.workload.calibrate` — fits the overhead-model constants
+  (the paper's δ/θ queue-op costs) from this implementation's own
+  instrumented-queue micro-benchmarks, and feeds the fault layer's
+  jitter model from fitted distributions instead of fixed bounds.
+
+Determinism contract: every random draw flows through an RNG derived
+from ``(seed, stream)`` by stable string seeding, so a synthesized
+scenario regenerates bit-identically from the same seed in any process.
+"""
+
+from repro.workload.calibrate import (
+    CalibrationResult,
+    calibrate,
+    fitted_jitter_faults,
+)
+from repro.workload.profile import (
+    BurstDescriptor,
+    EmpiricalDistribution,
+    StreamProfile,
+    WorkloadProfile,
+    fit_profile,
+)
+from repro.workload.synth import (
+    ScenarioSynthesizer,
+    StormSpec,
+    stream_rng,
+)
+from repro.workload.trace import (
+    ArrivalTrace,
+    TraceRecord,
+    import_azure_invocations,
+    import_csv,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "ArrivalTrace",
+    "BurstDescriptor",
+    "CalibrationResult",
+    "EmpiricalDistribution",
+    "ScenarioSynthesizer",
+    "StormSpec",
+    "StreamProfile",
+    "TraceRecord",
+    "WorkloadProfile",
+    "calibrate",
+    "fit_profile",
+    "fitted_jitter_faults",
+    "import_azure_invocations",
+    "import_csv",
+    "load_trace",
+    "save_trace",
+    "stream_rng",
+]

@@ -1,0 +1,252 @@
+"""Calibration: fit overhead-model constants from measured micro-benchmarks.
+
+The paper's overhead model is parameterized by measured constants — the
+queue-operation costs δ/θ at two queue lengths plus the pure costs of
+``release()`` / ``sch()`` / ``cnt_swth()``.  The repo ships the paper's
+Core-i7 numbers (:data:`repro.overhead.model.PAPER_QUEUE_POINTS`), but a
+production deployment wants constants measured on *its own* hardware.
+
+:func:`calibrate` runs the instrumented-queue micro-benchmarks of
+:mod:`repro.overhead.measure` (the same Section-3 methodology: maximal
+observed single-operation cost at steady queue occupancy) at two queue
+lengths, measures the scheduler-function pure costs, and packages the
+result as a serializable :class:`CalibrationResult` whose
+:meth:`~CalibrationResult.overhead_model` drops into every analysis and
+simulation via the CLI's ``--overheads calib:<path>`` spec.
+
+:func:`fitted_jitter_faults` closes the second loop: instead of the
+fault layer's fixed uniform jitter bound, a fitted
+:class:`~repro.workload.profile.EmpiricalDistribution` (e.g. of measured
+release latencies) becomes the jitter model — the injector draws by
+inverse transform from its quantile knots.
+
+Timing caveat: the measured *numbers* are wall-clock and hence
+machine-dependent; everything downstream of a saved calibration file is
+deterministic (the file pins the constants).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.faults.plan import FaultPlan, TaskFaults
+from repro.overhead.model import OverheadModel
+from repro.workload.profile import EmpiricalDistribution
+
+#: Calibration document version.
+CALIBRATION_VERSION = 1
+
+#: Queue lengths measured by default (the paper's published pair).
+DEFAULT_QUEUE_LENGTHS = (4, 64)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted overhead constants, ready to serialize or instantiate.
+
+    ``points`` holds exactly two ``(n, delta_ns, theta_ns)`` calibration
+    points — the same shape as the paper's published pair — so
+    :meth:`overhead_model` can reuse the model's log2 interpolation.
+    """
+
+    points: Tuple[Tuple[int, int, int], ...]
+    release_ns: int
+    sch_ns: int
+    cnt_swth_ns: int
+    rounds: int
+    seed: int
+    version: int = CALIBRATION_VERSION
+
+    def __post_init__(self) -> None:
+        if len(self.points) != 2:
+            raise ValueError(
+                f"need exactly two calibration points, got {len(self.points)}"
+            )
+        (n0, d0, t0), (n1, d1, t1) = self.points
+        if n0 >= n1:
+            raise ValueError("calibration points must have increasing n")
+        for value in (d0, t0, d1, t1):
+            if value < 1:
+                raise ValueError("queue-op costs must be >= 1 ns")
+        if min(self.release_ns, self.sch_ns, self.cnt_swth_ns) < 0:
+            raise ValueError("scheduler-function costs must be non-negative")
+        object.__setattr__(
+            self, "points", tuple(tuple(p) for p in self.points)
+        )
+
+    def overhead_model(
+        self, tasks_per_core: int = 4, cache=None
+    ) -> OverheadModel:
+        """An :class:`OverheadModel` with queue costs interpolated at
+        ``tasks_per_core`` from the *fitted* points."""
+        from repro.cache.model import CachePenaltyModel
+        from repro.overhead.model import _log_interpolate
+
+        delta, theta = _log_interpolate(tasks_per_core, self.points)
+        return OverheadModel(
+            release_ns=self.release_ns,
+            sch_ns=self.sch_ns,
+            cnt_swth_ns=self.cnt_swth_ns,
+            ready_op_ns=max(1, delta),
+            sleep_op_ns=max(1, theta),
+            cache=cache if cache is not None else CachePenaltyModel.none(),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "points": [list(p) for p in self.points],
+            "release_ns": self.release_ns,
+            "sch_ns": self.sch_ns,
+            "cnt_swth_ns": self.cnt_swth_ns,
+            "rounds": self.rounds,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CalibrationResult":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"calibration must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        if data.get("version") != CALIBRATION_VERSION:
+            raise ValueError(
+                f"unsupported calibration version {data.get('version')!r} "
+                f"(this build reads version {CALIBRATION_VERSION})"
+            )
+        return CalibrationResult(
+            points=tuple(
+                (int(n), int(d), int(t)) for n, d, t in data["points"]
+            ),
+            release_ns=int(data["release_ns"]),
+            sch_ns=int(data["sch_ns"]),
+            cnt_swth_ns=int(data["cnt_swth_ns"]),
+            rounds=int(data["rounds"]),
+            seed=int(data["seed"]),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "CalibrationResult":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ValueError(f"calibration {path}: invalid JSON ({exc})")
+        return CalibrationResult.from_dict(data)
+
+    def describe(self) -> str:
+        (n0, d0, t0), (n1, d1, t1) = self.points
+        return (
+            f"calibration: delta(N={n0})={d0}ns delta(N={n1})={d1}ns "
+            f"theta(N={n0})={t0}ns theta(N={n1})={t1}ns "
+            f"release={self.release_ns}ns sch={self.sch_ns}ns "
+            f"cnt_swth={self.cnt_swth_ns}ns"
+        )
+
+
+def calibrate(
+    queue_lengths: Sequence[int] = DEFAULT_QUEUE_LENGTHS,
+    rounds: int = 400,
+    scheduler_rounds: int = 10,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Measure this machine's δ/θ and scheduler-function constants.
+
+    Uses the maximal observed single-operation cost (the paper's
+    statistic) for the queue points and the mean for the scheduler
+    functions (their cost is load-independent in the model).
+    """
+    from repro.overhead.measure import (
+        measure_queue_operations,
+        measure_scheduler_functions,
+    )
+
+    if len(queue_lengths) != 2 or queue_lengths[0] >= queue_lengths[1]:
+        raise ValueError(
+            "queue_lengths must be two increasing values, got "
+            f"{tuple(queue_lengths)!r}"
+        )
+    points = []
+    for n in queue_lengths:
+        measurement = measure_queue_operations(n, rounds=rounds, seed=seed)
+        points.append(
+            (
+                n,
+                max(1, measurement.ready_max_ns),
+                max(1, measurement.sleep_max_ns),
+            )
+        )
+    functions = measure_scheduler_functions(
+        rounds=scheduler_rounds, seed=seed + 1
+    )
+    return CalibrationResult(
+        points=tuple(points),
+        release_ns=max(0, int(round(functions["release"]))),
+        sch_ns=max(0, int(round(functions["sch"]))),
+        cnt_swth_ns=max(0, int(round(functions["cnt_swth"]))),
+        rounds=rounds,
+        seed=seed,
+    )
+
+
+def fitted_jitter_faults(
+    jitter: EmpiricalDistribution,
+    tasks: Optional[Sequence[str]] = None,
+    base: Optional[FaultPlan] = None,
+) -> FaultPlan:
+    """A fault plan whose release jitter follows a *fitted* distribution.
+
+    ``jitter`` is an :class:`EmpiricalDistribution` of observed release
+    latencies (fit one with ``EmpiricalDistribution.fit(samples)``).
+    The returned plan keeps ``release_jitter_ns`` at the distribution's
+    maximum — the bound analysis-side consumers see — while the injector
+    draws each delay by inverse transform from the quantile knots.
+
+    ``tasks`` limits the jitter to the named tasks (default: every
+    task); ``base`` supplies the remaining fault parameters.
+    """
+    plan = base if base is not None else FaultPlan()
+    spec_base = plan.default if tasks is None else TaskFaults()
+    spec = TaskFaults(
+        overrun_factor=spec_base.overrun_factor,
+        overrun_probability=spec_base.overrun_probability,
+        release_jitter_ns=max(0, int(round(jitter.max_value))),
+        release_jitter_quantiles=jitter.quantiles,
+    )
+    if tasks is None:
+        return FaultPlan(
+            tasks=dict(plan.tasks),
+            default=spec,
+            overhead_spike_factor=plan.overhead_spike_factor,
+            overhead_spike_probability=plan.overhead_spike_probability,
+            migration_drop_probability=plan.migration_drop_probability,
+            migration_delay_probability=plan.migration_delay_probability,
+            migration_delay_ns=plan.migration_delay_ns,
+            seed=plan.seed,
+        )
+    merged = dict(plan.tasks)
+    for name in tasks:
+        merged[name] = spec
+    return FaultPlan(
+        tasks=merged,
+        default=plan.default,
+        overhead_spike_factor=plan.overhead_spike_factor,
+        overhead_spike_probability=plan.overhead_spike_probability,
+        migration_drop_probability=plan.migration_drop_probability,
+        migration_delay_probability=plan.migration_delay_probability,
+        migration_delay_ns=plan.migration_delay_ns,
+        seed=plan.seed,
+    )

@@ -1,0 +1,395 @@
+"""Fitted workload profiles: empirical distributions + burstiness.
+
+A :class:`WorkloadProfile` is what the synthesizer consumes: for every
+stream of an ingested :class:`~repro.workload.trace.ArrivalTrace`, a
+compact, serializable statistical fingerprint —
+
+* **empirical distributions** of inter-arrival times and execution
+  demands, stored as fixed-knot quantile sketches
+  (:class:`EmpiricalDistribution`).  Sampling is inverse-transform with
+  linear interpolation between knots, so a constant (zero-variance)
+  stream round-trips *exactly*: every knot equals the constant and every
+  sample returns it — the property the replay-vs-synthetic differential
+  pair pins;
+* **burstiness descriptors** (:class:`BurstDescriptor`): the index of
+  dispersion of windowed arrival counts (1 ≈ Poisson, > 1 bursty,
+  < 1 regular) and a fitted ON/OFF storm phase — mean storm length,
+  mean gap between storms, and the rate multiplier inside a storm.
+
+Profiles serialize to plain JSON (:meth:`WorkloadProfile.to_dict` /
+``from_dict`` / ``save`` / ``load``) and the round trip reconstructs an
+**equal** profile — the ingest→fit→export→re-ingest property the test
+harness asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.model.time import SEC
+
+#: Profile document version (independent of the trace format version).
+PROFILE_VERSION = 1
+
+#: Default number of quantile knots per fitted distribution.
+DEFAULT_KNOTS = 65
+
+#: Default burstiness analysis window.
+DEFAULT_WINDOW_NS = 1 * SEC
+
+#: A window is part of a storm when its arrival count exceeds this
+#: multiple of the mean per-window count.
+STORM_THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """A quantile sketch of one positive-valued sample population.
+
+    ``quantiles`` holds the values at evenly spaced cumulative
+    probabilities 0, 1/(K-1), ..., 1 (non-decreasing).  ``n_samples``
+    and ``mean`` describe the fitted population exactly.
+    """
+
+    quantiles: Tuple[float, ...]
+    n_samples: int
+    mean: float
+
+    def __post_init__(self) -> None:
+        if len(self.quantiles) < 1:
+            raise ValueError("need at least one quantile knot")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        if any(
+            b < a for a, b in zip(self.quantiles, self.quantiles[1:])
+        ):
+            raise ValueError("quantiles must be non-decreasing")
+        if self.quantiles[0] < 0:
+            raise ValueError("quantiles must be non-negative")
+
+    @staticmethod
+    def fit(
+        samples: Sequence[Union[int, float]], knots: int = DEFAULT_KNOTS
+    ) -> "EmpiricalDistribution":
+        """Fit a sketch to raw samples (order statistics, interpolated)."""
+        if not samples:
+            raise ValueError("cannot fit a distribution to zero samples")
+        if knots < 1:
+            raise ValueError("knots must be positive")
+        ordered = sorted(float(s) for s in samples)
+        n = len(ordered)
+        if n == 1 or knots == 1:
+            values = tuple([ordered[0]] * max(1, knots))
+        else:
+            values = []
+            for j in range(knots):
+                position = j * (n - 1) / (knots - 1)
+                low = int(position)
+                frac = position - low
+                if low + 1 < n and frac > 0:
+                    value = ordered[low] + (ordered[low + 1] - ordered[low]) * frac
+                else:
+                    value = ordered[low]
+                values.append(float(value))
+            values = tuple(values)
+        return EmpiricalDistribution(
+            quantiles=values,
+            n_samples=n,
+            mean=float(sum(ordered) / n),
+        )
+
+    @property
+    def min_value(self) -> float:
+        return self.quantiles[0]
+
+    @property
+    def max_value(self) -> float:
+        return self.quantiles[-1]
+
+    @property
+    def is_constant(self) -> bool:
+        return self.quantiles[0] == self.quantiles[-1]
+
+    def sample(self, rng) -> int:
+        """One inverse-transform draw, rounded to integer nanoseconds."""
+        if len(self.quantiles) == 1 or self.is_constant:
+            # No RNG consumption for degenerate sketches would make the
+            # draw sequence depend on the fitted data; always consume
+            # exactly one uniform per sample.
+            rng.random()
+            return int(round(self.quantiles[0]))
+        position = rng.random() * (len(self.quantiles) - 1)
+        low = int(position)
+        frac = position - low
+        if low + 1 < len(self.quantiles) and frac > 0:
+            value = self.quantiles[low] + (
+                self.quantiles[low + 1] - self.quantiles[low]
+            ) * frac
+        else:
+            value = self.quantiles[low]
+        return int(round(value))
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x) under the piecewise-linear sketch."""
+        q = self.quantiles
+        if x < q[0]:
+            return 0.0
+        if x >= q[-1]:
+            return 1.0
+        k = len(q) - 1
+        # Rightmost knot with value <= x; flat runs collapse to a jump.
+        low = 0
+        high = k
+        while low < high:
+            mid = (low + high + 1) // 2
+            if q[mid] <= x:
+                low = mid
+            else:
+                high = mid - 1
+        i = low
+        if i >= k or q[i + 1] == q[i]:
+            return i / k
+        return (i + (x - q[i]) / (q[i + 1] - q[i])) / k
+
+
+@dataclass(frozen=True)
+class BurstDescriptor:
+    """Windowed burstiness statistics of one arrival stream."""
+
+    window_ns: int
+    index_of_dispersion: float
+    on_ratio: float  # fraction of windows inside a storm phase
+    intensity: float  # storm arrival rate / overall mean rate (>= 1)
+    mean_on_ns: float  # mean storm run length
+    mean_off_ns: float  # mean gap between storms
+
+    @property
+    def is_bursty(self) -> bool:
+        return self.index_of_dispersion > 1.0
+
+    @staticmethod
+    def fit(
+        arrivals: Sequence[int], window_ns: int = DEFAULT_WINDOW_NS
+    ) -> "BurstDescriptor":
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        if not arrivals:
+            raise ValueError("cannot fit burstiness to zero arrivals")
+        span = max(arrivals) + 1
+        n_windows = max(1, -(-span // window_ns))
+        counts = [0] * n_windows
+        for arrival in arrivals:
+            counts[arrival // window_ns] += 1
+        mean = sum(counts) / n_windows
+        if mean <= 0:
+            return BurstDescriptor(window_ns, 0.0, 0.0, 1.0, 0.0, 0.0)
+        variance = sum((c - mean) ** 2 for c in counts) / n_windows
+        dispersion = variance / mean
+        on = [c > STORM_THRESHOLD * mean for c in counts]
+        on_windows = sum(on)
+        if on_windows == 0 or on_windows == n_windows:
+            return BurstDescriptor(
+                window_ns=window_ns,
+                index_of_dispersion=float(dispersion),
+                on_ratio=float(on_windows / n_windows),
+                intensity=1.0,
+                mean_on_ns=0.0,
+                mean_off_ns=0.0,
+            )
+        runs_on: List[int] = []
+        runs_off: List[int] = []
+        current = on[0]
+        length = 0
+        for flag in on:
+            if flag == current:
+                length += 1
+            else:
+                (runs_on if current else runs_off).append(length)
+                current = flag
+                length = 1
+        (runs_on if current else runs_off).append(length)
+        on_rate = sum(
+            c for c, flag in zip(counts, on) if flag
+        ) / on_windows
+        return BurstDescriptor(
+            window_ns=window_ns,
+            index_of_dispersion=float(dispersion),
+            on_ratio=float(on_windows / n_windows),
+            intensity=float(max(1.0, on_rate / mean)),
+            mean_on_ns=float(
+                window_ns * sum(runs_on) / len(runs_on) if runs_on else 0.0
+            ),
+            mean_off_ns=float(
+                window_ns * sum(runs_off) / len(runs_off)
+                if runs_off
+                else 0.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """The fitted fingerprint of one arrival stream."""
+
+    name: str
+    interarrival: EmpiricalDistribution
+    work: EmpiricalDistribution
+    burst: BurstDescriptor
+    n_jobs: int
+    span_ns: int
+
+    @property
+    def rate_per_sec(self) -> float:
+        """Mean arrival rate implied by the fitted inter-arrivals."""
+        if self.interarrival.mean <= 0:
+            return 0.0
+        return SEC / self.interarrival.mean
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A versioned bundle of fitted stream profiles."""
+
+    streams: Tuple[StreamProfile, ...] = ()
+    source: str = ""
+    version: int = PROFILE_VERSION
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.streams)
+
+    def stream(self, name: str) -> StreamProfile:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise KeyError(
+            f"profile has no stream {name!r}; "
+            f"streams: {', '.join(self.names) or '(none)'}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (exact JSON round trip)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "source": self.source,
+            "streams": [
+                {
+                    "name": s.name,
+                    "n_jobs": s.n_jobs,
+                    "span_ns": s.span_ns,
+                    "interarrival": _dist_to_dict(s.interarrival),
+                    "work": _dist_to_dict(s.work),
+                    "burst": {
+                        "window_ns": s.burst.window_ns,
+                        "index_of_dispersion": s.burst.index_of_dispersion,
+                        "on_ratio": s.burst.on_ratio,
+                        "intensity": s.burst.intensity,
+                        "mean_on_ns": s.burst.mean_on_ns,
+                        "mean_off_ns": s.burst.mean_off_ns,
+                    },
+                }
+                for s in self.streams
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "WorkloadProfile":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"profile must be a JSON object, got {type(data).__name__}"
+            )
+        if data.get("version") != PROFILE_VERSION:
+            raise ValueError(
+                f"unsupported profile version {data.get('version')!r} "
+                f"(this build reads version {PROFILE_VERSION})"
+            )
+        streams = []
+        for entry in data.get("streams", ()):
+            burst = entry["burst"]
+            streams.append(
+                StreamProfile(
+                    name=entry["name"],
+                    n_jobs=int(entry["n_jobs"]),
+                    span_ns=int(entry["span_ns"]),
+                    interarrival=_dist_from_dict(entry["interarrival"]),
+                    work=_dist_from_dict(entry["work"]),
+                    burst=BurstDescriptor(
+                        window_ns=int(burst["window_ns"]),
+                        index_of_dispersion=float(
+                            burst["index_of_dispersion"]
+                        ),
+                        on_ratio=float(burst["on_ratio"]),
+                        intensity=float(burst["intensity"]),
+                        mean_on_ns=float(burst["mean_on_ns"]),
+                        mean_off_ns=float(burst["mean_off_ns"]),
+                    ),
+                )
+            )
+        return WorkloadProfile(
+            streams=tuple(streams),
+            source=data.get("source", ""),
+            version=PROFILE_VERSION,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "WorkloadProfile":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ValueError(f"profile {path}: invalid JSON ({exc})")
+        return WorkloadProfile.from_dict(data)
+
+
+def _dist_to_dict(dist: EmpiricalDistribution) -> dict:
+    return {
+        "quantiles": list(dist.quantiles),
+        "n_samples": dist.n_samples,
+        "mean": dist.mean,
+    }
+
+
+def _dist_from_dict(data: dict) -> EmpiricalDistribution:
+    return EmpiricalDistribution(
+        quantiles=tuple(float(q) for q in data["quantiles"]),
+        n_samples=int(data["n_samples"]),
+        mean=float(data["mean"]),
+    )
+
+
+def fit_profile(
+    trace,
+    window_ns: int = DEFAULT_WINDOW_NS,
+    knots: int = DEFAULT_KNOTS,
+    source: str = "",
+) -> WorkloadProfile:
+    """Fit a :class:`WorkloadProfile` to every stream of a trace."""
+    streams = []
+    for name in trace.streams:
+        arrivals = [r.arrival_ns for r in trace.stream_records(name)]
+        streams.append(
+            StreamProfile(
+                name=name,
+                interarrival=EmpiricalDistribution.fit(
+                    trace.interarrivals(name), knots=knots
+                ),
+                work=EmpiricalDistribution.fit(
+                    trace.works(name), knots=knots
+                ),
+                burst=BurstDescriptor.fit(arrivals, window_ns=window_ns),
+                n_jobs=len(arrivals),
+                span_ns=trace.span_ns(name),
+            )
+        )
+    return WorkloadProfile(streams=tuple(streams), source=source)

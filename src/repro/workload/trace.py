@@ -1,0 +1,362 @@
+"""The versioned arrival-trace ingest format, plus importers.
+
+A trace is the raw material of the workload layer: per-stream samples of
+*when* short jobs arrived and *how much* execution they needed.  The
+native on-disk form is JSONL — one header object followed by one record
+object per line::
+
+    {"format": "repro-trace", "version": 1}
+    {"stream": "frontend", "arrival_ns": 120000, "work_ns": 80000}
+    {"stream": "frontend", "arrival_ns": 410000, "work_ns": 91000}
+
+Records carry **absolute** arrival instants in nanoseconds (per stream,
+non-decreasing after normalization) and positive execution demands.  The
+header is mandatory; an unknown ``version`` fails loudly instead of
+half-parsing, so the format can evolve without silent misreads.
+
+Importers translate foreign shapes into this one:
+
+* :func:`import_csv` — a flat CSV with ``arrival``/``work`` columns in
+  any of the ``_ns``/``_us``/``_ms`` unit suffixes and an optional
+  ``stream`` column;
+* :func:`import_azure_invocations` — an Azure-Functions-style invocation
+  log: one row per function, one numeric column per time bin holding the
+  invocation *count* in that bin.  Counts are spread evenly inside their
+  bin (deterministically — no RNG), and per-function execution times come
+  from an optional durations table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.model.time import MS, SEC, US
+from repro.servers.server import AperiodicJob
+
+#: On-disk format marker and version; bump the version (and teach
+#: :func:`load_trace` the migration) whenever the record schema changes.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: Column-suffix -> nanoseconds-per-unit, for the CSV importer.
+_UNIT_SCALE = {"ns": 1, "us": US, "ms": MS, "s": SEC}
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed job: ``work_ns`` of demand arriving at ``arrival_ns``."""
+
+    stream: str
+    arrival_ns: int
+    work_ns: int
+
+    def __post_init__(self) -> None:
+        if not self.stream:
+            raise ValueError("trace record needs a non-empty stream name")
+        if self.arrival_ns < 0:
+            raise ValueError(
+                f"arrival_ns must be non-negative, got {self.arrival_ns!r}"
+            )
+        if self.work_ns <= 0:
+            raise ValueError(
+                f"work_ns must be positive, got {self.work_ns!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """An immutable, per-stream-sorted collection of trace records."""
+
+    records: Tuple[TraceRecord, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.records, key=lambda r: (r.stream, r.arrival_ns))
+        )
+        object.__setattr__(self, "records", ordered)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def streams(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.stream for r in self.records}))
+
+    def stream_records(self, stream: str) -> Tuple[TraceRecord, ...]:
+        found = tuple(r for r in self.records if r.stream == stream)
+        if not found:
+            raise KeyError(
+                f"trace has no stream {stream!r}; "
+                f"streams: {', '.join(self.streams) or '(none)'}"
+            )
+        return found
+
+    def jobs(self, stream: str) -> List[AperiodicJob]:
+        """The stream replayed verbatim as aperiodic jobs."""
+        return [
+            AperiodicJob(arrival=r.arrival_ns, work=r.work_ns)
+            for r in self.stream_records(stream)
+        ]
+
+    def interarrivals(self, stream: str) -> List[int]:
+        """Inter-arrival samples (ns); the first is the delta from t=0.
+
+        Including the initial offset keeps the sample count equal to the
+        job count and makes a constant-rate trace fit to a profile whose
+        synthesis reproduces the trace *exactly* (the replay-vs-synthetic
+        differential pair relies on this).
+        """
+        arrivals = [r.arrival_ns for r in self.stream_records(stream)]
+        previous = 0
+        gaps = []
+        for arrival in arrivals:
+            gaps.append(arrival - previous)
+            previous = arrival
+        return gaps
+
+    def works(self, stream: str) -> List[int]:
+        return [r.work_ns for r in self.stream_records(stream)]
+
+    def span_ns(self, stream: str) -> int:
+        """Observation span: the last arrival (streams start at t=0)."""
+        records = self.stream_records(stream)
+        return records[-1].arrival_ns
+
+
+def save_trace(trace: ArrivalTrace, path: Union[str, Path]) -> None:
+    """Write the trace in the native JSONL format."""
+    lines = [
+        json.dumps(
+            {"format": TRACE_FORMAT, "version": TRACE_VERSION},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for record in trace.records:
+        lines.append(
+            json.dumps(
+                {
+                    "stream": record.stream,
+                    "arrival_ns": record.arrival_ns,
+                    "work_ns": record.work_ns,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> ArrivalTrace:
+    """Read a native JSONL trace; one-line errors on malformed input."""
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"trace {path}: empty file")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise ValueError(f"trace {path}: invalid header JSON ({exc})")
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(
+            f"trace {path}: missing {TRACE_FORMAT!r} header line"
+        )
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"trace {path}: unsupported version {header.get('version')!r} "
+            f"(this build reads version {TRACE_VERSION})"
+        )
+    records = []
+    for index, line in enumerate(lines[1:], start=2):
+        try:
+            data = json.loads(line)
+            records.append(
+                TraceRecord(
+                    stream=data["stream"],
+                    arrival_ns=int(data["arrival_ns"]),
+                    work_ns=int(data["work_ns"]),
+                )
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"trace {path} line {index}: {exc}")
+    return ArrivalTrace(records=tuple(records))
+
+
+def _pick_column(
+    fieldnames: Sequence[str], base: str
+) -> Tuple[Optional[str], int]:
+    """Find ``base_<unit>`` (or bare ``base``, read as ns) in a header."""
+    for unit, scale in _UNIT_SCALE.items():
+        name = f"{base}_{unit}"
+        if name in fieldnames:
+            return name, scale
+    if base in fieldnames:
+        return base, 1
+    return None, 1
+
+
+def import_csv(
+    path: Union[str, Path], default_stream: str = "default"
+) -> ArrivalTrace:
+    """Import a flat CSV of arrivals.
+
+    Required columns: ``arrival`` and ``work``, each either bare
+    (nanoseconds) or suffixed ``_ns``/``_us``/``_ms``/``_s``.  An
+    optional ``stream`` column separates streams; rows without one land
+    in ``default_stream``.  Arrivals are normalized so each stream
+    starts at its own first arrival's offset from the trace minimum
+    (absolute epoch timestamps import cleanly).
+    """
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"csv {path}: missing header row")
+        arrival_col, arrival_scale = _pick_column(reader.fieldnames, "arrival")
+        work_col, work_scale = _pick_column(reader.fieldnames, "work")
+        if arrival_col is None or work_col is None:
+            raise ValueError(
+                f"csv {path}: need 'arrival' and 'work' columns "
+                f"(optionally suffixed _ns/_us/_ms/_s); "
+                f"got {reader.fieldnames}"
+            )
+        rows = []
+        for index, row in enumerate(reader, start=2):
+            try:
+                stream = (row.get("stream") or default_stream).strip()
+                arrival = int(round(float(row[arrival_col]) * arrival_scale))
+                work = int(round(float(row[work_col]) * work_scale))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"csv {path} row {index}: {exc}")
+            rows.append((stream, arrival, work))
+    if not rows:
+        raise ValueError(f"csv {path}: no data rows")
+    origin = min(arrival for _stream, arrival, _work in rows)
+    return ArrivalTrace(
+        records=tuple(
+            TraceRecord(
+                stream=stream, arrival_ns=arrival - origin, work_ns=work
+            )
+            for stream, arrival, work in rows
+        )
+    )
+
+
+def load_azure_durations(
+    path: Union[str, Path], unit_ns: int = MS
+) -> Dict[str, int]:
+    """Read a per-function durations table: ``{function: work_ns}``.
+
+    Accepts the Azure-style shape — an id column first, plus an
+    ``Average`` column — or any two-column ``id,duration`` CSV.  Values
+    are multiplied by ``unit_ns`` (default: the file holds milliseconds).
+    """
+    durations: Dict[str, int] = {}
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if not reader.fieldnames or len(reader.fieldnames) < 2:
+            raise ValueError(f"durations {path}: need id + duration columns")
+        id_col = reader.fieldnames[0]
+        value_col = (
+            "Average" if "Average" in reader.fieldnames
+            else reader.fieldnames[1]
+        )
+        for index, row in enumerate(reader, start=2):
+            try:
+                durations[row[id_col].strip()] = max(
+                    1, int(round(float(row[value_col]) * unit_ns))
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"durations {path} row {index}: {exc}")
+    return durations
+
+
+def import_azure_invocations(
+    path: Union[str, Path],
+    bin_ns: int = 60 * SEC,
+    work_ns: int = 50 * MS,
+    durations: Optional[Mapping[str, int]] = None,
+    max_streams: int = 0,
+) -> ArrivalTrace:
+    """Import an Azure-Functions-style invocation log.
+
+    Expected shape: the *last non-numeric* header column names the
+    function (the public trace carries ``HashOwner,HashApp,HashFunction``
+    prefixes — the right-most is used), and every purely numeric header
+    column is a time bin whose cell holds the invocation count in that
+    bin.  Bin ``k`` covers ``[(k-1) * bin_ns, k * bin_ns)`` — the
+    public trace labels minutes starting at "1".
+
+    A count of ``c`` in one bin becomes ``c`` arrivals spread evenly at
+    the midpoints of ``c`` equal slices of the bin — deterministic, no
+    RNG — which preserves both the per-bin counts (so burstiness
+    descriptors fit faithfully) and the total volume.  ``durations``
+    maps function id to execution time in ns (see
+    :func:`load_azure_durations`); unknown ids fall back to ``work_ns``.
+    ``max_streams`` > 0 keeps only the busiest functions.
+    """
+    if bin_ns <= 0 or work_ns <= 0:
+        raise ValueError("bin_ns and work_ns must be positive")
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"azure log {path}: missing header row")
+        bin_cols = [
+            name for name in reader.fieldnames if name.strip().isdigit()
+        ]
+        id_cols = [
+            name for name in reader.fieldnames if not name.strip().isdigit()
+        ]
+        if not bin_cols or not id_cols:
+            raise ValueError(
+                f"azure log {path}: need an id column plus numeric bin "
+                f"columns; got {reader.fieldnames}"
+            )
+        bin_cols.sort(key=lambda name: int(name))
+        id_col = id_cols[-1]
+        per_stream: Dict[str, List[TraceRecord]] = {}
+        for index, row in enumerate(reader, start=2):
+            stream = row[id_col].strip()
+            if not stream:
+                raise ValueError(f"azure log {path} row {index}: empty id")
+            work = (
+                durations.get(stream, work_ns)
+                if durations is not None
+                else work_ns
+            )
+            records = per_stream.setdefault(stream, [])
+            for col in bin_cols:
+                cell = (row.get(col) or "0").strip()
+                try:
+                    count = int(float(cell or "0"))
+                except ValueError as exc:
+                    raise ValueError(
+                        f"azure log {path} row {index} bin {col}: {exc}"
+                    )
+                if count <= 0:
+                    continue
+                start = (int(col) - 1) * bin_ns
+                for slot in range(count):
+                    arrival = start + (2 * slot + 1) * bin_ns // (2 * count)
+                    records.append(
+                        TraceRecord(
+                            stream=stream, arrival_ns=arrival, work_ns=work
+                        )
+                    )
+    if not per_stream:
+        raise ValueError(f"azure log {path}: no function rows")
+    if max_streams > 0:
+        busiest = sorted(
+            per_stream, key=lambda s: (-len(per_stream[s]), s)
+        )[:max_streams]
+        per_stream = {s: per_stream[s] for s in busiest}
+    return ArrivalTrace(
+        records=tuple(
+            record
+            for stream in sorted(per_stream)
+            for record in per_stream[stream]
+        )
+    )

@@ -1,0 +1,779 @@
+"""Statistical test harness for the trace-driven workload subsystem.
+
+The headline suites:
+
+* **goodness of fit** — seeded KS and chi-square tests asserting that
+  synthesized inter-arrival and execution-time streams match the fitted
+  profile within pinned tolerances (alpha = 0.01 critical values; the
+  seeds are fixed, so a failure means distribution drift, not bad luck),
+  plus a negative control proving the tests can reject;
+* **bit-identical regeneration** — the same seed regenerates the same
+  scenario, across synthesizer instances and through the engine;
+* **round-trip properties** — ingest -> fit -> export -> re-ingest
+  reconstructs an equal profile over randomized traces.
+
+Trial counts follow the repo's fuzz convention:
+``REPRO_WORKLOAD_TRIALS=30`` (CI) widens the randomized suites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    ExperimentEngine,
+    WorkloadUnit,
+    execute_unit,
+    unit_fingerprint,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, TaskFaults
+from repro.model.time import MS, US
+from repro.verify import replay_vs_synthetic
+from repro.workload import (
+    ArrivalTrace,
+    CalibrationResult,
+    EmpiricalDistribution,
+    ScenarioSynthesizer,
+    StormSpec,
+    TraceRecord,
+    WorkloadProfile,
+    fit_profile,
+    fitted_jitter_faults,
+    import_azure_invocations,
+    import_csv,
+    load_trace,
+    save_trace,
+    stream_rng,
+)
+from repro.workload.profile import BurstDescriptor
+from repro.workload.stats import (
+    chi_square_critical,
+    chi_square_homogeneity,
+    ks_critical,
+    ks_statistic,
+    ks_two_sample,
+)
+
+TRIALS = max(5, int(os.environ.get("REPRO_WORKLOAD_TRIALS", "10")))
+
+
+def _poisson_trace(
+    seed: int, n: int = 400, mean_gap: int = 500 * US, stream: str = "p"
+) -> ArrivalTrace:
+    rng = random.Random(f"test-workload:{seed}")
+    t = 0
+    records = []
+    for _ in range(n):
+        t += max(1, int(rng.expovariate(1.0 / mean_gap)))
+        records.append(
+            TraceRecord(
+                stream=stream,
+                arrival_ns=t,
+                work_ns=max(1, int(rng.expovariate(1.0 / (50 * US)))),
+            )
+        )
+    return ArrivalTrace(records=tuple(records))
+
+
+def _bursty_trace(seed: int, stream: str = "b") -> ArrivalTrace:
+    """ON/OFF phases: 5x rate inside 20ms storms every 100ms."""
+    rng = random.Random(f"test-workload-burst:{seed}")
+    records = []
+    t = 0
+    while t < 500 * MS:
+        in_storm = (t % (100 * MS)) < 20 * MS
+        gap = 100 * US if in_storm else 500 * US
+        t += max(1, int(rng.expovariate(1.0 / gap)))
+        records.append(
+            TraceRecord(stream=stream, arrival_ns=t, work_ns=30 * US)
+        )
+    return ArrivalTrace(records=tuple(records))
+
+
+class TestTraceFormat:
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(stream="", arrival_ns=0, work_ns=1)
+        with pytest.raises(ValueError):
+            TraceRecord(stream="s", arrival_ns=-1, work_ns=1)
+        with pytest.raises(ValueError):
+            TraceRecord(stream="s", arrival_ns=0, work_ns=0)
+
+    def test_records_sorted_on_construction(self):
+        trace = ArrivalTrace(
+            records=(
+                TraceRecord("s", 300, 1),
+                TraceRecord("s", 100, 1),
+                TraceRecord("a", 200, 1),
+            )
+        )
+        assert [r.stream for r in trace.records] == ["a", "s", "s"]
+        assert [r.arrival_ns for r in trace.stream_records("s")] == [100, 300]
+
+    def test_interarrivals_include_initial_offset(self):
+        trace = ArrivalTrace(
+            records=(TraceRecord("s", 40, 1), TraceRecord("s", 100, 1))
+        )
+        assert trace.interarrivals("s") == [40, 60]
+        assert trace.span_ns("s") == 100
+
+    def test_unknown_stream_names_available(self):
+        trace = ArrivalTrace(records=(TraceRecord("s", 1, 1),))
+        with pytest.raises(KeyError, match="streams: s"):
+            trace.stream_records("nope")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = _poisson_trace(0, n=50)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"stream": "s", "arrival_ns": 1, "work_ns": 1}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_trace(path)
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_load_reports_bad_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1}\n'
+            '{"stream": "s", "arrival_ns": 1, "work_ns": 1}\n'
+            '{"stream": "s"}\n'
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            load_trace(path)
+
+    def test_import_csv_units_and_normalization(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "stream,arrival_us,work_us\n"
+            "a,1000,50\n"
+            "a,1500,70\n"
+            "b,1200,20\n"
+        )
+        trace = import_csv(path)
+        assert trace.streams == ("a", "b")
+        # Normalized to the trace-wide minimum arrival (1000us).
+        assert [r.arrival_ns for r in trace.stream_records("a")] == [
+            0,
+            500 * US,
+        ]
+        assert trace.works("a") == [50 * US, 70 * US]
+
+    def test_import_csv_missing_columns(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(ValueError, match="arrival"):
+            import_csv(path)
+
+    def test_import_azure_spreads_counts_deterministically(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        path.write_text("HashFunction,1,2\nf1,2,0\nf2,1,3\n")
+        trace = import_azure_invocations(path, bin_ns=1000, work_ns=10)
+        assert trace.streams == ("f1", "f2")
+        # Bin 1 covers [0, 1000): two arrivals at slice midpoints.
+        assert [r.arrival_ns for r in trace.stream_records("f1")] == [
+            250,
+            750,
+        ]
+        # f2: one in bin 1 (midpoint 500), three in bin 2.
+        assert [r.arrival_ns for r in trace.stream_records("f2")] == [
+            500,
+            1000 + 166,
+            1000 + 500,
+            1000 + 833,
+        ]
+        # Re-import is bit-identical (no RNG anywhere).
+        assert import_azure_invocations(path, bin_ns=1000, work_ns=10) == trace
+
+    def test_import_azure_max_streams_keeps_busiest(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        path.write_text("HashFunction,1\nquiet,1\nbusy,9\n")
+        trace = import_azure_invocations(path, bin_ns=1000, max_streams=1)
+        assert trace.streams == ("busy",)
+
+
+class TestEmpiricalDistribution:
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.fit([])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.fit([1], knots=0)
+
+    def test_constant_samples_exactly(self):
+        dist = EmpiricalDistribution.fit([777] * 50)
+        assert dist.is_constant
+        rng = random.Random(1)
+        assert [dist.sample(rng) for _ in range(20)] == [777] * 20
+
+    def test_single_sample(self):
+        dist = EmpiricalDistribution.fit([123])
+        assert dist.n_samples == 1
+        assert dist.sample(random.Random(0)) == 123
+
+    def test_samples_within_fitted_range(self):
+        samples = [random.Random(5).randint(10, 1000) for _ in range(200)]
+        dist = EmpiricalDistribution.fit(samples)
+        rng = random.Random(7)
+        for _ in range(500):
+            value = dist.sample(rng)
+            assert min(samples) <= value <= max(samples)
+
+    def test_mean_is_exact(self):
+        dist = EmpiricalDistribution.fit([1, 2, 3, 4])
+        assert dist.mean == 2.5
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = EmpiricalDistribution.fit([10, 20, 20, 30, 50, 80])
+        xs = list(range(0, 100, 5))
+        values = [dist.cdf(x) for x in xs]
+        assert values == sorted(values)
+        assert dist.cdf(9) == 0.0
+        assert dist.cdf(80) == 1.0
+
+    def test_degenerate_sketch_still_consumes_one_draw(self):
+        """Constant sketches must not shift the stream's draw sequence."""
+        constant = EmpiricalDistribution.fit([100] * 10)
+        varied = EmpiricalDistribution.fit(list(range(1, 11)))
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        constant.sample(rng_a)
+        varied.sample(rng_b)
+        assert rng_a.random() == rng_b.random()
+
+
+class TestBurstDescriptor:
+    def test_poisson_dispersion_near_one(self):
+        trace = _poisson_trace(1, n=2000)
+        burst = BurstDescriptor.fit(
+            [r.arrival_ns for r in trace.records], window_ns=10 * MS
+        )
+        assert 0.5 < burst.index_of_dispersion < 2.0
+        assert not burst.is_bursty or burst.index_of_dispersion < 2.0
+
+    def test_bursty_trace_detected(self):
+        trace = _bursty_trace(2)
+        burst = BurstDescriptor.fit(
+            [r.arrival_ns for r in trace.records], window_ns=10 * MS
+        )
+        assert burst.is_bursty
+        assert burst.index_of_dispersion > 2.0
+        assert burst.intensity > 1.5
+        assert burst.mean_on_ns > 0
+        assert burst.mean_off_ns > burst.mean_on_ns
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstDescriptor.fit([], window_ns=100)
+        with pytest.raises(ValueError):
+            BurstDescriptor.fit([1], window_ns=0)
+
+
+class TestProfileRoundTrip:
+    def test_fit_export_reingest_equality(self, tmp_path):
+        for trial in range(TRIALS):
+            trace = _poisson_trace(trial, n=120)
+            profile = fit_profile(trace, source=f"trial-{trial}")
+            # dict -> JSON text -> dict -> profile: exact equality.
+            rebuilt = WorkloadProfile.from_dict(
+                json.loads(json.dumps(profile.to_dict()))
+            )
+            assert rebuilt == profile, f"trial {trial} drifted"
+            path = tmp_path / f"p{trial}.json"
+            profile.save(path)
+            assert WorkloadProfile.load(path) == profile
+
+    def test_trace_roundtrip_then_fit_identical(self, tmp_path):
+        """ingest -> save -> re-ingest -> fit equals the direct fit."""
+        for trial in range(TRIALS):
+            trace = _poisson_trace(100 + trial, n=80)
+            path = tmp_path / f"t{trial}.jsonl"
+            save_trace(trace, path)
+            assert fit_profile(load_trace(path)) == fit_profile(trace)
+
+    def test_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            WorkloadProfile.from_dict({"version": 99, "streams": []})
+
+    def test_unknown_stream(self):
+        profile = fit_profile(_poisson_trace(0, n=10))
+        with pytest.raises(KeyError):
+            profile.stream("missing")
+
+
+class TestStatsPrimitives:
+    def test_ks_statistic_identical_samples(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        assert ks_statistic(a, list(a)) == 0.0
+
+    def test_ks_statistic_disjoint_samples(self):
+        assert ks_statistic([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_ks_critical_formula(self):
+        # c(0.01) * sqrt(2n/n^2) with n=m=100.
+        assert ks_critical(100, 100, 0.01) == pytest.approx(
+            1.628 * (2 / 100) ** 0.5
+        )
+        with pytest.raises(ValueError):
+            ks_critical(10, 10, alpha=0.5)
+
+    def test_chi_square_critical_against_tables(self):
+        # Wilson-Hilferty vs textbook values: <1% error at the dof the
+        # suite uses; the approximation is weakest at dof=1 (~2.5%).
+        assert chi_square_critical(9, 0.05) == pytest.approx(16.919, rel=0.01)
+        assert chi_square_critical(4, 0.01) == pytest.approx(13.277, rel=0.01)
+        assert chi_square_critical(1, 0.05) == pytest.approx(3.841, rel=0.03)
+
+    def test_chi_square_degenerate_pooled_sample(self):
+        statistic, _critical, consistent = chi_square_homogeneity(
+            [5, 5, 5], [5, 5]
+        )
+        assert statistic == 0.0 and consistent
+
+
+class TestGoodnessOfFit:
+    """Seeded KS/chi-square: synthesized streams match the fitted profile.
+
+    Tolerances are pinned at the alpha = 0.01 critical values; every
+    seed below is fixed, so these are regression tests, not flaky
+    hypothesis tests.
+    """
+
+    def test_interarrival_and_work_match_profile(self):
+        for trial in range(TRIALS):
+            trace = _poisson_trace(200 + trial, n=600)
+            profile = fit_profile(trace)
+            synth = ScenarioSynthesizer(profile, seed=trial)
+            jobs = synth.synthesize_stream(
+                "p", horizon_ns=4 * trace.span_ns("p")
+            )
+            assert len(jobs) > 200, "need a real sample to test fit"
+            gaps = [jobs[0].arrival] + [
+                b.arrival - a.arrival for a, b in zip(jobs, jobs[1:])
+            ]
+            works = [job.work for job in jobs]
+            d, crit, ok = ks_two_sample(
+                trace.interarrivals("p"), gaps, alpha=0.01
+            )
+            assert ok, f"trial {trial}: interarrival KS {d:.4f} > {crit:.4f}"
+            d, crit, ok = ks_two_sample(trace.works("p"), works, alpha=0.01)
+            assert ok, f"trial {trial}: work KS {d:.4f} > {crit:.4f}"
+            stat, crit, ok = chi_square_homogeneity(
+                trace.interarrivals("p"), gaps, alpha=0.01
+            )
+            assert ok, (
+                f"trial {trial}: interarrival chi2 {stat:.2f} > {crit:.2f}"
+            )
+
+    def test_negative_control_rejects_wrong_distribution(self):
+        """The harness must be able to fail: a 2x-rate stream is not a
+        fit for the original profile."""
+        trace = _poisson_trace(999, n=600)
+        profile = fit_profile(trace)
+        jobs = ScenarioSynthesizer(profile, seed=0).synthesize_stream(
+            "p", horizon_ns=4 * trace.span_ns("p"), scale=2.0
+        )
+        gaps = [jobs[0].arrival] + [
+            b.arrival - a.arrival for a, b in zip(jobs, jobs[1:])
+        ]
+        _d, _crit, ok = ks_two_sample(
+            trace.interarrivals("p"), gaps, alpha=0.01
+        )
+        assert not ok, "KS failed to reject a 2x-scaled stream"
+
+    def test_scale_shifts_volume_proportionally(self):
+        trace = _poisson_trace(7, n=600)
+        profile = fit_profile(trace)
+        horizon = 2 * trace.span_ns("p")
+        base = len(
+            ScenarioSynthesizer(profile, seed=1).synthesize_stream(
+                "p", horizon
+            )
+        )
+        doubled = len(
+            ScenarioSynthesizer(profile, seed=1).synthesize_stream(
+                "p", horizon, scale=2.0
+            )
+        )
+        assert doubled == pytest.approx(2 * base, rel=0.15)
+
+    def test_storm_concentrates_arrivals_in_on_phase(self):
+        trace = _poisson_trace(8, n=600)
+        profile = fit_profile(trace)
+        storm = StormSpec(intensity=5.0, on_ns=20 * MS, off_ns=80 * MS)
+        jobs = ScenarioSynthesizer(profile, seed=2).synthesize_stream(
+            "p", horizon_ns=2 * trace.span_ns("p"), storm=storm
+        )
+        on = sum(1 for job in jobs if storm.in_storm(job.arrival))
+        off = len(jobs) - on
+        # ON phase is 20% of wall-clock but at 5x rate: expect the ON
+        # share to dominate its 0.2 baseline by a wide, pinned margin.
+        assert on / len(jobs) > 0.4, f"on share {on}/{len(jobs)}"
+        assert off > 0, "storm must not swallow the OFF phase entirely"
+
+
+class TestSynthesizerDeterminism:
+    def test_bit_identical_regeneration(self):
+        trace = _poisson_trace(3, n=300)
+        profile = fit_profile(trace)
+        a = ScenarioSynthesizer(profile, seed=42).synthesize(500 * MS)
+        b = ScenarioSynthesizer(profile, seed=42).synthesize(500 * MS)
+        assert a == b
+        assert a != ScenarioSynthesizer(profile, seed=43).synthesize(500 * MS)
+
+    def test_stream_rng_is_namespaced(self):
+        assert stream_rng(1, "a").random() != stream_rng(1, "b").random()
+        assert stream_rng(1, "a").random() == stream_rng(1, "a").random()
+
+    def test_multi_stream_merge_sorted_and_stable(self):
+        records = tuple(
+            TraceRecord(stream, 1000 * (i + 1), 10)
+            for stream in ("a", "b")
+            for i in range(20)
+        )
+        profile = fit_profile(ArrivalTrace(records=records))
+        jobs = ScenarioSynthesizer(profile, seed=0).synthesize(21_000)
+        arrivals = [job.arrival for job in jobs]
+        assert arrivals == sorted(arrivals)
+        assert len(jobs) == 40  # both zero-variance streams replayed
+
+    def test_validation(self):
+        profile = fit_profile(_poisson_trace(0, n=10))
+        synth = ScenarioSynthesizer(profile, seed=0)
+        with pytest.raises(ValueError):
+            synth.synthesize_stream("p", horizon_ns=0)
+        with pytest.raises(ValueError):
+            synth.synthesize_stream("p", horizon_ns=100, scale=0)
+        with pytest.raises(ValueError):
+            StormSpec(intensity=0.5, on_ns=1, off_ns=0)
+
+
+class TestWorkloadUnitEngine:
+    def _unit(self, **overrides) -> WorkloadUnit:
+        profile = fit_profile(_poisson_trace(11, n=200))
+        config = dict(
+            profile=profile,
+            horizon_ms=50,
+            seed=5,
+            scale=1.0,
+            storm_intensity=3.0,
+            storm_on_ms=5,
+            storm_off_ms=20,
+            server_kind="deferrable",
+            server_capacity_us=2000,
+            server_period_us=10000,
+            n_hard_tasks=3,
+            hard_utilization=0.4,
+        )
+        config.update(overrides)
+        return WorkloadUnit(**config)
+
+    def test_execute_payload_is_exact_integers(self):
+        payload = execute_unit(self._unit())
+        assert payload["jobs"] > 0
+        for key in (
+            "jobs",
+            "hard_tasks",
+            "hard_misses",
+            "completed",
+            "unfinished",
+            "total_response_ns",
+            "max_response_ns",
+        ):
+            assert isinstance(payload[key], int), key
+
+    def test_execute_deterministic(self):
+        assert execute_unit(self._unit()) == execute_unit(self._unit())
+
+    def test_fingerprint_depends_on_storm_axis(self):
+        base = unit_fingerprint(self._unit())
+        assert base != unit_fingerprint(self._unit(storm_intensity=4.0))
+        assert base != unit_fingerprint(self._unit(scale=2.0))
+        assert base == unit_fingerprint(self._unit())
+
+    def test_engine_parallel_and_cache_roundtrip(self, tmp_path):
+        units = [self._unit(seed=s) for s in (1, 2, 3)]
+        serial = ExperimentEngine(jobs=1).run(units)
+        parallel = ExperimentEngine(jobs=2).run(units)
+        assert serial == parallel
+        cache_dir = tmp_path / "cache"
+        cold = ExperimentEngine(jobs=1, cache=str(cache_dir))
+        assert cold.run(units) == serial
+        warm = ExperimentEngine(jobs=1, cache=str(cache_dir))
+        assert warm.run(units) == serial
+        assert warm.stats.cache_hits == len(units)
+
+    def test_background_server_kind(self):
+        payload = execute_unit(
+            self._unit(server_kind="background", n_hard_tasks=0)
+        )
+        assert payload["hard_tasks"] == 0
+
+    def test_unknown_server_kind_raises(self):
+        with pytest.raises(ValueError, match="server kind"):
+            execute_unit(self._unit(server_kind="sporadic"))
+
+
+class TestCalibration:
+    def test_result_roundtrip(self, tmp_path):
+        result = CalibrationResult(
+            points=((4, 3300, 3300), (64, 4600, 5800)),
+            release_ns=3000,
+            sch_ns=5000,
+            cnt_swth_ns=1500,
+            rounds=100,
+            seed=0,
+        )
+        path = tmp_path / "calib.json"
+        result.save(path)
+        assert CalibrationResult.load(path) == result
+
+    def test_overhead_model_hits_calibration_points(self):
+        result = CalibrationResult(
+            points=((4, 1000, 2000), (64, 3000, 4000)),
+            release_ns=10,
+            sch_ns=20,
+            cnt_swth_ns=30,
+            rounds=1,
+            seed=0,
+        )
+        at4 = result.overhead_model(tasks_per_core=4)
+        assert (at4.ready_op_ns, at4.sleep_op_ns) == (1000, 2000)
+        at64 = result.overhead_model(tasks_per_core=64)
+        assert (at64.ready_op_ns, at64.sleep_op_ns) == (3000, 4000)
+        at16 = result.overhead_model(tasks_per_core=16)
+        assert 1000 < at16.ready_op_ns < 3000  # log2 interpolation
+        assert at4.release_ns == 10 and at4.sch_ns == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two calibration points"):
+            CalibrationResult(
+                points=((4, 1, 1),),
+                release_ns=0,
+                sch_ns=0,
+                cnt_swth_ns=0,
+                rounds=1,
+                seed=0,
+            )
+        with pytest.raises(ValueError, match="increasing"):
+            CalibrationResult(
+                points=((64, 1, 1), (4, 1, 1)),
+                release_ns=0,
+                sch_ns=0,
+                cnt_swth_ns=0,
+                rounds=1,
+                seed=0,
+            )
+
+    def test_calibrate_measures_this_machine(self):
+        from repro.workload.calibrate import calibrate
+
+        result = calibrate(rounds=20, scheduler_rounds=1, seed=0)
+        assert result.points[0][0] == 4 and result.points[1][0] == 64
+        model = result.overhead_model(tasks_per_core=8)
+        assert model.ready_op_ns >= 1 and model.sleep_op_ns >= 1
+
+
+class TestFittedJitter:
+    def test_plan_roundtrip_with_quantiles(self):
+        dist = EmpiricalDistribution.fit([100, 250, 400])
+        plan = fitted_jitter_faults(dist)
+        rebuilt = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        )
+        assert rebuilt == plan
+        assert not plan.is_empty
+        assert plan.default.release_jitter_ns == 400
+
+    def test_injector_draws_inside_fitted_support(self):
+        dist = EmpiricalDistribution.fit([100, 250, 400])
+        injector = FaultInjector(fitted_jitter_faults(dist), seed=9)
+        draws = [injector.draw_release_jitter("t") for _ in range(200)]
+        assert all(100 <= d <= 400 for d in draws)
+        assert len(set(draws)) > 1
+
+    def test_constant_fitted_jitter_is_exact(self):
+        dist = EmpiricalDistribution.fit([150] * 8)
+        injector = FaultInjector(fitted_jitter_faults(dist), seed=1)
+        assert [injector.draw_release_jitter("t") for _ in range(5)] == [
+            150
+        ] * 5
+
+    def test_injector_reproducible(self):
+        dist = EmpiricalDistribution.fit(list(range(0, 1000, 7)))
+        plan = fitted_jitter_faults(dist, tasks=["a"])
+        first = [
+            FaultInjector(plan, seed=4).draw_release_jitter("a")
+            for _ in range(1)
+        ]
+        second = [
+            FaultInjector(plan, seed=4).draw_release_jitter("a")
+            for _ in range(1)
+        ]
+        assert first == second
+        # Unlisted tasks keep the (empty) default: no jitter, no draw.
+        assert FaultInjector(plan, seed=4).draw_release_jitter("b") == 0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TaskFaults(release_jitter_quantiles=(5.0, 1.0))
+        with pytest.raises(ValueError, match="non-negative"):
+            TaskFaults(release_jitter_quantiles=(-1.0, 1.0))
+
+
+class TestReplayVsSyntheticDifferential:
+    def test_thirty_seeds(self):
+        """The acceptance-criteria gate: 30 seeds, zero discrepancies."""
+        for seed in range(30):
+            diffs = replay_vs_synthetic(trials=1, seed=seed)
+            assert diffs == [], f"seed {seed}: {diffs}"
+
+
+class TestWorkloadCli:
+    def _write_csv(self, tmp_path):
+        path = tmp_path / "in.csv"
+        rows = ["stream,arrival_us,work_us"]
+        rng = random.Random(17)
+        t = 0
+        for _ in range(120):
+            t += rng.randint(100, 900)
+            rows.append(f"svc,{t},{rng.randint(20, 80)}")
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_import_fit_synth_pipeline(self, tmp_path, capsys):
+        csv_path = self._write_csv(tmp_path)
+        trace_path = tmp_path / "trace.jsonl"
+        profile_path = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "workload",
+                    "import-csv",
+                    str(csv_path),
+                    "--out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["workload", "fit", str(trace_path), "--out", str(profile_path)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "workload",
+                    "synth",
+                    str(profile_path),
+                    "--horizon-ms",
+                    "100",
+                    "--storm-intensity",
+                    "3.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "jobs over 100 ms" in out
+        assert WorkloadProfile.load(profile_path).streams
+
+    def test_sweep_workload_mode_through_engine(self, tmp_path, capsys):
+        csv_path = self._write_csv(tmp_path)
+        trace_path = tmp_path / "trace.jsonl"
+        profile_path = tmp_path / "profile.json"
+        main(["workload", "import-csv", str(csv_path), "--out", str(trace_path)])
+        main(["workload", "fit", str(trace_path), "--out", str(profile_path)])
+        capsys.readouterr()
+        journal = tmp_path / "journal.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--workload",
+                str(profile_path),
+                "--horizon-ms",
+                "50",
+                "--scales",
+                "1.0",
+                "--storm-intensities",
+                "1.0,4.0",
+                "--hard-tasks",
+                "2",
+                "--jobs",
+                "2",
+                "--cache",
+                str(tmp_path / "cache"),
+                "--journal",
+                str(journal),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "storm" in out
+        assert journal.exists()
+
+    def test_calibrate_cli_writes_usable_model(self, tmp_path, capsys):
+        out_path = tmp_path / "calib.json"
+        code = main(
+            [
+                "calibrate",
+                "--rounds",
+                "20",
+                "--scheduler-rounds",
+                "1",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "delta(N=4)" in capsys.readouterr().out
+        result = CalibrationResult.load(out_path)
+        assert result.overhead_model(4).ready_op_ns >= 1
+        # The calib: overhead spec plugs into any analysis command.
+        taskset = tmp_path / "tasks.json"
+        taskset.write_text(
+            json.dumps(
+                {
+                    "tasks": [
+                        {"name": "a", "wcet_us": 1000, "period_us": 10000}
+                    ]
+                }
+            )
+        )
+        code = main(
+            [
+                "analyze",
+                "--tasks",
+                str(taskset),
+                "--cores",
+                "1",
+                "--overheads",
+                f"calib:{out_path}",
+            ]
+        )
+        assert code == 0
+
+    def test_overhead_spec_errors_are_one_line(self, tmp_path):
+        with pytest.raises(SystemExit, match="calibration"):
+            main(
+                [
+                    "sweep",
+                    "--overheads",
+                    f"calib:{tmp_path / 'missing.json'}",
+                ]
+            )

@@ -1,0 +1,181 @@
+"""Golden arrival-storm trace: deferrable server under ON/OFF bursts.
+
+Satellite of the workload PR: one fully seeded end-to-end scenario —
+bursty source trace -> fitted profile -> :class:`ScenarioSynthesizer`
+under a :class:`StormSpec` -> :func:`simulate_with_server` with a
+:class:`DeferrableServer` and a :class:`ServerLedger` — snapshotted
+byte-exactly under ``tests/golden/``.  The snapshot pins the *miss
+kinds* (``completed-late`` vs ``abandoned``) and the full server budget
+ledger, so any change to server replenishment, back-to-back service, or
+storm synthesis shows up as a byte diff.
+
+The task set is engineered to miss: a 5 ms / 10 ms hard task with a
+constrained 9 ms deadline under a 4 ms / 7 ms deferrable server at the
+top priority.  The server period is deliberately *offset* from the hard
+period, so a backlogged server can inject up to 7 ms of service inside
+one hard window (4 ms of deferred budget plus a mid-window
+replenishment) — and 7 + 5 > 9 busts the deadline whenever a storm
+sustains the backlog.  The constrained deadline (not coinciding with
+the release boundary) is what lets *both* miss kinds appear: jobs
+still running at a mid-period deadline either finish late in a span
+that crosses it (``completed-late``) or get swept at the next
+scheduling point (``abandoned``).
+
+Regenerate after an intentional behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_workload_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro.model.task import Task
+from repro.model.time import MS, US
+from repro.servers import (
+    DeferrableServer,
+    ServerLedger,
+    check_server_ledger,
+    simulate_with_server,
+)
+from repro.workload import (
+    ArrivalTrace,
+    ScenarioSynthesizer,
+    StormSpec,
+    TraceRecord,
+    fit_profile,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "server_storm.json"
+
+HORIZON = 200 * MS
+STORM = StormSpec(intensity=4.0, on_ns=20 * MS, off_ns=30 * MS)
+
+
+def _hard_tasks() -> list:
+    return [Task("h0", wcet=5 * MS, period=10 * MS, deadline=9 * MS)]
+
+
+def _server() -> DeferrableServer:
+    return DeferrableServer(capacity=4 * MS, period=7 * MS)
+
+
+def _source_trace() -> ArrivalTrace:
+    """Seeded Poisson-ish source: ~8 ms gaps, 2.5 ms jobs."""
+    rng = random.Random("golden-storm-source")
+    records = []
+    t = 0
+    while t < 400 * MS:
+        t += max(1, int(rng.expovariate(1.0 / (8 * MS))))
+        records.append(
+            TraceRecord(stream="svc", arrival_ns=t, work_ns=2500 * US)
+        )
+    return ArrivalTrace(records=tuple(records))
+
+
+def _storm_scenario() -> dict:
+    profile = fit_profile(_source_trace(), source="golden-storm")
+    jobs = ScenarioSynthesizer(profile, seed=2026).synthesize_stream(
+        "svc", horizon_ns=HORIZON, storm=STORM
+    )
+    server = _server()
+    ledger = ServerLedger()
+    misses, stats = simulate_with_server(
+        _hard_tasks(),
+        jobs,
+        horizon=HORIZON,
+        server=server,
+        server_priority=0,
+        ledger=ledger,
+    )
+    violations = check_server_ledger(ledger, server)
+    assert violations == [], violations
+    assert misses > 0, "storm scenario must produce hard misses"
+    kinds = ledger.miss_kinds()
+    assert set(kinds) == {"abandoned", "completed-late"}, kinds
+    assert stats.completed > 0
+    return {
+        "horizon_ns": HORIZON,
+        "storm": {
+            "intensity": STORM.intensity,
+            "on_ns": STORM.on_ns,
+            "off_ns": STORM.off_ns,
+        },
+        "n_jobs": len(jobs),
+        "hard_misses": misses,
+        "miss_kinds": ledger.miss_kinds(),
+        "ledger": ledger.as_dict(),
+        "completed": stats.completed,
+        "unfinished": stats.unfinished,
+        "total_response_ns": stats.total_response,
+        "max_response_ns": stats.max_response,
+    }
+
+
+def _snapshot_bytes(payload: dict) -> bytes:
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("ascii")
+
+
+def test_storm_golden_trace(update_golden):
+    fresh = _snapshot_bytes(_storm_scenario())
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_bytes(fresh)
+        import pytest
+
+        pytest.skip(f"golden snapshot {GOLDEN_PATH.name} updated")
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden snapshot {GOLDEN_PATH}; generate it with "
+        "--update-golden"
+    )
+    committed = GOLDEN_PATH.read_bytes()
+    if fresh != committed:
+        old = json.loads(committed)
+        new = json.loads(fresh)
+        changed = sorted(
+            key
+            for key in set(old) | set(new)
+            if old.get(key) != new.get(key)
+        )
+        raise AssertionError(
+            f"storm golden trace drifted; changed keys: {changed}. "
+            "If intentional, regenerate with --update-golden."
+        )
+
+
+def test_storm_scenario_is_deterministic():
+    assert _snapshot_bytes(_storm_scenario()) == _snapshot_bytes(
+        _storm_scenario()
+    )
+
+
+def test_storm_strictly_worsens_misses():
+    """Control: the same profile without the storm overlay misses
+    strictly less — the extra misses in the golden trace are
+    storm-caused, not baseline overload."""
+    profile = fit_profile(_source_trace(), source="golden-storm")
+    synth = ScenarioSynthesizer(profile, seed=2026)
+    calm_jobs = synth.synthesize_stream("svc", horizon_ns=HORIZON)
+    storm_jobs = synth.synthesize_stream(
+        "svc", horizon_ns=HORIZON, storm=STORM
+    )
+    calm, _ = simulate_with_server(
+        _hard_tasks(),
+        calm_jobs,
+        horizon=HORIZON,
+        server=_server(),
+        server_priority=0,
+    )
+    stormy, _ = simulate_with_server(
+        _hard_tasks(),
+        storm_jobs,
+        horizon=HORIZON,
+        server=_server(),
+        server_priority=0,
+    )
+    assert stormy > calm, (calm, stormy)
