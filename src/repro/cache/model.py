@@ -46,6 +46,27 @@ class CacheHierarchy:
         """Number of cache lines in a working set."""
         return -(-wss_bytes // self.line_bytes)
 
+    def at_frequency(self, freq) -> "CacheHierarchy":
+        """Line-reload costs as seen by a core clocked at ``freq``.
+
+        The model counts reload latency in the *CPU clock domain* (the
+        paper's cycle counts divided by the nominal clock), so slowing
+        the core dilates both levels by ``1/f`` — the same single
+        rational scale, rounded half-up, as every other per-core cost.
+        """
+        from repro.energy.model import as_fraction, scale_ns
+
+        f = as_fraction(freq)
+        if f == 1:
+            return self
+        return CacheHierarchy(
+            private_bytes=self.private_bytes,
+            shared_bytes=self.shared_bytes,
+            line_bytes=self.line_bytes,
+            l3_line_ns=scale_ns(self.l3_line_ns, f),
+            memory_line_ns=scale_ns(self.memory_line_ns, f),
+        )
+
 
 @dataclass(frozen=True)
 class CachePenaltyModel:
@@ -104,6 +125,21 @@ class CachePenaltyModel:
         if migrated:
             return self.migration_delay(wss_bytes)
         return self.preemption_delay(wss_bytes)
+
+    def at_frequency(self, freq) -> "CachePenaltyModel":
+        """The penalty model of a core clocked at ``freq``:
+        the hierarchy's line costs dilated by ``1/f`` (see
+        :meth:`CacheHierarchy.at_frequency`); survival is geometry, not
+        time, and stays.  ``at_frequency(1)`` returns ``self``."""
+        from repro.energy.model import as_fraction
+
+        f = as_fraction(freq)
+        if f == 1:
+            return self
+        return CachePenaltyModel(
+            hierarchy=self.hierarchy.at_frequency(f),
+            local_survival=self.local_survival,
+        )
 
     @staticmethod
     def none() -> "CachePenaltyModel":

@@ -202,6 +202,17 @@ def _cmd_simulate(args) -> int:
 
         assignment = build_global_assignment(taskset, args.cores)
     plan = _load_fault_plan(getattr(args, "faults", None))
+    frequencies = None
+    power = None
+    freq_spec = getattr(args, "freq", None)
+    if freq_spec:
+        from repro.energy.model import PowerModel, parse_freq_spec
+
+        try:
+            frequencies = parse_freq_spec(freq_spec, args.cores)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        power = PowerModel()
     sim = KernelSim(
         assignment,
         model,
@@ -212,6 +223,8 @@ def _cmd_simulate(args) -> int:
         faults=plan,
         overrun_policy=args.overrun_policy,
         sched_class=sched_class,
+        frequencies=frequencies,
+        power=power,
     )
     result = sim.run()
     print(
@@ -221,6 +234,22 @@ def _cmd_simulate(args) -> int:
     )
     print(f"scheduler overhead: {100 * result.total_overhead_ratio:.3f}% "
           f"of the platform")
+    energy = result.energy
+    if not energy.is_empty:
+        freq_text = ",".join(
+            f"{core.freq_num}/{core.freq_den}"
+            if core.freq_den != 1
+            else f"{core.freq_num}"
+            for core in energy.cores
+        )
+        print(
+            f"energy: {energy.total_pj / 1e6:.3f} uJ "
+            f"(busy {energy.busy_pj / 1e6:.3f} + "
+            f"overhead {energy.overhead_pj / 1e6:.3f} + "
+            f"idle {energy.idle_pj / 1e6:.3f}), "
+            f"mean power {float(energy.average_power_mw):.1f} mW, "
+            f"freq [{freq_text}]"
+        )
     if plan is not None:
         print(result.faults.summary())
         killed = sum(s.jobs_killed for s in result.task_stats.values())
@@ -394,8 +423,20 @@ def _cmd_breakdown(args) -> int:
     return 0
 
 
+def _mean_axis(result, algorithm: str, axis: str) -> float:
+    """Mean of one criteria axis over an algorithm's measured records."""
+    import math
+
+    values = [
+        getattr(r, axis)
+        for r in result.filtered(algorithm=algorithm)
+        if not math.isnan(getattr(r, axis))
+    ]
+    return sum(values) / len(values) if values else math.nan
+
+
 def _cmd_campaign(args) -> int:
-    from repro.experiments.campaign import run_campaign
+    from repro.experiments.campaign import CRITERIA_AXES, run_campaign
     from repro.overhead.model import OverheadModel as _OM
 
     algorithms = _parse_algorithms(args.algorithms)
@@ -417,8 +458,45 @@ def _cmd_campaign(args) -> int:
         ),
         sets_per_point=args.sets,
         engine=engine,
+        criteria=args.criteria,
     )
     print(result.pivot(row_key="algorithm", column_key="n_cores"))
+    if args.criteria:
+        from repro.experiments.plot import pareto_table
+
+        for axis in CRITERIA_AXES:
+            print()
+            print(f"mean {axis}:")
+            print(
+                result.pivot(
+                    row_key="algorithm",
+                    column_key="n_cores",
+                    value_key=axis,
+                )
+            )
+        points = [
+            {
+                "algorithm": algorithm,
+                "acceptance": result.mean_acceptance(algorithm=algorithm),
+                "avg_power_mw": _mean_axis(result, algorithm,
+                                           "avg_power_mw"),
+                "preemptions": _mean_axis(result, algorithm,
+                                          "preemptions"),
+            }
+            for algorithm in algorithms
+        ]
+        print()
+        print("Pareto front (acceptance max, power min, preemptions min):")
+        print(
+            pareto_table(
+                points,
+                [
+                    ("acceptance", "max"),
+                    ("avg_power_mw", "min"),
+                    ("preemptions", "min"),
+                ],
+            )
+        )
     print(engine.stats.summary())
     _report_failures(engine)
     if result.is_partial:
@@ -887,6 +965,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: run-on)",
     )
     simulate.add_argument(
+        "--freq",
+        metavar="SPEC",
+        help="per-core frequency scaling for the simulation: '0.8' sets "
+        "every core, '0.8,1.0' is positional per core, '0:0.8,2:0.5' "
+        "names cores (rest stay at 1); enables the energy ledger's "
+        "DVFS power model (docs/energy.md)",
+    )
+    simulate.add_argument(
         "--sched-class",
         choices=["auto"] + sorted(SCHED_CLASSES),
         default="auto",
@@ -1142,6 +1228,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--task-counts", default="8,16")
     campaign.add_argument("--algorithms", default="FP-TS,FFD,WFD")
     campaign.add_argument("--sets", type=int, default=15)
+    campaign.add_argument(
+        "--criteria",
+        action="store_true",
+        help="also measure the multi-criteria axes (preemptions, "
+        "migrations, spare balance, packing slack, power, energy per "
+        "hyperperiod) and print per-axis pivots plus a Pareto front",
+    )
     campaign.add_argument("--csv", help="write long-format CSV here")
     engine_flags(campaign)
     campaign.set_defaults(fn=_cmd_campaign)

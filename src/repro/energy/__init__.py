@@ -1,0 +1,36 @@
+"""Energy accounting: per-core DVFS scaling and the energy ledger.
+
+See :mod:`repro.energy.model` for the arithmetic contract (rational
+frequencies, integer-mW power, integer-pJ energies) and docs/energy.md
+for the model semantics.
+"""
+
+from repro.energy.model import (
+    DEFAULT_ALPHA,
+    DEFAULT_DYNAMIC_MW,
+    DEFAULT_STATIC_MW,
+    CoreEnergy,
+    EnergyLedger,
+    PowerModel,
+    as_fraction,
+    check_energy_ledger,
+    normalize_frequencies,
+    parse_freq_spec,
+    round_half_up,
+    scale_ns,
+)
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_DYNAMIC_MW",
+    "DEFAULT_STATIC_MW",
+    "CoreEnergy",
+    "EnergyLedger",
+    "PowerModel",
+    "as_fraction",
+    "check_energy_ledger",
+    "normalize_frequencies",
+    "parse_freq_spec",
+    "round_half_up",
+    "scale_ns",
+]

@@ -36,6 +36,7 @@ from repro.engine.units import (
     AcceptanceUnit,
     AdmissionUnit,
     ChaosUnit,
+    CriteriaUnit,
     ProfileUnit,
     SplittingUnit,
     VerifyUnit,
@@ -51,6 +52,7 @@ __all__ = [
     "AcceptanceUnit",
     "AdmissionUnit",
     "ChaosUnit",
+    "CriteriaUnit",
     "ProfileUnit",
     "SplittingUnit",
     "VerifyUnit",

@@ -31,7 +31,8 @@ from repro.workload.profile import WorkloadProfile
 #: wholesale instead of being misread.
 #: v2: AcceptanceUnit grew the ``batch`` field (vectorized analysis).
 #: v3: new WorkloadUnit kind (trace-driven scenario synthesis).
-CACHE_SCHEMA_VERSION = 3
+#: v4: new CriteriaUnit kind (multi-criteria campaign axes).
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,46 @@ class SplittingUnit:
     period_min: int = 10 * MS
     period_max: int = 1000 * MS
     kind: str = "splitting"
+
+
+@dataclass(frozen=True)
+class CriteriaUnit:
+    """One utilization point of a multi-criteria campaign sweep.
+
+    Executing it regenerates the same task-set population as the matching
+    :class:`AcceptanceUnit` (same seed contract) and measures, per
+    algorithm, the evaluation axes *beyond* acceptance:
+
+    * static packing axes over **every** accepted assignment —
+      spare-capacity balance (``min`` over cores of spare capacity
+      divided by the mean spare, 1.0 = perfectly even) and bin-packing
+      slack (``1 - total_utilization / m``);
+    * dynamic axes from short :class:`~repro.kernel.sim.KernelSim` runs
+      (two maximum periods of simulated time) over the first
+      ``sim_sets`` accepted sets — preemptions and migrations per job
+      release, mean platform power (mW) and energy per hyperperiod (uJ)
+      from the simulation's energy ledger.
+
+    Payload values are per-algorithm means; an algorithm that accepted
+    no set maps to ``None`` (NaN downstream), and dynamic axes are
+    ``None`` when no accepted set was simulated.  Global algorithms
+    place tasks at runtime, so their static axes use the evenly-spread
+    raw utilization and their simulations route through
+    :func:`repro.kernel.global_sim.build_global_assignment`.
+    """
+
+    n_cores: int
+    n_tasks: int
+    sets_per_point: int
+    utilization: float  # normalized (U/m)
+    seed: int
+    algorithms: Tuple[str, ...]
+    overheads: OverheadModel
+    period_min: int = 10 * MS
+    period_max: int = 1000 * MS
+    #: Cap on per-algorithm simulated sets (simulation dominates cost).
+    sim_sets: int = 5
+    kind: str = "criteria"
 
 
 @dataclass(frozen=True)
@@ -212,6 +253,7 @@ WorkUnit = Union[
     AdmissionUnit,
     SplittingUnit,
     ChaosUnit,
+    CriteriaUnit,
     VerifyUnit,
     ProfileUnit,
     WorkloadUnit,
@@ -252,6 +294,8 @@ def execute_unit(unit: WorkUnit) -> dict:
         return _execute_acceptance(unit)
     if unit.kind == "splitting":
         return _execute_splitting(unit)
+    if unit.kind == "criteria":
+        return _execute_criteria(unit)
     if unit.kind == "chaos":
         return _execute_chaos(unit)
     if unit.kind == "verify":
@@ -440,6 +484,112 @@ def _execute_acceptance(unit: AcceptanceUnit) -> dict:
             if accept(name, ts, unit.n_cores, unit.overheads)
         )
     return {"accepted": accepted, "total": len(tasksets)}
+
+
+def _execute_criteria(unit: CriteriaUnit) -> dict:
+    import math
+
+    from repro.experiments.algorithms import ALGORITHMS, build_assignment
+    from repro.kernel.global_sim import build_global_assignment
+    from repro.kernel.sim import KernelSim
+
+    generator = TaskSetGenerator(
+        n_tasks=unit.n_tasks,
+        seed=unit.seed,
+        period_min=unit.period_min,
+        period_max=unit.period_max,
+    )
+    tasksets = generator.generate_many(
+        unit.utilization * unit.n_cores, unit.sets_per_point
+    )
+
+    def _mean(values):
+        return sum(values) / len(values)
+
+    criteria: Dict[str, Optional[dict]] = {}
+    accepted: Dict[str, int] = {}
+    for name in unit.algorithms:
+        spec = ALGORITHMS[name]
+        static_rows = []  # (spare_balance, packing_slack)
+        dynamic_rows = []  # (preempt/rel, migr/rel, power_mw, per_hp_uj)
+        for taskset in tasksets:
+            assignment = build_assignment(
+                name, taskset, unit.n_cores, unit.overheads
+            )
+            if assignment is None:
+                continue
+            if spec.kind == "global":
+                # Placement is a runtime decision; statically the load
+                # is spread evenly (placeholder assignments are empty).
+                total = sum(t.wcet / t.period for t in taskset)
+                core_utils = [total / unit.n_cores] * unit.n_cores
+            else:
+                core_utils = [
+                    core.utilization for core in assignment.cores
+                ]
+            spare = [max(0.0, 1.0 - u) for u in core_utils]
+            mean_spare = _mean(spare)
+            static_rows.append(
+                (
+                    min(spare) / mean_spare if mean_spare > 0 else 1.0,
+                    1.0 - sum(core_utils) / unit.n_cores,
+                )
+            )
+            if len(dynamic_rows) >= unit.sim_sets:
+                continue
+            result = KernelSim(
+                build_global_assignment(taskset, unit.n_cores)
+                if spec.kind == "global"
+                else assignment,
+                unit.overheads,
+                duration=2 * max(task.period for task in taskset),
+                execution_times={
+                    task.name: task.wcet for task in taskset
+                },
+                seed=unit.seed,
+                sched_class=spec.sched_class,
+            ).run()
+            releases = max(1, result.releases)
+            hyperperiod = math.lcm(*(t.period for t in taskset))
+            try:
+                per_hp_uj = (
+                    float(result.energy.energy_per_ns(hyperperiod)) / 1e6
+                )
+            except OverflowError:
+                per_hp_uj = math.inf
+            dynamic_rows.append(
+                (
+                    result.preemptions / releases,
+                    result.migrations / releases,
+                    float(result.energy.average_power_mw),
+                    per_hp_uj,
+                )
+            )
+        accepted[name] = len(static_rows)
+        if not static_rows:
+            criteria[name] = None
+            continue
+        entry = {
+            "spare_balance": _mean([r[0] for r in static_rows]),
+            "packing_slack": _mean([r[1] for r in static_rows]),
+            "preemptions": None,
+            "migrations": None,
+            "avg_power_mw": None,
+            "energy_per_hp_uj": None,
+        }
+        if dynamic_rows:
+            entry["preemptions"] = _mean([r[0] for r in dynamic_rows])
+            entry["migrations"] = _mean([r[1] for r in dynamic_rows])
+            entry["avg_power_mw"] = _mean([r[2] for r in dynamic_rows])
+            entry["energy_per_hp_uj"] = _mean(
+                [r[3] for r in dynamic_rows]
+            )
+        criteria[name] = entry
+    return {
+        "accepted": accepted,
+        "total": len(tasksets),
+        "criteria": criteria,
+    }
 
 
 def _execute_splitting(unit: SplittingUnit) -> dict:

@@ -29,8 +29,18 @@ from repro.experiments.breakdown import (
     critical_scaling_factor,
     run_breakdown,
 )
-from repro.experiments.campaign import CampaignResult, run_campaign
-from repro.experiments.plot import acceptance_plot, ascii_plot
+from repro.experiments.campaign import (
+    CRITERIA_AXES,
+    CampaignRecord,
+    CampaignResult,
+    run_campaign,
+)
+from repro.experiments.plot import (
+    acceptance_plot,
+    ascii_plot,
+    pareto_front,
+    pareto_table,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -48,8 +58,12 @@ __all__ = [
     "BreakdownResult",
     "critical_scaling_factor",
     "run_breakdown",
+    "CRITERIA_AXES",
+    "CampaignRecord",
     "CampaignResult",
     "run_campaign",
     "acceptance_plot",
     "ascii_plot",
+    "pareto_front",
+    "pareto_table",
 ]

@@ -82,22 +82,35 @@ class AcceptanceResult:
         )
 
     def weighted_acceptance(self, algorithm: str) -> float:
-        """Mean acceptance over the sweep (area under the curve)."""
-        values = self.ratios[algorithm]
+        """Mean acceptance over the sweep (area under the curve).
+
+        Grid points whose work unit failed (NaN ratios) are excluded
+        from the numerator *and* the denominator — a failed measurement
+        must not poison the mean or silently count as a rejection.
+        """
+        values = [
+            v for v in self.ratios[algorithm] if not math.isnan(v)
+        ]
         return sum(values) / len(values) if values else 0.0
 
     def weighted_schedulability(self, algorithm: str) -> float:
         """Bastoni-style weighted schedulability: acceptance weighted by
         utilization, emphasising the high-load region where algorithms
-        actually differ:  W = sum(u_i * S(u_i)) / sum(u_i)."""
-        ratios = self.ratios[algorithm]
-        weight_total = sum(self.utilizations)
+        actually differ:  W = sum(u_i * S(u_i)) / sum(u_i).
+
+        As for :meth:`weighted_acceptance`, failed grid points (NaN
+        ratios) contribute to neither the weighted sum nor the weight
+        total.
+        """
+        points = [
+            (u, s)
+            for u, s in zip(self.utilizations, self.ratios[algorithm])
+            if not math.isnan(s)
+        ]
+        weight_total = sum(u for u, _ in points)
         if weight_total == 0:
             return 0.0
-        return (
-            sum(u * s for u, s in zip(self.utilizations, ratios))
-            / weight_total
-        )
+        return sum(u * s for u, s in points) / weight_total
 
     def breakdown_utilization(
         self, algorithm: str, threshold: float = 0.5

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine import ExperimentEngine, ResultCache
+from repro.engine import CriteriaUnit, ExperimentEngine, ResultCache
 from repro.experiments.acceptance import (
     AcceptanceConfig,
     acceptance_units,
@@ -27,7 +27,13 @@ from repro.overhead.model import OverheadModel
 
 @dataclass(frozen=True)
 class CampaignRecord:
-    """One (configuration, utilization, algorithm) acceptance measurement."""
+    """One (configuration, utilization, algorithm) measurement.
+
+    ``acceptance`` is always populated; the multi-criteria axes are NaN
+    unless the campaign ran with ``criteria=True`` (and the algorithm
+    accepted at least one set at this point — an axis that could not be
+    measured stays NaN and renders as ``-`` in pivots, never as 0).
+    """
 
     n_cores: int
     n_tasks: int
@@ -35,10 +41,35 @@ class CampaignRecord:
     algorithm: str
     utilization: float
     acceptance: float
+    #: Mean preemptions per job release (simulated subsample).
+    preemptions: float = math.nan
+    #: Mean migrations per job release (simulated subsample).
+    migrations: float = math.nan
+    #: min/mean of per-core spare capacity (1.0 = perfectly balanced).
+    spare_balance: float = math.nan
+    #: 1 - total_utilization / m over accepted assignments.
+    packing_slack: float = math.nan
+    #: Mean platform power (mW) from the simulation energy ledger.
+    avg_power_mw: float = math.nan
+    #: Energy per hyperperiod (uJ) at the run's mean power.
+    energy_per_hp_uj: float = math.nan
 
 
 #: Valid field names for :meth:`CampaignResult.filtered` criteria.
 _RECORD_FIELDS = tuple(CampaignRecord.__dataclass_fields__)
+
+#: The multi-criteria axes, in record/CSV column order.
+CRITERIA_AXES = (
+    "preemptions",
+    "migrations",
+    "spare_balance",
+    "packing_slack",
+    "avg_power_mw",
+    "energy_per_hp_uj",
+)
+
+#: Record fields :meth:`CampaignResult.pivot` can aggregate.
+_VALUE_FIELDS = ("acceptance",) + CRITERIA_AXES
 
 
 @dataclass
@@ -79,22 +110,39 @@ class CampaignResult:
         return sum(r.acceptance for r in rows) / len(rows)
 
     def pivot(
-        self, row_key: str = "algorithm", column_key: str = "n_cores"
+        self,
+        row_key: str = "algorithm",
+        column_key: str = "n_cores",
+        value_key: str = "acceptance",
     ) -> str:
-        """Text pivot table of mean acceptance.
+        """Text pivot table of the mean of ``value_key``.
 
         Groups in a single pass over the records (sum + count per cell)
         instead of re-filtering the whole record list for every cell, so
         the cost is O(records + cells) rather than O(records x cells).
+        NaN values (unmeasured criteria axes) are excluded from both the
+        sum and the count, and a cell with no measured value renders as
+        ``-`` — a point whose work unit failed must read as *missing*,
+        not as a 0.000 that looks like total rejection.
         """
+        if value_key not in _VALUE_FIELDS:
+            raise ValueError(
+                f"unknown value key {value_key!r}; valid keys: "
+                f"{', '.join(_VALUE_FIELDS)}"
+            )
         sums: Dict[Tuple[object, object], float] = {}
         counts: Dict[Tuple[object, object], int] = {}
+        cells_seen: Dict[Tuple[object, object], bool] = {}
         for r in self.records:
             cell = (getattr(r, row_key), getattr(r, column_key))
-            sums[cell] = sums.get(cell, 0.0) + r.acceptance
+            cells_seen[cell] = True
+            value = getattr(r, value_key)
+            if math.isnan(value):
+                continue
+            sums[cell] = sums.get(cell, 0.0) + value
             counts[cell] = counts.get(cell, 0) + 1
-        rows = sorted({cell[0] for cell in sums}, key=str)
-        columns = sorted({cell[1] for cell in sums}, key=str)
+        rows = sorted({cell[0] for cell in cells_seen}, key=str)
+        columns = sorted({cell[1] for cell in cells_seen}, key=str)
         header = row_key + "/" + column_key
         lines = [
             f"{header:>16} " + " ".join(f"{str(c):>8}" for c in columns)
@@ -103,12 +151,15 @@ class CampaignResult:
             cells = []
             for column in columns:
                 n = counts.get((row, column), 0)
-                value = sums[(row, column)] / n if n else 0.0
-                cells.append(f"{value:>8.3f}")
+                if n:
+                    cells.append(f"{sums[(row, column)] / n:>8.3f}")
+                else:
+                    cells.append(f"{'-':>8}")
             lines.append(f"{str(row):>16} " + " ".join(cells))
         return "\n".join(lines)
 
     def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Long-format CSV; unmeasured criteria axes are empty cells."""
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(
@@ -120,6 +171,7 @@ class CampaignResult:
                 "utilization",
                 "acceptance",
             ]
+            + list(CRITERIA_AXES)
         )
         for r in self.records:
             writer.writerow(
@@ -130,6 +182,12 @@ class CampaignResult:
                     r.algorithm,
                     f"{r.utilization:.4f}",
                     f"{r.acceptance:.4f}",
+                ]
+                + [
+                    ""
+                    if math.isnan(getattr(r, axis))
+                    else f"{getattr(r, axis):.6g}"
+                    for axis in CRITERIA_AXES
                 ]
             )
         text = buffer.getvalue()
@@ -151,6 +209,8 @@ def run_campaign(
     jobs: int = 1,
     cache: Union[ResultCache, str, None] = None,
     engine: Optional[ExperimentEngine] = None,
+    criteria: bool = False,
+    sim_sets: int = 5,
 ) -> CampaignResult:
     """Run the full factorial grid; deterministic for fixed arguments.
 
@@ -159,6 +219,14 @@ def run_campaign(
     configurations as well as utilization points.  Record order (and
     therefore CSV output) is identical to the original nested serial
     loops for any ``jobs``/``cache`` setting.
+
+    ``criteria=True`` additionally dispatches one
+    :class:`~repro.engine.CriteriaUnit` per grid point (same seed
+    contract as the acceptance unit, short simulations capped at
+    ``sim_sets`` accepted sets per algorithm) and fills the records'
+    multi-criteria axes.  A failed criteria unit leaves its records'
+    axes NaN (rendered ``-`` by :meth:`CampaignResult.pivot`) without
+    touching the acceptance measurement or ``failed_units``.
     """
     if engine is None:
         engine = ExperimentEngine(jobs=jobs, cache=cache)
@@ -191,12 +259,38 @@ def run_campaign(
         units.extend(acceptance_units(config))
     payloads = engine.run(units)
 
+    criteria_payloads: List[Optional[dict]] = []
+    if criteria:
+        criteria_units = []
+        for _, config in cells:
+            for point_index, normalized in enumerate(config.utilizations):
+                criteria_units.append(
+                    CriteriaUnit(
+                        n_cores=config.n_cores,
+                        n_tasks=config.n_tasks,
+                        sets_per_point=config.sets_per_point,
+                        utilization=normalized,
+                        seed=config.seed + 7919 * point_index,
+                        algorithms=tuple(config.algorithms),
+                        overheads=config.overheads,
+                        period_min=config.period_min,
+                        period_max=config.period_max,
+                        sim_sets=sim_sets,
+                    )
+                )
+        criteria_payloads = engine.run(criteria_units)
+
     result = CampaignResult()
     offset = 0
     for overhead_name, config in cells:
         n_points = len(config.utilizations)
         sweep = assemble_acceptance(
             config, payloads[offset : offset + n_points]
+        )
+        point_criteria = (
+            criteria_payloads[offset : offset + n_points]
+            if criteria
+            else [None] * n_points
         )
         offset += n_points
         for failed_u in sweep.failed_utilizations:
@@ -209,11 +303,25 @@ def run_campaign(
                 }
             )
         for algorithm in algorithms:
-            for u, acceptance in zip(
-                sweep.utilizations, sweep.ratios[algorithm]
+            for point_index, (u, acceptance) in enumerate(
+                zip(sweep.utilizations, sweep.ratios[algorithm])
             ):
                 if math.isnan(acceptance):
                     continue  # listed in failed_units instead
+                payload = point_criteria[point_index]
+                measured = (
+                    (payload.get("criteria") or {}).get(algorithm)
+                    if payload
+                    else None
+                ) or {}
+                axes = {
+                    axis: (
+                        measured[axis]
+                        if measured.get(axis) is not None
+                        else math.nan
+                    )
+                    for axis in CRITERIA_AXES
+                }
                 result.records.append(
                     CampaignRecord(
                         n_cores=config.n_cores,
@@ -222,6 +330,7 @@ def run_campaign(
                         algorithm=algorithm,
                         utilization=u,
                         acceptance=acceptance,
+                        **axes,
                     )
                 )
     return result

@@ -7,6 +7,7 @@ harness renders its own figures.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
@@ -82,6 +83,78 @@ def ascii_plot(
     )
     legend = "   ".join(f"{markers[name]}={name}" for name in series)
     lines.append(" " * 9 + f" [{legend}]  (* = overlap)   y: {y_label}")
+    return "\n".join(lines)
+
+
+def pareto_front(
+    points: Sequence[dict],
+    axes: Sequence[Tuple[str, str]],
+) -> List[dict]:
+    """Non-dominated subset of ``points`` under the given objectives.
+
+    ``axes`` is a sequence of ``(key, direction)`` pairs with direction
+    ``"max"`` or ``"min"``.  A point is dominated when some other point
+    is at least as good on every axis and strictly better on one; NaN
+    on any axis excludes a point from consideration (an unmeasured
+    criterion can neither dominate nor survive).  Result order follows
+    the input, so the front is stable under permutation of ``axes`` and
+    deterministic for a fixed input order.
+    """
+    if not axes:
+        raise ValueError("need at least one objective axis")
+    for _, direction in axes:
+        if direction not in ("max", "min"):
+            raise ValueError(
+                f"direction must be 'max' or 'min', got {direction!r}"
+            )
+
+    def score(point: dict) -> Optional[Tuple[float, ...]]:
+        values = []
+        for key, direction in axes:
+            value = point.get(key)
+            if value is None or math.isnan(value):
+                return None
+            values.append(value if direction == "max" else -value)
+        return tuple(values)
+
+    scored = [
+        (point, s) for point in points if (s := score(point)) is not None
+    ]
+    front = []
+    for point, s in scored:
+        dominated = any(
+            all(o >= v for o, v in zip(other, s))
+            and any(o > v for o, v in zip(other, s))
+            for _, other in scored
+        )
+        if not dominated:
+            front.append(point)
+    return front
+
+
+def pareto_table(
+    points: Sequence[dict],
+    axes: Sequence[Tuple[str, str]],
+    label_key: str = "algorithm",
+) -> str:
+    """Render the Pareto front of ``points`` as a text table.
+
+    One row per non-dominated point (input order), axes as columns with
+    their optimization direction in the header.
+    """
+    front = pareto_front(points, axes)
+    header = f"{label_key:>16} " + " ".join(
+        f"{key + ('^' if direction == 'max' else 'v'):>16}"
+        for key, direction in axes
+    )
+    lines = [header]
+    for point in front:
+        lines.append(
+            f"{str(point.get(label_key, '?')):>16} "
+            + " ".join(f"{point[key]:>16.4g}" for key, _ in axes)
+        )
+    if not front:
+        lines.append(f"{'(empty front)':>16}")
     return "\n".join(lines)
 
 

@@ -38,20 +38,30 @@ class Stage:
 
 @dataclass
 class RTTask:
-    """Static runtime description of one task (normal or split)."""
+    """Static runtime description of one task (normal or split).
+
+    ``wcet_ns`` overrides the expected stage-budget sum when the plan is
+    *frequency-dilated*: a core clocked at rational ``f`` stretches its
+    stage's budget by ``1/f`` wall nanoseconds, so the dilated sum
+    legitimately differs from ``task.wcet`` (which stays in full-speed
+    units, as do the task's period and deadline).  ``None`` (the
+    default) keeps the strict ``sum(budgets) == task.wcet`` invariant.
+    """
 
     task: Task
     stages: List[Stage]
     local_priority: Dict[int, int]  # core -> local priority of our entry
+    wcet_ns: Optional[int] = None  # dilated WCET; None = task.wcet
 
     def __post_init__(self) -> None:
         if not self.stages:
             raise ValueError(f"task {self.task.name}: no stages")
         total = sum(stage.budget for stage in self.stages)
-        if total != self.task.wcet:
+        expected = self.wcet_ns if self.wcet_ns is not None else self.task.wcet
+        if total != expected:
             raise ValueError(
                 f"task {self.task.name}: stage budgets sum to {total}, "
-                f"expected {self.task.wcet}"
+                f"expected {expected}"
             )
         # Cached aggregate: consulted once per released job on the
         # simulator hot path.
@@ -115,6 +125,7 @@ class Job:
         "penalty_left",
         "preempt_count",
         "migrate_count",
+        "displaced",
         "finish_time",
         "ready_handle",
     )
@@ -175,6 +186,12 @@ class Job:
         self.penalty_left = 0
         self.preempt_count = 0
         self.migrate_count = 0
+        # Set when a scheduling pass displaces this job from its core
+        # (counted there as a preemption); cleared on the next dispatch.
+        # The global classes reclassify a displaced job that *resumes on
+        # another core* as a migration — one displacement is never both
+        # a preemption and a migration.
+        self.displaced = False
         self.finish_time: Optional[int] = None
         self.ready_handle: object = None
 

@@ -261,9 +261,15 @@ class RestrictedMigrationClass(SchedulingClass):
         if previous is not None and previous != core.index:
             # The task's context moved cores between jobs: the
             # restricted-migration event this class exists to bound.
+            # Counted like any other migration — on the job, on the
+            # task, globally, and in the event log — so the per-class
+            # counters stay comparable (the restricted <= fp law in
+            # tests/test_sched_classes.py compares them directly).
             sim = self.sim
+            job.migrate_count += 1
             sim.migrations += 1
             sim.task_stats[name].migrations += 1
+            sim._log_event(t, "migrate", name, core.index)
 
 
 class _GlobalClass(SchedulingClass):
@@ -328,6 +334,14 @@ class _GlobalClass(SchedulingClass):
             job.migrate_count += 1
             sim.task_stats[name].migrations += 1
             sim.migrations += 1
+            if job.displaced:
+                # The scheduling pass that displaced this job counted a
+                # preemption; the job actually resumed on another core,
+                # so the displacement *was* the first half of this
+                # migration — one event, one counter.  Reclassify.
+                job.preempt_count -= 1
+                sim.task_stats[name].preemptions -= 1
+                sim.preemptions -= 1
         job.last_core = core.index
 
     def after_sched(self, core, t: int) -> None:

@@ -31,8 +31,17 @@ from __future__ import annotations
 import time as _time
 from collections import deque
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.energy.model import (
+    CoreEnergy,
+    EnergyLedger,
+    PowerModel,
+    normalize_frequencies,
+    round_half_up,
+    scale_ns,
+)
 from repro.faults.injector import (
     MIGRATION_DROP,
     MIGRATION_LATE,
@@ -152,6 +161,10 @@ class SimulationResult:
     #: Every injected fault and overrun-policy action, in simulation
     #: order; empty when the run had no fault plan.
     faults: FaultLog = field(default_factory=FaultLog)
+    #: Per-core busy/overhead/idle energy under the run's frequency
+    #: vector and power model.  Producers that don't account energy (the
+    #: frozen legacy simulator) leave it empty; checkers skip it then.
+    energy: EnergyLedger = field(default_factory=EnergyLedger.empty)
 
     @property
     def miss_count(self) -> int:
@@ -212,6 +225,8 @@ class _Core:
         "free_dispatch",
         "busy_ns",
         "overhead_ns",
+        "busy_pj",
+        "overhead_pj",
         "seq",
     )
 
@@ -228,6 +243,8 @@ class _Core:
         self.free_dispatch = False
         self.busy_ns = 0
         self.overhead_ns = 0
+        self.busy_pj = 0
+        self.overhead_pj = 0
         self.seq = 0
 
     def next_seq(self) -> int:
@@ -345,6 +362,23 @@ class KernelSim:
         periodically, ranked above every hard-RT priority (it runs only
         in idle time), and never records deadline misses.  Names must
         not collide with assignment tasks.
+    frequencies:
+        Optional per-core clock: ``None`` (all cores at 1, the exact
+        pre-DVFS behaviour), a scalar, or one entry per core; each value
+        becomes a single rational scale (:func:`repro.energy.model.
+        as_fraction`).  A core at frequency ``f`` dilates its stage
+        budgets, actual demands, kernel-overhead constants, and cache
+        reload costs by ``1/f`` wall nanoseconds, each via one exact
+        multiply rounded half-up.  Periods, deadlines, and release
+        offsets are wall-clock and stay unscaled.  At ``f == 1`` the
+        per-core model *is* the shared model (``is``-level identity),
+        which is what the ``freq1-vs-unscaled`` differential pins.
+    power:
+        Optional :class:`~repro.energy.model.PowerModel` for the energy
+        ledger (``P(f) = P_s + C · f^alpha``); defaults to the Nehalem-
+        class constants.  Busy and kernel-overhead time accrue at the
+        core's active level, idle time at the static floor; the ledger
+        lands in :attr:`SimulationResult.energy`.
     """
 
     def __init__(
@@ -368,6 +402,8 @@ class KernelSim:
         metrics: Optional[MetricsRegistry] = None,
         sched_class: Optional[object] = None,
         fair_tasks: Optional[List[Task]] = None,
+        frequencies: Optional[object] = None,
+        power: Optional[PowerModel] = None,
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -377,6 +413,22 @@ class KernelSim:
         self.record_trace = record_trace
         self.queue = EventQueue()
         self.cores = [_Core(i) for i in range(assignment.n_cores)]
+        self.frequencies = normalize_frequencies(
+            frequencies, assignment.n_cores
+        )
+        self._unit_freq = all(f == 1 for f in self.frequencies)
+        self.power = power if power is not None else PowerModel()
+        # Per-core overhead models.  ``at_frequency(1)`` returns the
+        # model itself, so at unit frequency every entry *is* the shared
+        # model — the structural identity the freq1-vs-unscaled
+        # differential relies on.
+        self._models = [
+            overheads.at_frequency(f) for f in self.frequencies
+        ]
+        self._active_mw = [
+            self.power.active_mw(f) for f in self.frequencies
+        ]
+        self._idle_mw = self.power.idle_mw
         self._metrics = _metrics_active(metrics)
         self.rt_tasks = build_runtime_tasks(assignment, metrics=self._metrics)
         self.offsets = release_offsets or {}
@@ -423,6 +475,28 @@ class KernelSim:
                 )
             self._fair_names = frozenset(rt.name for rt in fair_rts)
             self.rt_tasks = self.rt_tasks + fair_rts
+        if not self._unit_freq:
+            # Dilate the runtime plan to the per-core clocks: stage
+            # budgets stretch by 1/f on their core, and explicit actual
+            # demands keep their *fraction* of the (now dilated) budget.
+            exec_times = dict(self.execution_times)
+            dilated: List[RTTask] = []
+            for rt in self.rt_tasks:
+                scaled = self._dilate_rt(rt)
+                dilated.append(scaled)
+                requested = exec_times.get(rt.name)
+                if requested is not None:
+                    exec_times[rt.name] = max(
+                        1,
+                        round_half_up(
+                            Fraction(
+                                requested * scaled.total_budget,
+                                rt.total_budget,
+                            )
+                        ),
+                    )
+            self.rt_tasks = dilated
+            self.execution_times = exec_times
         self._class_of_task: Dict[str, SchedulingClass] = {
             rt.name: (
                 self._fair_class
@@ -455,6 +529,12 @@ class KernelSim:
             if policy != "fp" or self.sched_class.name != "fp":
                 raise ValueError(
                     "resource sharing is only supported under the FP policy"
+                )
+            if not self._unit_freq:
+                raise ValueError(
+                    "per-core frequencies cannot be combined with "
+                    "resource sharing (critical-section offsets are in "
+                    "full-speed work units)"
                 )
             if self._fair_class is not None:
                 raise ValueError(
@@ -502,6 +582,7 @@ class KernelSim:
         self.trace: List[tuple] = []
         self.events_log: List[tuple] = []
         self.cache_delay_ns = 0
+        self.energy = EnergyLedger.empty()  # settled in _finalize
         self.context_switches = 0
         self.preemptions = 0
         self.migrations = 0
@@ -593,6 +674,29 @@ class KernelSim:
                 self._injector.log if self._injector is not None
                 else FaultLog()
             ),
+            energy=self.energy,
+        )
+
+    def _dilate_rt(self, rt: RTTask) -> RTTask:
+        """The runtime task as seen under the per-core clocks: each
+        stage's budget stretched by ``1/f`` of its core (at least 1 ns),
+        the dilated sum recorded as ``wcet_ns``.  Periods, deadlines,
+        and priorities are wall-clock quantities and stay put."""
+        stages = [
+            Stage(
+                core=stage.core,
+                budget=max(
+                    1, scale_ns(stage.budget, self.frequencies[stage.core])
+                ),
+                deadline_offset=stage.deadline_offset,
+            )
+            for stage in rt.stages
+        ]
+        return RTTask(
+            task=rt.task,
+            stages=stages,
+            local_priority=rt.local_priority,
+            wcet_ns=sum(stage.budget for stage in stages),
         )
 
     # ------------------------------------------------------------------
@@ -702,7 +806,7 @@ class KernelSim:
             core,
             _Op(
                 kind="release",
-                duration=self.model.rls,
+                duration=self._models[core.index].rls,
                 effect=lambda t2, job=job, core=core: self._do_release(
                     core, job, t2
                 ),
@@ -738,6 +842,7 @@ class KernelSim:
             job.account(executed)
             job.cls.on_executed(core, job, executed)
             core.busy_ns += executed
+            core.busy_pj += executed * self._active_mw[core.index]
             if self.record_trace:
                 self._record(
                     core.index, core.dispatched_at, t, job.name, "exec"
@@ -764,6 +869,7 @@ class KernelSim:
         end = t + duration
         if duration > 0:
             core.overhead_ns += duration
+            core.overhead_pj += duration * self._active_mw[core.index]
             if self.record_trace:
                 self._record(core.index, t, end, op.label, "overhead")
         self.queue.schedule_fast(
@@ -892,7 +998,9 @@ class KernelSim:
     def _sched_duration(self, core: _Core) -> int:
         if core.free_dispatch:
             return 0
-        return self.model.sch(preemption=self._would_preempt(core))
+        return self._models[core.index].sch(
+            preemption=self._would_preempt(core)
+        )
 
     def _do_sched(self, core: _Core, t: int) -> None:
         free = core.free_dispatch
@@ -902,11 +1010,12 @@ class KernelSim:
             if self._would_preempt(core):
                 victim = core.running
                 core.running = None
-                penalty = self.model.cache.preemption_delay(
+                penalty = self._models[core.index].cache.preemption_delay(
                     victim.rt.task.wss
                 )
                 victim.penalty_left += penalty
                 self.cache_delay_ns += penalty
+                victim.displaced = True
                 victim.preempt_count += 1
                 self.task_stats[victim.rt.task.name].preemptions += 1
                 self.preemptions += 1
@@ -925,7 +1034,7 @@ class KernelSim:
             return
         cnt_op = _Op(
             kind="cnt_in",
-            duration=0 if free else self.model.cnt1,
+            duration=0 if free else self._models[core.index].cnt1,
             effect=lambda t2, core=core, job=job: self._do_dispatch(
                 core, job, t2
             ),
@@ -961,6 +1070,10 @@ class KernelSim:
         if self.record_trace:
             self._log_event(t, "dispatch", job.rt.task.name, core.index)
         job.cls.on_dispatch(core, job, t)
+        # The class hooks above read ``displaced`` (the global classes
+        # reclassify a cross-core resume as a migration); the mechanism
+        # clears it once the dispatch is done.
+        job.displaced = False
 
     # ------------------------------------------------------------------
     # Chunk completion: job finish or budget exhaustion
@@ -974,6 +1087,7 @@ class KernelSim:
             job.account(executed)
             job.cls.on_executed(core, job, executed)
             core.busy_ns += executed
+            core.busy_pj += executed * self._active_mw[core.index]
             if self.record_trace:
                 self._record(
                     core.index, core.dispatched_at, t, job.name, "exec"
@@ -1059,9 +1173,10 @@ class KernelSim:
                     f"nominal={job.nominal_work} dropped={job.work_left}",
                 )
             self._log_event(t, "abort", name, core.index)
+            model = self._models[core.index]
             op = _Op(
                 kind="finish",
-                duration=self.model.sch(False) + self.model.cnt2_finish,
+                duration=model.sch(False) + model.cnt2_finish,
                 effect=lambda t2, core=core, job=job: self._do_abort_cleanup(
                     core, job, t2
                 ),
@@ -1080,7 +1195,7 @@ class KernelSim:
             # needs_sched is charged separately, as usual.
             op = _Op(
                 kind="demote",
-                duration=self.model.ready_op_ns,
+                duration=self._models[core.index].ready_op_ns,
                 effect=lambda t2, core=core, job=job: self._do_demote(
                     core, job, t2
                 ),
@@ -1114,9 +1229,10 @@ class KernelSim:
             # that finishes its actual work inside a *body* stage completes
             # here too (the paper's cnt_swth case 3).
             job.finish_time = t
+            model = self._models[core.index]
             op = _Op(
                 kind="finish",
-                duration=self.model.sch(False) + self.model.cnt2_finish,
+                duration=model.sch(False) + model.cnt2_finish,
                 effect=lambda t2, core=core, job=job, done=t: self._do_finish(
                     core, job, t2, completed_at=done
                 ),
@@ -1133,9 +1249,10 @@ class KernelSim:
                     f"scheduling class {job.cls.name!r} returned unknown "
                     f"budget-exhaustion action {action!r}"
                 )
+            model = self._models[core.index]
             op = _Op(
                 kind="migrate_out",
-                duration=self.model.sch(False) + self.model.cnt2_migrate,
+                duration=model.sch(False) + model.cnt2_migrate,
                 effect=lambda t2, core=core, job=job: self._do_migrate_out(
                     core, job, t2
                 ),
@@ -1219,7 +1336,11 @@ class KernelSim:
             if fate != MIGRATION_LATE:
                 delay = 0
         stage = job.advance_stage()
-        penalty = self.model.cache.migration_delay(job.rt.task.wss)
+        # Cache reload happens on the *destination* core: its clock
+        # governs the penalty.
+        penalty = self._models[stage.core].cache.migration_delay(
+            job.rt.task.wss
+        )
         job.penalty_left += penalty
         self.cache_delay_ns += penalty
         job.migrate_count += 1
@@ -1328,6 +1449,18 @@ class KernelSim:
             metrics.counter(
                 "sim_core_overhead_ns_total", core=core.index
             ).inc(core.overhead_ns)
+        # Energy family (informational: never gated by compare_reports).
+        for row in self.energy.cores:
+            metrics.counter(
+                "eng_core_busy_pj_total", core=row.core
+            ).inc(row.busy_pj)
+            metrics.counter(
+                "eng_core_overhead_pj_total", core=row.core
+            ).inc(row.overhead_pj)
+            metrics.counter(
+                "eng_core_idle_pj_total", core=row.core
+            ).inc(row.idle_pj)
+        metrics.counter("eng_total_pj_total").inc(self.energy.total_pj)
         # Queue-operation counts by (queue, op, N) — the deterministic
         # half of the paper's Table-1 δ/θ measurement (the wall-clock
         # half streams into wall_queue_op_ns histograms live).
@@ -1356,11 +1489,39 @@ class KernelSim:
                 executed = t - core.dispatched_at
                 if executed > 0:
                     core.busy_ns += executed
+                    core.busy_pj += executed * self._active_mw[core.index]
                     self._record(
                         core.index, core.dispatched_at, t, job.name, "exec"
                     )
                 core.completion_event.cancel()
                 core.completion_event = None
+        # Settle the energy ledger: idle is whatever the horizon left
+        # uncharged (zero when the run's last kernel op straddles it).
+        rows = []
+        for core in self.cores:
+            idle_ns = max(
+                0, self.duration - core.busy_ns - core.overhead_ns
+            )
+            freq = self.frequencies[core.index]
+            rows.append(
+                CoreEnergy(
+                    core=core.index,
+                    freq_num=freq.numerator,
+                    freq_den=freq.denominator,
+                    active_mw=self._active_mw[core.index],
+                    busy_ns=core.busy_ns,
+                    overhead_ns=core.overhead_ns,
+                    idle_ns=idle_ns,
+                    busy_pj=core.busy_pj,
+                    overhead_pj=core.overhead_pj,
+                    idle_pj=idle_ns * self._idle_mw,
+                )
+            )
+        self.energy = EnergyLedger(
+            duration_ns=self.duration,
+            idle_mw=self._idle_mw,
+            cores=tuple(rows),
+        )
         for job in self._current_jobs.values():
             if (
                 job is not None

@@ -116,10 +116,16 @@ class OverheadModel:
         """Scale all constant overheads by ``factor`` (sensitivity studies).
 
         The cache model is left untouched; scale it separately if needed.
+        Rounds every field half-up (``round`` would bankers-round fields
+        independently, so a uniformly scaled model could land closer to
+        zero on some fields than others); ``scaled(1.0)`` is the exact
+        identity.
         """
+        if factor == 1.0:
+            return self
 
         def s(value: int) -> int:
-            return int(round(value * factor))
+            return math.floor(value * factor + 0.5)
 
         return OverheadModel(
             release_ns=s(self.release_ns),
@@ -128,6 +134,33 @@ class OverheadModel:
             ready_op_ns=s(self.ready_op_ns),
             sleep_op_ns=s(self.sleep_op_ns),
             cache=self.cache,
+        )
+
+    def at_frequency(self, freq) -> "OverheadModel":
+        """The model as seen by a core clocked at rational ``freq``.
+
+        Kernel work is CPU work: at frequency ``f`` every constant takes
+        ``1/f`` times as long in wall nanoseconds.  The scale is applied
+        as one exact rational multiply per field, rounded half-up once —
+        integer-exact, unlike the float path of :meth:`scaled`.  The
+        cache-penalty path is scaled too (see
+        :meth:`repro.cache.model.CachePenaltyModel.at_frequency`).
+        ``at_frequency(1)`` returns ``self`` — the identity is ``is``-
+        level, which is what makes the ``freq1-vs-unscaled``
+        differential structural.
+        """
+        from repro.energy.model import as_fraction, scale_ns
+
+        f = as_fraction(freq)
+        if f == 1:
+            return self
+        return OverheadModel(
+            release_ns=scale_ns(self.release_ns, f),
+            sch_ns=scale_ns(self.sch_ns, f),
+            cnt_swth_ns=scale_ns(self.cnt_swth_ns, f),
+            ready_op_ns=scale_ns(self.ready_op_ns, f),
+            sleep_op_ns=scale_ns(self.sleep_op_ns, f),
+            cache=self.cache.at_frequency(f),
         )
 
     # ------------------------------------------------------------------

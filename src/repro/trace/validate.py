@@ -92,6 +92,11 @@ class CheckContext:
     policy: str = "fp"
     duration: int = 0
     overhead_ns: Optional[List[int]] = None
+    busy_ns: Optional[List[int]] = None
+    #: The run's :class:`~repro.energy.model.EnergyLedger`; ``None`` or
+    #: an empty ledger (legacy producers) makes the energy-ledger
+    #: checker skip.
+    energy: Optional[object] = None
     task_stats: Optional[Dict[str, object]] = None
     misses: Optional[List[object]] = None
     fault_log: Optional[object] = None
@@ -136,6 +141,8 @@ class CheckContext:
             policy=policy,
             duration=result.duration,
             overhead_ns=list(result.overhead_ns),
+            busy_ns=list(result.busy_ns),
+            energy=getattr(result, "energy", None),
             task_stats=result.task_stats,
             misses=result.misses,
             fault_log=result.faults,
@@ -617,6 +624,34 @@ def _check_overhead_ledger(ctx: CheckContext) -> List[TraceViolation]:
                 )
             )
     return violations
+
+
+@register_checker("energy-ledger")
+def _check_energy_ledger(ctx: CheckContext) -> List[TraceViolation]:
+    """The energy ledger balances, replayed from zero.
+
+    Given only the per-core ``busy_ns``/``overhead_ns`` counters and the
+    horizon, every ledger field is forced (idle time, then each energy
+    as time x recorded power level, then the per-core total) — see
+    :func:`repro.energy.model.check_energy_ledger`.  Skips producers
+    that don't account energy (``energy`` absent or empty).
+    """
+    energy = ctx.energy
+    if (
+        energy is None
+        or getattr(energy, "is_empty", True)
+        or ctx.busy_ns is None
+        or ctx.overhead_ns is None
+    ):
+        return []
+    from repro.energy.model import check_energy_ledger
+
+    return [
+        TraceViolation(kind="energy-ledger", detail=problem)
+        for problem in check_energy_ledger(
+            energy, ctx.busy_ns, ctx.overhead_ns, ctx.duration
+        )
+    ]
 
 
 def _parse_overrun_detail(detail: str) -> Tuple[int, int]:

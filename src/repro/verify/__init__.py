@@ -8,7 +8,7 @@ Entry points:
   invariant checker;
 * :func:`~repro.verify.harness.run_harness` — seeded random trials plus
   metamorphic mutations;
-* :func:`~repro.verify.differential.run_differential_suite` — the nine
+* :func:`~repro.verify.differential.run_differential_suite` — the ten
   independent-implementation agreement checks;
 * :func:`~repro.verify.shrink.shrink_scenario` /
   :func:`~repro.verify.shrink.write_repro` — minimize a failing scenario
@@ -21,6 +21,7 @@ from repro.verify.differential import (
     batch_vs_scratch,
     cross_class_sanity,
     empty_plan_vs_no_plan,
+    freq1_vs_unscaled,
     incremental_vs_scratch,
     legacy_vs_plugin,
     replay_vs_synthetic,
@@ -68,6 +69,7 @@ __all__ = [
     "check_scenario",
     "cross_class_sanity",
     "empty_plan_vs_no_plan",
+    "freq1_vs_unscaled",
     "full_check",
     "incremental_vs_scratch",
     "legacy_vs_plugin",

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 
 import pytest
 
 from repro.experiments.campaign import (
+    CRITERIA_AXES,
     CampaignRecord,
     CampaignResult,
     run_campaign,
@@ -104,9 +106,165 @@ class TestOutput:
             "algorithm",
             "utilization",
             "acceptance",
+            "preemptions",
+            "migrations",
+            "spare_balance",
+            "packing_slack",
+            "avg_power_mw",
+            "energy_per_hp_uj",
         ]
         assert len(rows) == 1 + len(small_campaign.records)
         assert path.read_text() == text
 
+    def test_csv_blank_criteria_without_criteria_run(self, small_campaign):
+        rows = list(csv.reader(io.StringIO(small_campaign.to_csv())))
+        # Without criteria=True the six axis columns stay empty, not 'nan'.
+        assert all(row[6:] == [""] * 6 for row in rows[1:])
+
     def test_mean_on_empty_filter(self, small_campaign):
         assert small_campaign.mean_acceptance(algorithm="GHOST") == 0.0
+
+    def test_pivot_rejects_unknown_value_key(self, small_campaign):
+        with pytest.raises(ValueError, match="unknown value key"):
+            small_campaign.pivot(value_key="n_tasks")
+
+
+class TestCriteria:
+    @pytest.fixture(scope="class")
+    def criteria_campaign(self) -> CampaignResult:
+        return run_campaign(
+            core_counts=(2,),
+            task_counts=(5,),
+            algorithms=("FP-TS", "FFD"),
+            overhead_specs=(("paper", OverheadModel.paper_core_i7(3)),),
+            utilizations=(0.6, 0.8),
+            sets_per_point=4,
+            criteria=True,
+            sim_sets=2,
+        )
+
+    def test_axes_populated(self, criteria_campaign):
+        measured = [
+            r
+            for r in criteria_campaign.records
+            if not math.isnan(r.spare_balance)
+        ]
+        assert measured, "criteria=True must fill axes somewhere"
+        for record in measured:
+            assert 0.0 <= record.spare_balance <= 1.0 + 1e-9
+            assert record.packing_slack <= 1.0 + 1e-9
+            assert record.preemptions >= 0.0
+            assert record.migrations >= 0.0
+            assert record.avg_power_mw > 0.0
+            assert record.energy_per_hp_uj > 0.0
+
+    def test_axis_pivots_render(self, criteria_campaign):
+        for axis in CRITERIA_AXES:
+            table = criteria_campaign.pivot(value_key=axis)
+            assert "FP-TS" in table
+
+    def test_csv_carries_axes(self, criteria_campaign):
+        rows = list(csv.reader(io.StringIO(criteria_campaign.to_csv())))
+        body = rows[1:]
+        assert any(row[6] != "" for row in body)
+
+    def test_deterministic(self, criteria_campaign):
+        again = run_campaign(
+            core_counts=(2,),
+            task_counts=(5,),
+            algorithms=("FP-TS", "FFD"),
+            overhead_specs=(("paper", OverheadModel.paper_core_i7(3)),),
+            utilizations=(0.6, 0.8),
+            sets_per_point=4,
+            criteria=True,
+            sim_sets=2,
+        )
+        assert again.records == criteria_campaign.records
+
+
+class _FailPointEngine:
+    """Engine wrapper that nulls the payloads of one utilization point,
+    exactly as ExperimentEngine does after exhausting retries."""
+
+    def __init__(self, fail_utilization: float):
+        from repro.engine import ExperimentEngine
+
+        self.fail_utilization = fail_utilization
+        self._engine = ExperimentEngine()
+
+    def run(self, units):
+        payloads = self._engine.run(units)
+        return [
+            None
+            if math.isclose(unit.utilization, self.fail_utilization)
+            else payload
+            for unit, payload in zip(units, payloads)
+        ]
+
+
+class TestFailedUnits:
+    """Satellite regression: a failed work unit must surface as a *gap*
+    (failed_units + missing records + ``-`` pivot cells), never as a
+    silent 0.0 acceptance that reads like total rejection."""
+
+    @pytest.fixture(scope="class")
+    def partial(self) -> CampaignResult:
+        return run_campaign(
+            core_counts=(2,),
+            task_counts=(5,),
+            algorithms=("FFD",),
+            utilizations=(0.6, 0.9),
+            sets_per_point=4,
+            engine=_FailPointEngine(fail_utilization=0.9),
+        )
+
+    def test_failed_point_listed_not_recorded(self, partial):
+        assert partial.is_partial
+        assert [f["utilization"] for f in partial.failed_units] == [0.9]
+        assert all(r.utilization != 0.9 for r in partial.records)
+
+    def test_failed_point_absent_from_pivot(self, partial):
+        # The failed utilization contributes no records, so it cannot
+        # appear as a 0.000 column: it is absent from the pivot.
+        table = partial.pivot(
+            row_key="algorithm", column_key="utilization"
+        )
+        assert "0.9" not in table
+        assert "0.000" not in table
+
+    def test_unmeasured_cell_renders_dash_not_zero(self):
+        # A record whose criteria axis is NaN (e.g. the algorithm
+        # accepted no set to simulate) renders `-`, never 0.000.
+        result = CampaignResult(
+            records=[
+                CampaignRecord(
+                    n_cores=2,
+                    n_tasks=5,
+                    overheads="zero",
+                    algorithm="A",
+                    utilization=0.6,
+                    acceptance=1.0,
+                    avg_power_mw=2000.0,
+                ),
+                CampaignRecord(
+                    n_cores=4,
+                    n_tasks=5,
+                    overheads="zero",
+                    algorithm="A",
+                    utilization=0.6,
+                    acceptance=0.5,
+                ),
+            ]
+        )
+        table = result.pivot(value_key="avg_power_mw")
+        row = next(line for line in table.splitlines() if "A" in line)
+        cells = row.split()[1:]
+        assert cells == ["2000.000", "-"]
+
+    def test_mean_acceptance_ignores_the_gap(self, partial):
+        # The mean over FFD's records equals the surviving point's value,
+        # not that value averaged with a phantom 0.0.
+        surviving = [r.acceptance for r in partial.records]
+        assert partial.mean_acceptance(algorithm="FFD") == pytest.approx(
+            sum(surviving) / len(surviving)
+        )

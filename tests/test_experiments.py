@@ -57,6 +57,45 @@ class TestRegistry:
         assert flips > 0
 
 
+class TestNanHonestAggregates:
+    """Failed grid points (NaN ratios) must not poison the sweep-level
+    aggregates or silently count as rejections."""
+
+    def _result_with_gap(self):
+        import math
+
+        from repro.experiments.acceptance import AcceptanceResult
+
+        config = AcceptanceConfig(
+            n_cores=2,
+            n_tasks=6,
+            utilizations=[0.6, 0.8, 1.0],
+            algorithms=("FFD",),
+        )
+        return AcceptanceResult(
+            config=config,
+            utilizations=[0.6, 0.8, 1.0],
+            ratios={"FFD": [1.0, math.nan, 0.5]},
+        )
+
+    def test_weighted_acceptance_skips_gap(self):
+        result = self._result_with_gap()
+        assert result.weighted_acceptance("FFD") == pytest.approx(
+            (1.0 + 0.5) / 2
+        )
+
+    def test_weighted_schedulability_skips_gap(self):
+        result = self._result_with_gap()
+        expected = (0.6 * 1.0 + 1.0 * 0.5) / (0.6 + 1.0)
+        assert result.weighted_schedulability("FFD") == pytest.approx(
+            expected
+        )
+
+    def test_gap_reported_as_failed_utilization(self):
+        result = self._result_with_gap()
+        assert result.failed_utilizations == [0.8]
+
+
 class TestAcceptanceSweep:
     def test_default_grid(self):
         grid = default_utilization_grid()

@@ -1,11 +1,110 @@
-"""Tests for the ASCII plotting helpers."""
+"""Tests for the ASCII plotting helpers and the Pareto front."""
 
 from __future__ import annotations
+
+import itertools
+import math
+import random
 
 import pytest
 
 from repro.experiments.acceptance import AcceptanceConfig, run_acceptance
-from repro.experiments.plot import acceptance_plot, ascii_plot
+from repro.experiments.plot import (
+    acceptance_plot,
+    ascii_plot,
+    pareto_front,
+    pareto_table,
+)
+
+
+def _random_points(seed: int, n: int = 24):
+    rng = random.Random(seed)
+    return [
+        {
+            "algorithm": f"p{i}",
+            "x": rng.uniform(0, 1),
+            "y": rng.uniform(0, 1),
+            "z": rng.uniform(0, 1),
+        }
+        for i in range(n)
+    ]
+
+
+class TestParetoFront:
+    AXES = [("x", "max"), ("y", "min"), ("z", "max")]
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            pareto_front([{"x": 1.0}], [])
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            pareto_front([{"x": 1.0}], [("x", "up")])
+
+    def test_single_axis_max_is_argmax(self):
+        points = _random_points(1)
+        front = pareto_front(points, [("x", "max")])
+        best = max(p["x"] for p in points)
+        assert all(p["x"] == best for p in front)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_front_is_non_dominated(self, seed):
+        points = _random_points(seed)
+        front = pareto_front(points, self.AXES)
+        assert front
+
+        def dominates(a, b):
+            keys = [
+                (k, 1 if d == "max" else -1) for k, d in self.AXES
+            ]
+            at_least = all(s * a[k] >= s * b[k] for k, s in keys)
+            strictly = any(s * a[k] > s * b[k] for k, s in keys)
+            return at_least and strictly
+
+        for member in front:
+            assert not any(dominates(other, member) for other in points)
+        # ...and everything excluded is dominated by someone.
+        excluded = [p for p in points if p not in front]
+        for loser in excluded:
+            assert any(dominates(other, loser) for other in points)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stable_under_axis_permutation(self, seed):
+        points = _random_points(seed)
+        reference = pareto_front(points, self.AXES)
+        for permuted in itertools.permutations(self.AXES):
+            assert pareto_front(points, list(permuted)) == reference
+
+    def test_nan_point_excluded(self):
+        points = [
+            {"algorithm": "a", "x": 1.0, "y": 0.0, "z": 1.0},
+            {"algorithm": "nanny", "x": math.nan, "y": 0.0, "z": 1.0},
+        ]
+        front = pareto_front(points, self.AXES)
+        assert [p["algorithm"] for p in front] == ["a"]
+
+    def test_duplicates_both_survive(self):
+        twin = {"x": 0.5, "y": 0.5, "z": 0.5}
+        front = pareto_front([dict(twin), dict(twin)], self.AXES)
+        assert len(front) == 2
+
+
+class TestParetoTable:
+    def test_renders_front_rows(self):
+        points = [
+            {"algorithm": "good", "x": 1.0, "y": 0.0},
+            {"algorithm": "bad", "x": 0.0, "y": 1.0},
+        ]
+        table = pareto_table(points, [("x", "max"), ("y", "min")])
+        assert "good" in table
+        assert "bad" not in table
+        assert "x^" in table and "yv" in table
+
+    def test_empty_front_renders_placeholder(self):
+        table = pareto_table(
+            [{"algorithm": "n", "x": math.nan}], [("x", "max")]
+        )
+        assert "(empty front)" in table
 
 
 class TestAsciiPlot:

@@ -464,6 +464,100 @@ class TestCrossClass:
 
 
 # ----------------------------------------------------------------------
+# Pinned per-class preemption/migration counters
+# ----------------------------------------------------------------------
+
+
+class TestCounterSemantics:
+    """Regression pins for the counter-correctness sweep.
+
+    The rules being pinned:
+
+    * ``restricted`` migrates jobs only at job boundaries, and each
+      cross-core job-boundary placement **is** a migration (it used to
+      go uncounted because the per-job stage plan never calls the
+      split-task migration path);
+    * the global classes count one event per displacement: a preempted
+      job that *resumes on another core* is a migration, not a
+      preemption **and** a migration (the preemption recorded at
+      displacement time is reclassified on cross-core resume);
+    * per-task stats always sum to the platform counters.
+
+    Values are pinned for the deterministic splitting scenario (three
+    0.6-utilization tasks on two cores, paper overheads, 50 ms) so any
+    future drift in counting semantics fails loudly here.
+    """
+
+    #: sched_class -> (preemptions, migrations, context_switches)
+    PINNED = {
+        "fp": (7, 5, 25),
+        "edf": (5, 5, 23),
+        "restricted": (0, 4, 11),
+        "global-edf": (0, 0, 13),
+        "global-rm": (0, 2, 15),
+    }
+
+    def _run(self, sched_class):
+        taskset = _splitting_taskset()
+        if sched_class.startswith("global"):
+            assignment = build_global_assignment(taskset, 2)
+        else:
+            _taskset, assignment = _split_assignment()
+        return KernelSim(
+            assignment,
+            OverheadModel.paper_core_i7(3),
+            duration=50 * MS,
+            execution_times={t.name: t.wcet for t in taskset},
+            sched_class=sched_class,
+            record_trace=True,
+        ).run()
+
+    @pytest.mark.parametrize("sched_class", sorted(PINNED))
+    def test_pinned_counters(self, sched_class):
+        result = self._run(sched_class)
+        assert (
+            result.preemptions,
+            result.migrations,
+            result.context_switches,
+        ) == self.PINNED[sched_class]
+
+    @pytest.mark.parametrize("sched_class", sorted(PINNED))
+    def test_task_stats_sum_to_platform_counters(self, sched_class):
+        result = self._run(sched_class)
+        assert (
+            sum(s.preemptions for s in result.task_stats.values())
+            == result.preemptions
+        )
+        assert (
+            sum(s.migrations for s in result.task_stats.values())
+            == result.migrations
+        )
+
+    def test_restricted_counts_job_boundary_core_changes(self):
+        """Each time restricted migration places a split task's next job
+        on a different core, exactly one migration (and a ``migrate``
+        event) is recorded — and no mid-job core change ever happens."""
+        result = self._run("restricted")
+        migrate_events = [
+            e for e in result.events if e[1] == "migrate"
+        ]
+        assert len(migrate_events) == result.migrations > 0
+        # All migrations belong to the split task.
+        split_name = next(
+            n for n, s in result.task_stats.items() if s.migrations
+        )
+        assert all(e[2] == split_name for e in migrate_events)
+
+    def test_global_no_double_count_on_cross_core_resume(self):
+        """A displaced job resuming on another core counts once.  In the
+        pinned global-rm scenario every displacement resumes cross-core,
+        so preemptions stay zero while migrations are positive."""
+        result = self._run("global-rm")
+        assert result.migrations > 0
+        assert result.preemptions == 0
+
+
+# ----------------------------------------------------------------------
 # Per-class preemption-order oracle keys
 # ----------------------------------------------------------------------
 

@@ -7,6 +7,7 @@ from repro.verify import (
     DIFFERENTIAL_PAIRS,
     batch_vs_scratch,
     empty_plan_vs_no_plan,
+    freq1_vs_unscaled,
     run_differential_suite,
     serial_vs_parallel,
     sim_vs_oracle,
@@ -43,6 +44,13 @@ def test_batch_vs_scratch():
     accept/reject vectors and per-entry response times to the scalar
     pipeline."""
     assert batch_vs_scratch(trials=8, seed=9) == []
+
+
+def test_freq1_vs_unscaled():
+    """Frequency 1.0 (in every spelling) is observationally identical to
+    not passing frequencies at all — full results, energy ledgers, and a
+    balanced ledger on both sides."""
+    assert freq1_vs_unscaled(trials=6, seed=21) == []
 
 
 def test_suite_covers_all_pairs():
